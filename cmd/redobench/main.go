@@ -1,0 +1,100 @@
+// Command redobench regenerates the paper's evaluation: Figure 2(a-c)
+// (redo time, dirty cache fraction and ∆/BW record counts vs cache
+// size), Figure 3 (redo time vs checkpoint interval, Appendix C), the
+// Appendix B cost-model validation, and the Appendix D ∆-variant
+// ablation.
+//
+// Usage:
+//
+//	redobench -fig 2       # Figure 2(a-c), all panels
+//	redobench -fig 3       # Figure 3 (checkpoint interval sweep)
+//	redobench -fig B       # Appendix B cost model
+//	redobench -fig D       # Appendix D ∆-record variants
+//	redobench -fig all     # everything
+//	redobench -scale 10    # shrink the experiment 10× (faster)
+//	redobench -quiet       # suppress progress lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logrec/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "2", "which figure to regenerate: 2, 3, B, D or all")
+	scale := flag.Int("scale", 1, "shrink the experiment by this factor (1 = paper-proportional full scale)")
+	cacheFrac := flag.Float64("cache", 0.16, "cache fraction for figures 3, B and D (the paper's 512MB point)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig().Scaled(*scale)
+	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	if *quiet {
+		progress = nil
+	}
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "redobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	doFig2 := func() error {
+		rows, err := harness.RunFigure2(cfg, harness.DefaultCacheFractions(), progress)
+		if err != nil {
+			return err
+		}
+		harness.PrintFigure2(os.Stdout, rows)
+		return nil
+	}
+	doFig3 := func() error {
+		rows, err := harness.RunFigure3(cfg, []int{1, 5, 10}, *cacheFrac, progress)
+		if err != nil {
+			return err
+		}
+		harness.PrintFigure3(os.Stdout, rows)
+		return nil
+	}
+	doB := func() error {
+		rows, err := harness.RunAppendixB(cfg, *cacheFrac)
+		if err != nil {
+			return err
+		}
+		harness.PrintAppendixB(os.Stdout, rows)
+		return nil
+	}
+	doD := func() error {
+		rows, err := harness.RunAppendixD(cfg, *cacheFrac)
+		if err != nil {
+			return err
+		}
+		harness.PrintAppendixD(os.Stdout, rows)
+		return nil
+	}
+
+	switch *fig {
+	case "2", "2a", "2b", "2c":
+		run("figure 2", doFig2)
+	case "3":
+		run("figure 3", doFig3)
+	case "B", "b":
+		run("appendix B", doB)
+	case "D", "d":
+		run("appendix D", doD)
+	case "all":
+		run("figure 2", doFig2)
+		fmt.Println()
+		run("figure 3", doFig3)
+		fmt.Println()
+		run("appendix B", doB)
+		fmt.Println()
+		run("appendix D", doD)
+	default:
+		fmt.Fprintf(os.Stderr, "redobench: unknown -fig %q (want 2, 3, B, D or all)\n", *fig)
+		os.Exit(2)
+	}
+}

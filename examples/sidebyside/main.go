@@ -1,0 +1,44 @@
+// Sidebyside: the paper's controlled comparison (§5.1) in miniature.
+// One workload, one crash, one shared log — five recovery methods
+// replay it independently over copy-on-write forks, and the run prints
+// each method's phase times, IO behaviour and redo-test outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"logrec"
+)
+
+func main() {
+	cfg := logrec.DefaultExperimentConfig().Scaled(4).WithCacheFraction(0.16)
+	fmt.Printf("building crash: %d rows, cache %d pages, checkpoint every %d updates\n",
+		cfg.Workload.Rows, cfg.Engine.CachePages, cfg.CheckpointEveryUpdates)
+
+	res, err := logrec.BuildCrash(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crashed after %d committed transactions; %d of %d cache pages dirty (%.1f%%)\n\n",
+		res.TxnsCommitted, res.DirtyAtCrash, res.CachePages, res.DirtyPct())
+
+	opt := logrec.DefaultOptions(cfg.Engine)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tredo\tprep\tundo\tDPT\tdata IO\tindex IO\tstall time\tprefetched\tskipped(DPT/rLSN/pLSN)")
+	for _, m := range logrec.Methods() {
+		met, err := logrec.RunRecovery(res, m, opt)
+		if err != nil {
+			log.Fatalf("%v: %v", m, err)
+		}
+		fmt.Fprintf(tw, "%v\t%v\t%v\t%v\t%d\t%d\t%d\t%v\t%d\t%d/%d/%d\n",
+			m, met.RedoTotal, met.PrepTime, met.UndoTime, met.DPTSize,
+			met.DataPageFetches, met.IndexPageFetches, met.StallTime,
+			met.PrefetchPages, met.SkippedDPT, met.SkippedRLSN, met.SkippedPLSN)
+	}
+	tw.Flush()
+
+	fmt.Println("\nEvery method recovered byte-identical state (verified against the oracle).")
+}

@@ -1,0 +1,479 @@
+// Package buffer implements the DC's database cache: a fixed-capacity
+// page buffer pool with second-chance (clock) replacement, dirty
+// tracking, the SQL-Server
+// penultimate-checkpoint bit (§3.2 of the paper), the write-ahead-log
+// protocol (a page may be flushed only when every update it carries is
+// on the stable TC log, enforced via the EOSL-provided eLSN), and
+// asynchronous prefetch.
+//
+// Rebuilding this cache after a crash is the dominant cost of redo
+// recovery (§1.3, Appendix B); the pool therefore exposes detailed fetch
+// and flush statistics for the experiment harness.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"logrec/internal/page"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// Frame is a cached page.
+type Frame struct {
+	PID  storage.PageID
+	Page *page.Page
+
+	// Dirty reports whether the frame holds updates not yet on disk.
+	Dirty bool
+	// RecLSN is the LSN of the first operation that dirtied the frame
+	// since it was last clean (the recovery LSN of §2.2).
+	RecLSN wal.LSN
+	// LastLSN is the LSN of the latest operation applied to the frame.
+	LastLSN wal.LSN
+	// CkptBit is the value of the pool's checkpoint bit when the frame
+	// was last dirtied; the penultimate scheme flushes only frames
+	// dirtied before begin-checkpoint (§3.2).
+	CkptBit bool
+
+	// ref is the second-chance reference bit: set on every touch,
+	// cleared by the clock sweep.
+	ref  bool
+	pins int
+	elem *list.Element
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	DirtyEvict int64 // evictions that had to flush first
+	Flushes    int64
+	LogForces  int64 // WAL-protocol log forces triggered by flushes
+	NewPages   int64
+}
+
+// Pool is the buffer pool. Not safe for concurrent use; the engine is
+// single-threaded over virtual time.
+//
+// Replacement is second-chance (clock), the approximation of LRU real
+// engines use: every touch sets a frame's reference bit; the sweep
+// clears bits and evicts the first unpinned frame found unreferenced.
+// Unlike strict LRU, a page updated once and not revisited loses its
+// reference quickly, so eviction pressure flushes once-touched dirty
+// pages mid-interval — the background cleaning that keeps the dirty
+// page table below the full dirtied footprint (§3, Figure 2(b)).
+type Pool struct {
+	disk     *storage.Disk
+	capacity int
+
+	frames map[storage.PageID]*Frame
+	// clock is the circular sweep order (insertion order); hand is the
+	// current sweep position.
+	clock *list.List
+	hand  *list.Element
+
+	// ckptBit is the global bit flipped when a begin-checkpoint record
+	// is written; frames dirtied afterward carry the new value and are
+	// not flushed by that checkpoint.
+	ckptBit bool
+
+	// eLSN is the TC's end of stable log (EOSL). A dirty frame with
+	// LastLSN > eLSN cannot be flushed until the log is forced.
+	eLSN wal.LSN
+	// forceLog, when set, forces the TC log and returns the new eLSN.
+	// Flushing a frame ahead of the stable log calls it (a log force,
+	// counted in stats).
+	forceLog func() wal.LSN
+
+	// onFlush is invoked after each page flush IO is issued, with the
+	// flush completion time; the ∆- and BW-trackers subscribe (§3.3,
+	// §4.1).
+	onFlush func(pid storage.PageID, done sim.Time)
+
+	// dirty counts dirty frames (kept incrementally for the cleaner).
+	dirty int
+	// The lazywriter emulates SQL Server's background page cleaning,
+	// which the paper's dirty-page dynamics assume (Figure 2(b): the
+	// dirty cache fraction sits near 30% at small caches and falls
+	// toward 10% at large ones). It has two terms:
+	//
+	//   - a rate term: every cleanerEvery-th page dirtying flushes one
+	//     cold dirty page (write-behind at a fraction of the update
+	//     rate), active whenever the dirty count exceeds a small floor;
+	//   - a ceiling term: when the dirty count exceeds
+	//     cleanerTarget*capacity, cold dirty pages are flushed until it
+	//     no longer does.
+	//
+	// cleanerTarget = 0 disables both.
+	cleanerTarget float64
+	cleanerEvery  int
+	cleanerTick   int
+	// cleanerSuspended holds the lazywriter off during critical
+	// sections that reserve an LSN before appending (SMO builds): a
+	// background flush there could let the flush tracker append its
+	// own record in between, invalidating the reservation.
+	cleanerSuspended bool
+	// lazyHand is the cleaner's own sweep position.
+	lazyHand *list.Element
+
+	stats Stats
+}
+
+// New creates a pool of capacity pages over disk.
+func New(disk *storage.Disk, capacity int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity must be at least 1, got %d", capacity)
+	}
+	return &Pool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[storage.PageID]*Frame, capacity),
+		clock:    list.New(),
+	}, nil
+}
+
+// Disk returns the underlying simulated disk (for prefetch pacing and
+// IO statistics).
+func (p *Pool) Disk() *storage.Disk { return p.disk }
+
+// SetFlushHook subscribes fn to flush completions.
+func (p *Pool) SetFlushHook(fn func(pid storage.PageID, done sim.Time)) { p.onFlush = fn }
+
+// SetLogForce installs the WAL-protocol log-force callback.
+func (p *Pool) SetLogForce(fn func() wal.LSN) { p.forceLog = fn }
+
+// SetELSN records a new end-of-stable-log from the TC's EOSL control
+// operation. eLSN never moves backward.
+func (p *Pool) SetELSN(lsn wal.LSN) {
+	if lsn > p.eLSN {
+		p.eLSN = lsn
+	}
+}
+
+// ELSN returns the pool's view of the end of the stable TC log.
+func (p *Pool) ELSN() wal.LSN { return p.eLSN }
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of cached pages.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// Stats returns a copy of the pool statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the statistics.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// SetCleanerTarget sets the lazywriter's dirty-fraction ceiling
+// (0 disables the lazywriter entirely).
+func (p *Pool) SetCleanerTarget(frac float64) { p.cleanerTarget = frac }
+
+// SetCleanerRate sets the rate term: one background flush per every
+// cleanerEvery page dirtyings (0 disables the rate term).
+func (p *Pool) SetCleanerRate(every int) { p.cleanerEvery = every }
+
+// SuspendCleaner holds the lazywriter off until ResumeCleaner.
+func (p *Pool) SuspendCleaner() { p.cleanerSuspended = true }
+
+// ResumeCleaner re-enables the lazywriter and runs a catch-up pass.
+func (p *Pool) ResumeCleaner() {
+	p.cleanerSuspended = false
+	p.maybeClean()
+}
+
+// DirtyCount returns the number of dirty frames — the quantity Figure
+// 2(b) reports as a percentage of the cache.
+func (p *Pool) DirtyCount() int { return p.dirty }
+
+// DirtyPIDs returns the PIDs of all dirty frames (test oracle for DPT
+// safety).
+func (p *Pool) DirtyPIDs() []storage.PageID {
+	out := make([]storage.PageID, 0, 16)
+	for pid, f := range p.frames {
+		if f.Dirty {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// Get returns the frame for pid, fetching from disk on a miss (which
+// advances the virtual clock per the disk model) and evicting as
+// needed. The frame is pinned; callers must Unpin.
+func (p *Pool) Get(pid storage.PageID) (*Frame, error) {
+	if f, ok := p.frames[pid]; ok {
+		p.stats.Hits++
+		f.pins++
+		f.ref = true
+		return f, nil
+	}
+	p.stats.Misses++
+	if err := p.ensureRoom(); err != nil {
+		return nil, err
+	}
+	data, err := p.disk.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{PID: pid, Page: page.Wrap(data), pins: 1, ref: true}
+	f.elem = p.clock.PushBack(f)
+	p.frames[pid] = f
+	return f, nil
+}
+
+// GetIfCached returns the pinned frame if present, else nil.
+func (p *Pool) GetIfCached(pid storage.PageID) *Frame {
+	f, ok := p.frames[pid]
+	if !ok {
+		return nil
+	}
+	p.stats.Hits++
+	f.pins++
+	f.ref = true
+	return f
+}
+
+// Contains reports whether pid is cached, without touching LRU state.
+func (p *Pool) Contains(pid storage.PageID) bool {
+	_, ok := p.frames[pid]
+	return ok
+}
+
+// NewPage allocates a pinned frame for a brand-new page (no disk read)
+// formatted as type t. Used by B-tree page allocation.
+func (p *Pool) NewPage(pid storage.PageID, t page.Type) (*Frame, error) {
+	if _, ok := p.frames[pid]; ok {
+		return nil, fmt.Errorf("buffer: NewPage of cached page %d", pid)
+	}
+	if err := p.ensureRoom(); err != nil {
+		return nil, err
+	}
+	p.stats.NewPages++
+	data := make([]byte, p.disk.Config().PageSize)
+	f := &Frame{PID: pid, Page: page.Format(data, t), pins: 1, ref: true}
+	f.elem = p.clock.PushBack(f)
+	p.frames[pid] = f
+	return f, nil
+}
+
+// Unpin releases one pin on f.
+func (p *Pool) Unpin(f *Frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.PID))
+	}
+	f.pins--
+}
+
+// MarkDirty records that the operation at lsn updated f. The caller has
+// already applied the change and set the page's pLSN. Crossing the
+// lazywriter's ceiling triggers background cleaning of cold dirty
+// pages.
+func (p *Pool) MarkDirty(f *Frame, lsn wal.LSN) {
+	if !f.Dirty {
+		f.Dirty = true
+		f.RecLSN = lsn
+		f.CkptBit = p.ckptBit
+		p.dirty++
+	}
+	f.LastLSN = lsn
+	p.maybeClean()
+}
+
+// maybeClean is the lazywriter. The rate term writes behind the update
+// stream at a fixed fraction of the dirtying rate; the ceiling term
+// bounds the dirty count outright. A sweep that finds nothing flushable
+// gives up for this call; the checkpoint will retry.
+func (p *Pool) maybeClean() {
+	if p.cleanerTarget <= 0 || p.cleanerSuspended {
+		return
+	}
+	want := 0
+	if p.cleanerEvery > 0 {
+		p.cleanerTick++
+		if p.cleanerTick >= p.cleanerEvery {
+			p.cleanerTick = 0
+			// Rate-term flush, unless the cache is nearly clean (no
+			// point churning the last few dirty pages).
+			if p.dirty > p.capacity/20 {
+				want = 1
+			}
+		}
+	}
+	ceiling := int(p.cleanerTarget * float64(p.capacity))
+	if over := p.dirty - ceiling; over > want {
+		want = over
+	}
+	scanned := 0
+	for want > 0 && scanned < p.clock.Len() {
+		e := p.lazyHand
+		if e == nil {
+			e = p.clock.Front()
+		}
+		if e == nil {
+			return
+		}
+		p.lazyHand = e.Next()
+		scanned++
+		f := e.Value.(*Frame)
+		if !f.Dirty || f.pins > 0 {
+			continue
+		}
+		if err := p.FlushFrame(f); err != nil {
+			return
+		}
+		want--
+	}
+}
+
+// ensureRoom runs the clock sweep to evict one unpinned, unreferenced
+// frame if the pool is full, flushing it first when dirty.
+func (p *Pool) ensureRoom() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	// Two full sweeps suffice: the first clears reference bits, the
+	// second finds a victim unless everything is pinned.
+	limit := 2*p.clock.Len() + 1
+	for i := 0; i < limit; i++ {
+		e := p.hand
+		if e == nil {
+			e = p.clock.Front()
+		}
+		if e == nil {
+			break
+		}
+		p.hand = e.Next() // advance before any removal
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.Dirty {
+			p.stats.DirtyEvict++
+			if err := p.FlushFrame(f); err != nil {
+				return err
+			}
+		}
+		p.stats.Evictions++
+		if p.lazyHand == e {
+			p.lazyHand = e.Next()
+		}
+		p.clock.Remove(e)
+		delete(p.frames, f.PID)
+		return nil
+	}
+	return fmt.Errorf("buffer: all %d frames pinned, cannot evict", p.capacity)
+}
+
+// FlushFrame writes f to disk, honouring the WAL protocol: if f carries
+// updates beyond the stable log, the log is forced first. The flush
+// hook fires with the write's completion time.
+func (p *Pool) FlushFrame(f *Frame) error {
+	if !f.Dirty {
+		return nil
+	}
+	if f.LastLSN > p.eLSN {
+		if p.forceLog == nil {
+			return fmt.Errorf("buffer: WAL violation flushing page %d: LastLSN %v > eLSN %v and no log force installed",
+				f.PID, f.LastLSN, p.eLSN)
+		}
+		p.stats.LogForces++
+		p.SetELSN(p.forceLog())
+		if f.LastLSN > p.eLSN {
+			return fmt.Errorf("buffer: WAL violation persists for page %d after log force", f.PID)
+		}
+	}
+	done, err := p.disk.Write(f.PID, f.Page.Bytes())
+	if err != nil {
+		return err
+	}
+	f.Dirty = false
+	f.RecLSN = wal.NilLSN
+	p.dirty--
+	p.stats.Flushes++
+	if p.onFlush != nil {
+		p.onFlush(f.PID, done)
+	}
+	return nil
+}
+
+// BeginCheckpointFlip flips the checkpoint bit; pages dirtied from now
+// on carry the new value and are exempt from the in-progress
+// checkpoint's flushing (§3.2).
+func (p *Pool) BeginCheckpointFlip() {
+	p.ckptBit = !p.ckptBit
+}
+
+// FlushForCheckpoint flushes every dirty frame dirtied before the most
+// recent BeginCheckpointFlip (old bit value). On return, all updates
+// logged before the begin-checkpoint record are stable.
+func (p *Pool) FlushForCheckpoint() error {
+	for _, f := range p.frames {
+		if f.Dirty && f.CkptBit != p.ckptBit {
+			if err := p.FlushFrame(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FlushAll flushes every dirty frame (clean shutdown; test oracles).
+func (p *Pool) FlushAll() error {
+	for _, f := range p.frames {
+		if err := p.FlushFrame(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefetch issues asynchronous reads for the uncached pages among pids,
+// bounded so outstanding prefetched pages fit the pool's free frames.
+// It returns how many of the input pids were consumed — issued or
+// skipped because already cached — so pacing cursors know where to
+// resume. A return short of len(pids) means the pool has no room.
+func (p *Pool) Prefetch(pids []storage.PageID) int {
+	free := p.capacity - len(p.frames) - p.disk.InflightCount()
+	consumed := 0
+	want := make([]storage.PageID, 0, len(pids))
+	for _, pid := range pids {
+		if _, cached := p.frames[pid]; cached {
+			consumed++
+			continue
+		}
+		if len(want) >= free {
+			break
+		}
+		want = append(want, pid)
+		consumed++
+	}
+	p.disk.Prefetch(want)
+	return consumed
+}
+
+// Drop removes pid from the pool without flushing (crash simulation and
+// tests only).
+func (p *Pool) Drop(pid storage.PageID) {
+	if f, ok := p.frames[pid]; ok {
+		if p.hand == f.elem {
+			p.hand = f.elem.Next()
+		}
+		if p.lazyHand == f.elem {
+			p.lazyHand = f.elem.Next()
+		}
+		if f.Dirty {
+			p.dirty--
+		}
+		p.clock.Remove(f.elem)
+		delete(p.frames, pid)
+	}
+}

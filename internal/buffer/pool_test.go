@@ -1,0 +1,343 @@
+package buffer
+
+import (
+	"testing"
+
+	"logrec/internal/page"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+func newPoolEnv(t *testing.T, capacity int) (*sim.Clock, *storage.Disk, *Pool) {
+	t.Helper()
+	clock := &sim.Clock{}
+	cfg := storage.Config{
+		PageSize:        256,
+		SeekTime:        4 * sim.Millisecond,
+		TransferPerPage: 100 * sim.Microsecond,
+		WriteSeekTime:   2 * sim.Millisecond,
+		MaxBlock:        8,
+		Channels:        1,
+	}
+	disk, err := storage.New(clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := New(disk, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clock, disk, pool
+}
+
+// seed writes n formatted leaf pages directly to disk.
+func seed(t *testing.T, disk *storage.Disk, n int) {
+	t.Helper()
+	for pid := storage.PageID(2); pid < storage.PageID(2+n); pid++ {
+		data := make([]byte, disk.Config().PageSize)
+		page.Format(data, page.TypeLeaf)
+		if _, err := disk.Write(pid, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGetMissFetchesAndCaches(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 2)
+	f, err := pool.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f)
+	if st := pool.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	g, err := pool.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(g)
+	if st := pool.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if f != g {
+		t.Fatal("second Get returned a different frame")
+	}
+}
+
+func TestEvictionLRUAndDirtyWriteback(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 2)
+	seed(t, disk, 3)
+	pool.SetLogForce(func() wal.LSN { return wal.LSN(1 << 40) })
+
+	f2, _ := pool.Get(2)
+	if err := f2.Page.Insert(7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f2.Page.SetLSN(10)
+	pool.MarkDirty(f2, 10)
+	pool.SetELSN(100)
+	pool.Unpin(f2)
+
+	f3, _ := pool.Get(3)
+	pool.Unpin(f3)
+	// Pool is full; getting page 4 evicts page 2 (LRU), flushing it.
+	f4, err := pool.Get(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f4)
+	if pool.Contains(2) {
+		t.Fatal("LRU victim still cached")
+	}
+	st := pool.Stats()
+	if st.Evictions != 1 || st.DirtyEvict != 1 || st.Flushes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The flushed content must be durable.
+	data, err := disk.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := page.Wrap(data)
+	if _, found := p.Search(7); !found {
+		t.Fatal("flushed page lost the insert")
+	}
+	if p.LSN() != 10 {
+		t.Fatalf("flushed pLSN = %d, want 10", p.LSN())
+	}
+}
+
+func TestPinnedFramesAreNotEvicted(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 2)
+	seed(t, disk, 3)
+	f2, _ := pool.Get(2) // stays pinned
+	f3, _ := pool.Get(3)
+	pool.Unpin(f3)
+	f4, err := pool.Get(4) // must evict 3, not pinned 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Contains(2) || pool.Contains(3) {
+		t.Fatal("eviction chose a pinned frame")
+	}
+	pool.Unpin(f2)
+	pool.Unpin(f4)
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 1)
+	seed(t, disk, 2)
+	f, _ := pool.Get(2)
+	if _, err := pool.Get(3); err == nil {
+		t.Fatal("Get succeeded with all frames pinned")
+	}
+	pool.Unpin(f)
+}
+
+func TestWALProtocolForcesLog(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 1)
+	forced := false
+	pool.SetLogForce(func() wal.LSN {
+		forced = true
+		return 500
+	})
+	f, _ := pool.Get(2)
+	pool.MarkDirty(f, 400) // beyond eLSN (0)
+	if err := pool.FlushFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	if !forced {
+		t.Fatal("flush ahead of stable log did not force the log")
+	}
+	if pool.ELSN() != 500 {
+		t.Fatalf("eLSN = %v, want 500", pool.ELSN())
+	}
+	if got := pool.Stats().LogForces; got != 1 {
+		t.Fatalf("LogForces = %d", got)
+	}
+	pool.Unpin(f)
+}
+
+func TestWALProtocolViolationWithoutForce(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 1)
+	f, _ := pool.Get(2)
+	pool.MarkDirty(f, 400)
+	if err := pool.FlushFrame(f); err == nil {
+		t.Fatal("WAL violation not detected")
+	}
+	pool.Unpin(f)
+}
+
+func TestCheckpointBitSemantics(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 8)
+	seed(t, disk, 4)
+	pool.SetELSN(1 << 40)
+
+	// Dirty pages 2 and 3 before the checkpoint.
+	for _, pid := range []storage.PageID{2, 3} {
+		f, _ := pool.Get(pid)
+		pool.MarkDirty(f, 10)
+		pool.Unpin(f)
+	}
+	pool.BeginCheckpointFlip()
+	// Page 4 is dirtied during the checkpoint: different bit, exempt.
+	f4, _ := pool.Get(4)
+	pool.MarkDirty(f4, 20)
+	pool.Unpin(f4)
+
+	if err := pool.FlushForCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Flushes; got != 2 {
+		t.Fatalf("checkpoint flushed %d pages, want 2", got)
+	}
+	if pool.DirtyCount() != 1 {
+		t.Fatalf("dirty count = %d, want 1 (page dirtied during ckpt)", pool.DirtyCount())
+	}
+}
+
+func TestFlushHookFires(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 1)
+	pool.SetELSN(1 << 40)
+	var flushed []storage.PageID
+	pool.SetFlushHook(func(pid storage.PageID, done sim.Time) {
+		flushed = append(flushed, pid)
+		if done == 0 {
+			t.Error("flush completion time is zero")
+		}
+	})
+	f, _ := pool.Get(2)
+	pool.MarkDirty(f, 5)
+	if err := pool.FlushFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f)
+	if len(flushed) != 1 || flushed[0] != 2 {
+		t.Fatalf("flush hook saw %v", flushed)
+	}
+	// Clean frame: flush is a no-op, hook must not fire again.
+	if err := pool.FlushFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != 1 {
+		t.Fatal("hook fired for a clean frame")
+	}
+}
+
+func TestNewPageNoDiskRead(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	f, err := pool.NewPage(9, page.TypeLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f)
+	if got := disk.Stats().Reads; got != 0 {
+		t.Fatalf("NewPage performed %d reads", got)
+	}
+	if f.Page.Type() != page.TypeLeaf {
+		t.Fatal("NewPage not formatted")
+	}
+	if _, err := pool.NewPage(9, page.TypeLeaf); err == nil {
+		t.Fatal("NewPage of cached page succeeded")
+	}
+}
+
+func TestMarkDirtyTracksRecAndLastLSN(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 1)
+	pool.SetELSN(1 << 40)
+	f, _ := pool.Get(2)
+	pool.MarkDirty(f, 100)
+	pool.MarkDirty(f, 200)
+	if f.RecLSN != 100 || f.LastLSN != 200 {
+		t.Fatalf("RecLSN=%v LastLSN=%v", f.RecLSN, f.LastLSN)
+	}
+	if err := pool.FlushFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dirty after flush: RecLSN restarts.
+	pool.MarkDirty(f, 300)
+	if f.RecLSN != 300 {
+		t.Fatalf("RecLSN after re-dirty = %v, want 300", f.RecLSN)
+	}
+	pool.Unpin(f)
+}
+
+func TestPrefetchBoundedByFreeFrames(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 3)
+	seed(t, disk, 10)
+	f, _ := pool.Get(2) // one frame used
+	pool.Unpin(f)
+	n := pool.Prefetch([]storage.PageID{3, 4, 5, 6, 7})
+	if n != 2 {
+		t.Fatalf("consumed %d pids with 2 free frames, want 2", n)
+	}
+	if got := disk.Stats().PrefetchPages; got != 2 {
+		t.Fatalf("issued %d pages, want 2", got)
+	}
+	// Cached pages are consumed without issuing.
+	n = pool.Prefetch([]storage.PageID{2})
+	if n != 1 {
+		t.Fatalf("cached pid consumed %d, want 1", n)
+	}
+	if got := disk.Stats().PrefetchPages; got != 2 {
+		t.Fatalf("cached pid issued an IO")
+	}
+}
+
+func TestDirtyPIDs(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 3)
+	for _, pid := range []storage.PageID{2, 4} {
+		f, _ := pool.Get(pid)
+		pool.MarkDirty(f, 9)
+		pool.Unpin(f)
+	}
+	got := pool.DirtyPIDs()
+	if len(got) != 2 {
+		t.Fatalf("DirtyPIDs = %v", got)
+	}
+	seen := map[storage.PageID]bool{}
+	for _, pid := range got {
+		seen[pid] = true
+	}
+	if !seen[2] || !seen[4] {
+		t.Fatalf("DirtyPIDs = %v, want {2,4}", got)
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 1)
+	f, _ := pool.Get(2)
+	pool.Unpin(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	pool.Unpin(f)
+}
+
+func TestDropDiscardsWithoutFlush(t *testing.T) {
+	_, disk, pool := newPoolEnv(t, 4)
+	seed(t, disk, 1)
+	pool.SetELSN(1 << 40)
+	f, _ := pool.Get(2)
+	pool.MarkDirty(f, 5)
+	pool.Unpin(f)
+	before := pool.Stats().Flushes
+	pool.Drop(2)
+	if pool.Contains(2) {
+		t.Fatal("Drop left the page cached")
+	}
+	if pool.Stats().Flushes != before {
+		t.Fatal("Drop flushed")
+	}
+}

@@ -1,0 +1,313 @@
+// Package core implements the paper's contribution: crash recovery for
+// a logically-logged (TC/DC) engine, optimised to be performance
+// competitive with physiological ARIES/SQL-Server recovery, plus that
+// physiological recovery itself for the side-by-side comparison — both
+// driven by the same log (§5.1).
+//
+// Five methods reproduce §5.2's experimental matrix:
+//
+//	Log0 — basic logical redo (Algorithm 2): every redone operation
+//	       re-traverses the B-tree and fetches its page.
+//	Log1 — logical redo with the DPT built from ∆-log records
+//	       (Algorithms 4 and 5), no prefetch.
+//	Log2 — Log1 plus index preloading and PF-list page prefetch
+//	       (§4.4, Appendix A).
+//	SQL1 — physiological redo with the DPT built by the analysis pass
+//	       from log-record PIDs and BW records (Algorithms 3 and 1).
+//	SQL2 — SQL1 plus log-driven read-ahead prefetch (Appendix A.2).
+//
+// All methods share the same undo pass (logical, with CLRs), the same
+// SMO recovery, and the same log — only redo differs, per §2.1.
+package core
+
+import (
+	"fmt"
+
+	"logrec/internal/dc"
+	"logrec/internal/dpt"
+	"logrec/internal/engine"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+)
+
+// Method selects a recovery algorithm.
+type Method int
+
+// Recovery methods (§5.2).
+const (
+	Log0 Method = iota
+	Log1
+	Log2
+	SQL1
+	SQL2
+)
+
+// Methods lists all five in the paper's presentation order.
+func Methods() []Method { return []Method{Log0, Log1, SQL1, Log2, SQL2} }
+
+func (m Method) String() string {
+	switch m {
+	case Log0:
+		return "Log0"
+	case Log1:
+		return "Log1"
+	case Log2:
+		return "Log2"
+	case SQL1:
+		return "SQL1"
+	case SQL2:
+		return "SQL2"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// IsLogical reports whether m is a logical-recovery variant.
+func (m Method) IsLogical() bool { return m == Log0 || m == Log1 || m == Log2 }
+
+// UsesDPT reports whether m optimises its redo test with a DPT.
+func (m Method) UsesDPT() bool { return m != Log0 }
+
+// UsesPrefetch reports whether m prefetches data pages.
+func (m Method) UsesPrefetch() bool { return m == Log2 || m == SQL2 }
+
+// Options tunes a recovery run.
+type Options struct {
+	// ScanCost is the log-read IO model.
+	ScanCost wal.ScanCost
+	// PerRecordCPU is the fixed record-handling cost charged per log
+	// record during redo (dispatch, bookkeeping), on top of traversal
+	// and apply costs.
+	PerRecordCPU sim.Duration
+	// MaxOutstanding bounds pages with issued-but-unclaimed prefetch
+	// IOs, pacing the prefetchers against the device queue.
+	MaxOutstanding int
+	// LookaheadRecords is SQL2's log read-ahead window (records).
+	LookaheadRecords int
+	// IndexPreload loads all internal index pages at the start of DC
+	// recovery for Log2, per Appendix A.1.
+	IndexPreload bool
+	// DCConfig configures the reopened DC (CPU costs; tracker settings
+	// for post-recovery operation).
+	DCConfig dc.Config
+	// CachePages overrides the recovery buffer pool capacity
+	// (0 = same as the crashed engine, the paper's setting).
+	CachePages int
+	// PrefetchStrategy selects Log2's data-page prefetch source:
+	// PF-list (paper's choice) or DPT-rLSN order (Appendix A.2's
+	// alternative).
+	PrefetchStrategy PrefetchStrategy
+}
+
+// PrefetchStrategy selects Log2's prefetch source (Appendix A.2).
+type PrefetchStrategy int
+
+// Prefetch strategies.
+const (
+	// PrefetchPFList prefetches the PF-list (DirtySet concatenation in
+	// first-update order) — the paper's choice.
+	PrefetchPFList PrefetchStrategy = iota
+	// PrefetchDPTOrder prefetches DPT entries in ascending rLSN order.
+	PrefetchDPTOrder
+)
+
+func (s PrefetchStrategy) String() string {
+	if s == PrefetchDPTOrder {
+		return "dpt-rlsn"
+	}
+	return "pf-list"
+}
+
+// DefaultOptions derives recovery options from an engine config.
+func DefaultOptions(cfg engine.Config) Options {
+	return Options{
+		ScanCost:         cfg.ScanCost,
+		PerRecordCPU:     2 * sim.Microsecond,
+		MaxOutstanding:   32,
+		LookaheadRecords: 256,
+		IndexPreload:     true,
+		DCConfig:         cfg.DC,
+	}
+}
+
+// Metrics reports what a recovery run did and how long (in virtual
+// time) each phase took. RedoTotal (prep + redo) is the quantity the
+// paper's Figures 2(a) and 3 plot as "redo time"; analysis/DC-pass time
+// is included since the paper reports it is under 2% of the total for
+// both families (§2.1).
+type Metrics struct {
+	Method Method
+
+	PrepTime  sim.Duration // DC recovery (logical) or analysis pass (SQL)
+	RedoTime  sim.Duration
+	UndoTime  sim.Duration
+	RedoTotal sim.Duration // PrepTime + RedoTime ("redo time" in figures)
+	TotalTime sim.Duration
+
+	DPTSize   int
+	DeltaSeen int64 // ∆ records seen by the prep pass (Figure 2c)
+	BWSeen    int64 // BW records seen by the prep pass (Figure 2c)
+
+	RedoRecords int64 // data-op records in the redo window
+	TailRecords int64 // records past the last ∆ record (basic-mode fallback)
+	Applied     int64
+	SkippedDPT  int64 // bypassed: page not in DPT
+	SkippedRLSN int64 // bypassed: LSN below the entry's rLSN
+	SkippedPLSN int64 // fetched but page already current
+
+	DataPageFetches  int64
+	IndexPageFetches int64
+	SMOPageFetches   int64
+	LogPagesRead     int64
+
+	Stalls        int64
+	StallTime     sim.Duration
+	PrefetchIOs   int64
+	PrefetchPages int64
+	PrefetchHits  int64
+
+	LosersUndone int
+	CLRsWritten  int64
+}
+
+// Recover replays the crash state under method m and returns a fully
+// recovered, usable engine plus the run's metrics. Each call forks the
+// crash state copy-on-write, so multiple methods can recover the same
+// crash independently — the paper's controlled side-by-side comparison.
+func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Metrics, error) {
+	if opt.ScanCost.PageSize == 0 {
+		opt.ScanCost = cs.Cfg.ScanCost
+	}
+	if opt.PerRecordCPU == 0 {
+		opt.PerRecordCPU = 2 * sim.Microsecond
+	}
+	if opt.MaxOutstanding == 0 {
+		opt.MaxOutstanding = 32
+	}
+	if opt.LookaheadRecords == 0 {
+		opt.LookaheadRecords = 256
+	}
+	cache := opt.CachePages
+	if cache == 0 {
+		cache = cs.Cfg.CachePages
+	}
+
+	clock, disk, log := cs.Fork(cache)
+	d, err := dc.Open(clock, disk, log, cache, opt.DCConfig)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reopening DC: %w", err)
+	}
+
+	met := &Metrics{Method: m}
+	r := &run{cs: cs, m: m, opt: opt, clock: clock, d: d, log: log, met: met, txns: newTxnTable()}
+
+	if err := r.findScanStart(); err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 1: prep — DC recovery (logical) or analysis (SQL).
+	t0 := clock.Now()
+	if m.IsLogical() {
+		if err := r.dcPass(); err != nil {
+			return nil, nil, fmt.Errorf("core: %v DC recovery: %w", m, err)
+		}
+	} else {
+		if err := r.sqlAnalysis(); err != nil {
+			return nil, nil, fmt.Errorf("core: %v analysis: %w", m, err)
+		}
+	}
+	met.PrepTime = clock.Now().Sub(t0)
+	if r.table != nil {
+		met.DPTSize = r.table.Len()
+	}
+
+	// Phase 2: redo.
+	t1 := clock.Now()
+	if m.IsLogical() {
+		err = r.logicalRedo()
+	} else {
+		err = r.physiologicalRedo()
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %v redo: %w", m, err)
+	}
+	met.RedoTime = clock.Now().Sub(t1)
+	met.RedoTotal = met.PrepTime + met.RedoTime
+
+	// Phase 3: undo of losers (logical in every method, §2.1).
+	t2 := clock.Now()
+	if err := r.undo(); err != nil {
+		return nil, nil, fmt.Errorf("core: %v undo: %w", m, err)
+	}
+	met.UndoTime = clock.Now().Sub(t2)
+	met.TotalTime = clock.Now().Sub(t0)
+
+	r.captureIOStats()
+
+	// Reopen for normal operation: tracking on, SMOs logged, TC wired.
+	d.StartLogging()
+	newTC := tc.New(log, d)
+	newTC.RestoreMaster(cs.LastEndCkpt)
+	newTC.RestoreNextTxnID(r.txns.maxID)
+	newTC.SendEOSL()
+
+	eng := &engine.Engine{Clock: clock, Disk: disk, Log: log, DC: d, TC: newTC, Cfg: cs.Cfg}
+	return eng, met, nil
+}
+
+// run carries one recovery invocation's state across phases.
+type run struct {
+	cs    *engine.CrashState
+	m     Method
+	opt   Options
+	clock *sim.Clock
+	d     *dc.DC
+	log   *wal.Log
+	met   *Metrics
+	txns  *txnTable
+
+	// scanStart is the penultimate begin-checkpoint LSN — the redo
+	// scan start point (§3.2).
+	scanStart wal.LSN
+	// table is the DPT (nil for Log0).
+	table *dpt.Table
+	// pfList is Log2's prefetch list: DPT-candidate PIDs in
+	// first-update order (Appendix A.2).
+	pfList []storage.PageID
+	// lastDeltaTCLSN is the TC-LSN of the last ∆ record; redo records
+	// at or beyond it are the "tail of the log" handled in basic mode
+	// (§4.3).
+	lastDeltaTCLSN wal.LSN
+}
+
+// findScanStart resolves the master record to the redo scan start.
+func (r *run) findScanStart() error {
+	if r.cs.LastEndCkpt == wal.NilLSN {
+		// Never checkpointed: scan the whole log.
+		r.scanStart = wal.FirstLSN()
+		return nil
+	}
+	rec, err := r.log.Get(r.cs.LastEndCkpt)
+	if err != nil {
+		return fmt.Errorf("core: reading master checkpoint record: %w", err)
+	}
+	end, ok := rec.(*wal.EndCkptRec)
+	if !ok {
+		return fmt.Errorf("core: master record points at %v, want end-ckpt", rec.Type())
+	}
+	r.scanStart = end.BeginLSN
+	r.txns.seed(end.Active)
+	return nil
+}
+
+// captureIOStats folds disk/pool counters into the metrics.
+func (r *run) captureIOStats() {
+	ds := r.d.Disk().Stats()
+	r.met.Stalls = ds.Stalls
+	r.met.StallTime = ds.StallTime
+	r.met.PrefetchIOs = ds.PrefetchIOs
+	r.met.PrefetchPages = ds.PrefetchPages
+	r.met.PrefetchHits = ds.PrefetchHits
+}

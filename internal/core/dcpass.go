@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"logrec/internal/btree"
+	"logrec/internal/dpt"
+	"logrec/internal/wal"
+)
+
+// dcPass is DC recovery for the logical family (§4.2): it scans the log
+// from the redo scan start point, replays SMO records so the B-tree is
+// well-formed before any logical redo re-traverses it (§1.2), and — for
+// the DPT-optimised methods — constructs the logical DPT from ∆-log
+// records per Algorithm 4, plus the PF-list for Log2's prefetch
+// (Appendix A.2). It takes the place of the SQL analysis pass (§5.1).
+func (r *run) dcPass() error {
+	if r.m.UsesDPT() {
+		r.table = dpt.New()
+	}
+	prevDelta := r.scanStart
+	r.lastDeltaTCLSN = r.scanStart
+
+	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+	for {
+		rec, lsn, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		r.clock.Advance(analysisRecordCPU)
+		switch t := rec.(type) {
+		case *wal.SMORec:
+			if err := r.replaySMO(t, lsn); err != nil {
+				return err
+			}
+		case *wal.DeltaRec:
+			r.met.DeltaSeen++
+			if r.table != nil && t.TCLSN > r.scanStart {
+				r.applyDelta(t, prevDelta)
+				prevDelta = t.TCLSN
+				r.lastDeltaTCLSN = t.TCLSN
+			}
+		case *wal.BWRec:
+			// BW records belong to the SQL family; the DC pass ignores
+			// them (counted for Figure 2c).
+			r.met.BWSeen++
+		}
+	}
+	r.met.LogPagesRead += sc.PagesRead()
+	return nil
+}
+
+// applyDelta folds one ∆-log record into the DPT under construction
+// (Algorithm 4's DC-DPT-UPDATE) and extends the PF-list.
+//
+// DirtySet entries before FirstDirty were dirtied before the interval's
+// first page flush, so the previous ∆ record's TC-LSN bounds their
+// first-dirtying operation from below; entries from FirstDirty onward
+// were dirtied after that flush, so the interval's FW-LSN bounds them.
+// The WrittenSet then prunes pages flushed after their last recorded
+// update.
+//
+// The perfect variant (Appendix D.1) carries per-entry dirtying LSNs
+// and uses them directly, producing the same DPT SQL Server builds. The
+// reduced variant (D.2) is encoded by the tracker as FW-LSN = nil and
+// FirstDirty = len(DirtySet): every entry takes the previous record's
+// TC-LSN, and pruning can only trust flushes to cover updates before
+// the previous record.
+func (r *run) applyDelta(t *wal.DeltaRec, prevDelta wal.LSN) {
+	perfect := len(t.DirtyLSNs) == len(t.DirtySet) && len(t.DirtySet) > 0
+	for i, pid := range t.DirtySet {
+		var rlsn wal.LSN
+		switch {
+		case perfect:
+			rlsn = t.DirtyLSNs[i]
+		case uint32(i) < t.FirstDirty:
+			rlsn = prevDelta
+		default:
+			rlsn = t.FWLSN
+		}
+		if r.table.Find(pid) == nil {
+			r.pfList = append(r.pfList, pid)
+		}
+		r.table.Add(pid, rlsn)
+	}
+	threshold := t.FWLSN
+	if threshold == wal.NilLSN {
+		threshold = prevDelta
+	}
+	// Perfect mode has real lastLSNs, so the inclusive (Algorithm 3)
+	// comparison is sound; the standard/reduced sentinel lastLSNs need
+	// the strict comparison of Algorithm 4 line 19.
+	r.table.PruneFlushed(t.WrittenSet, threshold, perfect)
+}
+
+// replaySMO re-applies one structure-modification record: install each
+// page after-image whose target is older than the SMO, and advance the
+// tree metadata. Idempotent via the pLSN test, like all redo (§2.2).
+func (r *run) replaySMO(t *wal.SMORec, lsn wal.LSN) error {
+	tree := r.d.Tree()
+	// Tree metadata advances monotonically with the allocator cursor;
+	// SMOs replayed below a newer boot image must not regress it.
+	if t.Meta.NextPID >= tree.Meta().NextPID {
+		tree.SetMeta(walMetaToTree(t.Meta))
+	}
+	pool := r.d.Pool()
+	for _, img := range t.Images {
+		missBefore := pool.Stats().Misses
+		if pool.Contains(img.PageID) || r.d.Disk().Exists(img.PageID) {
+			f, err := pool.Get(img.PageID)
+			if err != nil {
+				return fmt.Errorf("SMO image for page %d: %w", img.PageID, err)
+			}
+			if f.Page.LSN() < uint64(lsn) {
+				copy(f.Page.Bytes(), img.Data)
+				pool.MarkDirty(f, lsn)
+			}
+			pool.Unpin(f)
+		} else {
+			// The page never reached stable storage: materialise it
+			// from the image alone.
+			f, err := pool.NewPage(img.PageID, 0)
+			if err != nil {
+				return fmt.Errorf("SMO image for page %d: %w", img.PageID, err)
+			}
+			copy(f.Page.Bytes(), img.Data)
+			pool.MarkDirty(f, lsn)
+			pool.Unpin(f)
+		}
+		r.met.SMOPageFetches += pool.Stats().Misses - missBefore
+	}
+	return nil
+}
+
+func walMetaToTree(m wal.TreeMeta) btree.Meta {
+	return btree.Meta{
+		TableID: m.TableID,
+		Root:    m.Root,
+		Height:  m.Height,
+		NextPID: m.NextPID,
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"logrec/internal/buffer"
+	"logrec/internal/dpt"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// pacer drives Log2's data-page prefetch (§4.4, Appendix A.2): it walks
+// a precomputed PID list (the PF-list, or the DPT in rLSN order for the
+// ablation) and keeps a bounded number of read IOs outstanding, issuing
+// more as redo consumes pages. Pacing against both the pool's free
+// frames (inside Pool.Prefetch) and the device's in-flight count avoids
+// the paper's two failure modes: prefetching too fast flushes pages
+// before redo reaches them; too slow leaves redo stalling.
+type pacer struct {
+	pool   *buffer.Pool
+	table  *dpt.Table
+	list   []storage.PageID
+	idx    int
+	maxOut int
+	issued map[storage.PageID]struct{}
+}
+
+func newPacer(pool *buffer.Pool, table *dpt.Table, list []storage.PageID, maxOut int) *pacer {
+	return &pacer{
+		pool:   pool,
+		table:  table,
+		maxOut: maxOut,
+		list:   list,
+		issued: make(map[storage.PageID]struct{}, len(list)),
+	}
+}
+
+// topUp issues prefetch until the device has maxOut pages in flight,
+// the pool is out of room, or the list is exhausted. Entries are
+// screened the way the redo test will screen their records: pages
+// pruned from the final DPT are never requested by redo, so issuing
+// them would be wasted IO. A page dirtied-flushed-redirtied appears in
+// several DirtySets and hence several times in the PF-list; the issued
+// set dedupes it.
+func (p *pacer) topUp() {
+	for p.idx < len(p.list) {
+		pid := p.list[p.idx]
+		if _, dup := p.issued[pid]; dup ||
+			(p.table != nil && p.table.Find(pid) == nil) {
+			p.idx++
+			continue
+		}
+		if p.pool.Disk().InflightCount() >= p.maxOut {
+			return
+		}
+		if p.pool.Prefetch([]storage.PageID{pid}) == 0 {
+			return // pool out of free frames
+		}
+		p.issued[pid] = struct{}{}
+		p.idx++
+	}
+}
+
+// dptPrefetchList materialises the DPT in ascending-rLSN order for the
+// PrefetchDPTOrder ablation (Appendix A.2's alternative strategy).
+func dptPrefetchList(table *dpt.Table) []storage.PageID {
+	entries := table.EntriesByRLSN()
+	out := make([]storage.PageID, len(entries))
+	for i, e := range entries {
+		out[i] = e.PID
+	}
+	return out
+}
+
+// lookahead implements SQL2's log-driven read-ahead (Appendix A.2): it
+// decodes records ahead of the redo cursor, and for each upcoming
+// record whose PID passes the DPT screen (present, and the record's LSN
+// is not below the entry's rLSN) issues a prefetch. Log pages for the
+// read-ahead are charged when read, just as SQL Server's read-ahead
+// reads log pages early.
+type lookahead struct {
+	sc     *wal.Scanner
+	pool   *buffer.Pool
+	table  *dpt.Table
+	window int
+	maxOut int
+
+	buf []laEntry
+	// pending holds DPT-screened candidate PIDs awaiting issue.
+	pending []storage.PageID
+	eof     bool
+}
+
+type laEntry struct {
+	rec wal.Record
+	lsn wal.LSN
+}
+
+func newLookahead(sc *wal.Scanner, pool *buffer.Pool, table *dpt.Table, window, maxOut int) *lookahead {
+	return &lookahead{sc: sc, pool: pool, table: table, window: window, maxOut: maxOut}
+}
+
+// next returns the next record, keeping the read-ahead window full and
+// the prefetch queue topped up.
+func (la *lookahead) next() (wal.Record, wal.LSN, bool, error) {
+	if err := la.fill(); err != nil {
+		return nil, wal.NilLSN, false, err
+	}
+	if len(la.buf) == 0 {
+		return nil, wal.NilLSN, false, nil
+	}
+	e := la.buf[0]
+	la.buf = la.buf[1:]
+	la.issue()
+	return e.rec, e.lsn, true, nil
+}
+
+func (la *lookahead) fill() error {
+	for !la.eof && len(la.buf) < la.window {
+		rec, lsn, ok, err := la.sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			la.eof = true
+			break
+		}
+		la.buf = append(la.buf, laEntry{rec, lsn})
+		// Screen candidates exactly as the redo test will (log-driven
+		// prefetch, Appendix A.2): in the DPT and not below its rLSN.
+		if op, isOp := rec.(wal.DataOp); isOp {
+			if e := la.table.Find(op.PID()); e != nil && lsn >= e.RLSN {
+				la.pending = append(la.pending, op.PID())
+			}
+		}
+	}
+	la.issue()
+	return nil
+}
+
+func (la *lookahead) issue() {
+	for len(la.pending) > 0 {
+		inFlight := la.pool.Disk().InflightCount()
+		if inFlight >= la.maxOut {
+			return
+		}
+		chunk := la.maxOut - inFlight
+		if chunk > len(la.pending) {
+			chunk = len(la.pending)
+		}
+		consumed := la.pool.Prefetch(la.pending[:chunk])
+		la.pending = la.pending[consumed:]
+		if consumed < chunk {
+			return
+		}
+	}
+}
+
+// preloadIndex loads every internal index page into the cache at the
+// start of DC recovery (Appendix A.1): logical redo needs them for
+// every operation, so paying for them up front — level by level, with
+// each level prefetched as a batch — removes per-operation index
+// stalls.
+func (r *run) preloadIndex() error {
+	tree := r.d.Tree()
+	pool := r.d.Pool()
+	if tree.Meta().Height <= 1 {
+		return nil
+	}
+	missBefore := pool.Stats().Misses
+	frontier := []storage.PageID{tree.Meta().Root}
+	for level := tree.Meta().Height; level > 1; level-- {
+		pool.Prefetch(frontier)
+		var next []storage.PageID
+		for _, pid := range frontier {
+			f, err := pool.Get(pid)
+			if err != nil {
+				return err
+			}
+			if level > 2 {
+				next = append(next, storage.PageID(f.Page.Extra()))
+				for i := 0; i < f.Page.NumSlots(); i++ {
+					next = append(next, pidFromCell(f.Page.ValueAt(i)))
+				}
+			}
+			pool.Unpin(f)
+		}
+		frontier = next
+	}
+	r.met.IndexPageFetches += pool.Stats().Misses - missBefore
+	return nil
+}
+
+func pidFromCell(val []byte) storage.PageID {
+	return storage.PageID(uint32(val[0])<<24 | uint32(val[1])<<16 | uint32(val[2])<<8 | uint32(val[3]))
+}

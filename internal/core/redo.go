@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"logrec/internal/buffer"
+	"logrec/internal/page"
+	"logrec/internal/wal"
+)
+
+// applyOp re-executes a data operation on its page (REDOOPERATION in
+// Algorithms 1, 2 and 5). The caller has already decided redo is needed
+// via the pLSN test; replay determinism guarantees the page has room
+// (the page is in the exact state it had when the operation first ran),
+// so structural errors here indicate recovery bugs, not recoverable
+// conditions.
+func applyOp(pool *buffer.Pool, f *buffer.Frame, op wal.DataOp, lsn wal.LSN) error {
+	var err error
+	switch t := op.(type) {
+	case *wal.UpdateRec:
+		err = f.Page.Update(t.KeyVal, t.NewVal)
+	case *wal.InsertRec:
+		err = f.Page.Insert(t.KeyVal, t.Val)
+	case *wal.DeleteRec:
+		err = f.Page.Delete(t.KeyVal)
+	case *wal.CLRRec:
+		switch t.Kind {
+		case wal.CLRUndoUpdate:
+			err = f.Page.Update(t.KeyVal, t.RestoreVal)
+		case wal.CLRUndoInsert:
+			err = f.Page.Delete(t.KeyVal)
+		case wal.CLRUndoDelete:
+			err = f.Page.Insert(t.KeyVal, t.RestoreVal)
+		default:
+			err = fmt.Errorf("unknown CLR kind %d", t.Kind)
+		}
+	default:
+		err = fmt.Errorf("unexpected record type %v", op.Type())
+	}
+	if err != nil {
+		return fmt.Errorf("redo of %v at %v on page %d: %w", op.Type(), lsn, f.PID, err)
+	}
+	f.Page.SetLSN(uint64(lsn))
+	pool.MarkDirty(f, lsn)
+	return nil
+}
+
+// logicalRedo is the TC redo pass for Log0/Log1/Log2: the TC re-submits
+// its logical operations in log order; the DC locates each record's
+// page by key through the B-tree (no PIDs are consulted), screens with
+// the DPT when available (Algorithm 5), falls back to basic logical
+// redo (Algorithm 2) for the tail of the log, and applies the pLSN
+// idempotence test before re-executing.
+func (r *run) logicalRedo() error {
+	pool := r.d.Pool()
+	tree := r.d.Tree()
+
+	var pf *pacer
+	if r.m.UsesPrefetch() {
+		if r.opt.IndexPreload {
+			if err := r.preloadIndex(); err != nil {
+				return fmt.Errorf("index preload: %w", err)
+			}
+		}
+		list := r.pfList
+		if r.opt.PrefetchStrategy == PrefetchDPTOrder {
+			list = dptPrefetchList(r.table)
+		}
+		pf = newPacer(pool, r.table, list, r.opt.MaxOutstanding)
+		pf.topUp()
+	}
+
+	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+	for {
+		rec, lsn, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		r.txns.note(rec, lsn)
+		op, isOp := rec.(wal.DataOp)
+		if !isOp {
+			continue
+		}
+		r.met.RedoRecords++
+		r.clock.Advance(r.opt.PerRecordCPU)
+		if pf != nil {
+			pf.topUp()
+		}
+
+		// Traverse the index to find the PID (Algorithm 2 line 8 /
+		// Algorithm 5 line 4). Index page misses are charged here.
+		missBefore := pool.Stats().Misses
+		pid, err := tree.FindLeaf(op.Key())
+		r.met.IndexPageFetches += pool.Stats().Misses - missBefore
+		if err != nil {
+			return fmt.Errorf("index search for key %d: %w", op.Key(), err)
+		}
+
+		if r.table != nil {
+			if lsn < r.lastDeltaTCLSN {
+				// Algorithm 5 lines 5-8: the optimised redo test.
+				e := r.table.Find(pid)
+				if e == nil {
+					r.met.SkippedDPT++
+					continue
+				}
+				if lsn < e.RLSN {
+					r.met.SkippedRLSN++
+					continue
+				}
+			} else {
+				// Tail of the log: pages dirtied after the last ∆
+				// record are unknown to the DPT; fall back to basic
+				// logical redo (§4.3).
+				r.met.TailRecords++
+			}
+		}
+
+		missBefore = pool.Stats().Misses
+		f, err := pool.Get(pid)
+		r.met.DataPageFetches += pool.Stats().Misses - missBefore
+		if err != nil {
+			return fmt.Errorf("fetching page %d: %w", pid, err)
+		}
+		if uint64(lsn) <= f.Page.LSN() {
+			r.met.SkippedPLSN++
+			pool.Unpin(f)
+			continue
+		}
+		err = applyOp(pool, f, op, lsn)
+		pool.Unpin(f)
+		if err != nil {
+			return err
+		}
+		r.met.Applied++
+	}
+	r.met.LogPagesRead += sc.PagesRead()
+	return nil
+}
+
+// physiologicalRedo is ARIES/SQL-Server redo (Algorithm 1) for
+// SQL1/SQL2: log records name their page directly; the DPT and rLSN
+// screen avoids fetching pages that cannot need redo; SMO records are
+// replayed inline in LSN order (SQL Server's system-transaction redo).
+func (r *run) physiologicalRedo() error {
+	pool := r.d.Pool()
+
+	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+	var la *lookahead
+	nextRec := sc.Next
+	if r.m.UsesPrefetch() {
+		la = newLookahead(sc, pool, r.table, r.opt.LookaheadRecords, r.opt.MaxOutstanding)
+		nextRec = la.next
+	}
+
+	for {
+		rec, lsn, ok, err := nextRec()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		r.txns.note(rec, lsn)
+		switch t := rec.(type) {
+		case *wal.SMORec:
+			if err := r.redoSMOPhysiological(t, lsn); err != nil {
+				return err
+			}
+		case wal.DataOp:
+			r.met.RedoRecords++
+			r.clock.Advance(r.opt.PerRecordCPU)
+			// Algorithm 1 lines 4-8: DPT screen before any page fetch.
+			e := r.table.Find(t.PID())
+			if e == nil {
+				r.met.SkippedDPT++
+				continue
+			}
+			if lsn < e.RLSN {
+				r.met.SkippedRLSN++
+				continue
+			}
+			missBefore := pool.Stats().Misses
+			f, err := pool.Get(t.PID())
+			r.met.DataPageFetches += pool.Stats().Misses - missBefore
+			if err != nil {
+				return fmt.Errorf("fetching page %d: %w", t.PID(), err)
+			}
+			if uint64(lsn) <= f.Page.LSN() {
+				r.met.SkippedPLSN++
+				pool.Unpin(f)
+				continue
+			}
+			err = applyOp(pool, f, t, lsn)
+			pool.Unpin(f)
+			if err != nil {
+				return err
+			}
+			r.met.Applied++
+		case *wal.DeltaRec:
+			// Logical-family records; ignored by physiological redo.
+		}
+	}
+	r.met.LogPagesRead += sc.PagesRead()
+	return nil
+}
+
+// redoSMOPhysiological replays an SMO record inside the integrated redo
+// pass, screening each page image with the DPT like any other update.
+func (r *run) redoSMOPhysiological(t *wal.SMORec, lsn wal.LSN) error {
+	tree := r.d.Tree()
+	if t.Meta.NextPID >= tree.Meta().NextPID {
+		tree.SetMeta(walMetaToTree(t.Meta))
+	}
+	pool := r.d.Pool()
+	for _, img := range t.Images {
+		if e := r.table.Find(img.PageID); e == nil || lsn < e.RLSN {
+			continue
+		}
+		missBefore := pool.Stats().Misses
+		var f *buffer.Frame
+		var err error
+		if pool.Contains(img.PageID) || r.d.Disk().Exists(img.PageID) {
+			f, err = pool.Get(img.PageID)
+		} else {
+			f, err = pool.NewPage(img.PageID, page.TypeInvalid)
+		}
+		if err != nil {
+			return fmt.Errorf("SMO image for page %d: %w", img.PageID, err)
+		}
+		r.met.SMOPageFetches += pool.Stats().Misses - missBefore
+		if f.Page.LSN() < uint64(lsn) {
+			copy(f.Page.Bytes(), img.Data)
+			pool.MarkDirty(f, lsn)
+		}
+		pool.Unpin(f)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"logrec/internal/wal"
+)
+
+// txnTable reconstructs the transaction table during recovery scans:
+// which transactions have records in the redo window, their most recent
+// LSN, and whether they terminated. Transactions still open at the end
+// of the scan are the losers the undo pass rolls back. The table is
+// seeded from the end-checkpoint record's active-transaction list so
+// losers whose records all precede the redo scan start are still found.
+type txnTable struct {
+	last  map[wal.TxnID]wal.LSN
+	ended map[wal.TxnID]bool
+	maxID wal.TxnID
+}
+
+func newTxnTable() *txnTable {
+	return &txnTable{
+		last:  make(map[wal.TxnID]wal.LSN),
+		ended: make(map[wal.TxnID]bool),
+	}
+}
+
+// seed installs the active-transaction table from an end-checkpoint
+// record.
+func (t *txnTable) seed(active []wal.ActiveTxn) {
+	for _, a := range active {
+		if a.LastLSN > t.last[a.TxnID] {
+			t.last[a.TxnID] = a.LastLSN
+		}
+		if a.TxnID > t.maxID {
+			t.maxID = a.TxnID
+		}
+	}
+}
+
+// note observes one log record during a forward scan.
+func (t *txnTable) note(rec wal.Record, lsn wal.LSN) {
+	tr, ok := rec.(wal.Transactional)
+	if !ok {
+		return
+	}
+	id := tr.Txn()
+	if id == 0 {
+		return // system records
+	}
+	if id > t.maxID {
+		t.maxID = id
+	}
+	if lsn > t.last[id] {
+		t.last[id] = lsn
+	}
+	switch rec.Type() {
+	case wal.TypeCommit, wal.TypeAbort:
+		t.ended[id] = true
+	}
+}
+
+// losers returns the transactions requiring undo: seen but not ended,
+// keyed to their most recent LSN.
+func (t *txnTable) losers() map[wal.TxnID]wal.LSN {
+	out := make(map[wal.TxnID]wal.LSN)
+	for id, lsn := range t.last {
+		if !t.ended[id] {
+			out[id] = lsn
+		}
+	}
+	return out
+}

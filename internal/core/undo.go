@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// undo rolls back every loser transaction — logical undo, the final
+// pass in every recovery method (§2.1). Losers' update records are
+// compensated in a single merged backward sweep over the log, highest
+// LSN first, exactly as ARIES does; CLRs already on the log skip
+// directly to their UndoNextLSN so undo work lost in a crash-during-
+// recovery is never repeated.
+func (r *run) undo() error {
+	type undoState struct {
+		next wal.LSN // next record of this txn to undo
+		last wal.LSN // txn's current backchain head (CLR PrevLSN)
+	}
+	losers := make(map[wal.TxnID]*undoState)
+	for id, lsn := range r.txns.losers() {
+		losers[id] = &undoState{next: lsn, last: lsn}
+	}
+	r.met.LosersUndone = len(losers)
+
+	for len(losers) > 0 {
+		// Pick the loser with the highest next-undo LSN.
+		var pick wal.TxnID
+		var maxLSN wal.LSN
+		for id, st := range losers {
+			if st.next >= maxLSN {
+				maxLSN = st.next
+				pick = id
+			}
+		}
+		st := losers[pick]
+		if st.next == wal.NilLSN {
+			// Fully undone: close the transaction with an abort record.
+			r.log.MustAppend(&wal.AbortRec{TxnID: pick, PrevLSN: st.last})
+			delete(losers, pick)
+			continue
+		}
+		rec, err := r.log.Get(st.next)
+		if err != nil {
+			return fmt.Errorf("undo of txn %d at %v: %w", pick, st.next, err)
+		}
+		next, err := r.undoRecord(pick, st.last, rec, func(lsn wal.LSN) { st.last = lsn })
+		if err != nil {
+			return fmt.Errorf("undo of txn %d at %v: %w", pick, st.next, err)
+		}
+		st.next = next
+	}
+
+	// Make the undo work durable and release the WAL constraint for
+	// post-recovery flushing.
+	r.d.EOSL(r.log.Flush())
+	return nil
+}
+
+// undoRecord compensates one record, returning the next LSN in the
+// transaction's backchain to undo. onCLR reports the appended CLR's LSN
+// so the caller can maintain the backchain head.
+func (r *run) undoRecord(txn wal.TxnID, prev wal.LSN, rec wal.Record, onCLR func(wal.LSN)) (wal.LSN, error) {
+	clrLog := func(kind wal.CLRKind, table wal.TableID, key uint64, restore []byte, undoNext wal.LSN) func(pid storage.PageID) wal.LSN {
+		return func(pid storage.PageID) wal.LSN {
+			lsn := r.log.MustAppend(&wal.CLRRec{
+				TxnID: txn, TableID: table, KeyVal: key,
+				Kind: kind, RestoreVal: restore, PageID: pid,
+				UndoNextLSN: undoNext, PrevLSN: prev,
+			})
+			r.met.CLRsWritten++
+			onCLR(lsn)
+			return lsn
+		}
+	}
+	switch t := rec.(type) {
+	case *wal.UpdateRec:
+		err := r.d.Update(t.TableID, t.KeyVal, t.OldVal,
+			clrLog(wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
+		return t.PrevLSN, err
+	case *wal.InsertRec:
+		err := r.d.Delete(t.TableID, t.KeyVal,
+			clrLog(wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN))
+		return t.PrevLSN, err
+	case *wal.DeleteRec:
+		err := r.d.Insert(t.TableID, t.KeyVal, t.OldVal,
+			clrLog(wal.CLRUndoDelete, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
+		return t.PrevLSN, err
+	case *wal.CLRRec:
+		// Redo-only: skip over already-compensated work.
+		return t.UndoNextLSN, nil
+	default:
+		return wal.NilLSN, fmt.Errorf("unexpected %v record in backchain", rec.Type())
+	}
+}

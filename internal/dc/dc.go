@@ -1,0 +1,252 @@
+// Package dc implements Deuteronomy's data component: it owns data
+// placement (the clustered B-tree), the database cache (buffer pool),
+// and the normal-operation recovery preparation of §4 — SMO logging,
+// ∆-log records and (for the side-by-side SQL-style comparison) BW-log
+// records. It exposes only logical operations to the TC.
+package dc
+
+import (
+	"fmt"
+
+	"logrec/internal/btree"
+	"logrec/internal/buffer"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/tracker"
+	"logrec/internal/wal"
+)
+
+// Config parameterises a DC.
+type Config struct {
+	// CPUCosts charges tree computation to the virtual clock.
+	CPUCosts btree.CPUCosts
+	// Tracker configures ∆/BW recording.
+	Tracker tracker.Config
+	// CleanerTarget is the lazywriter's dirty-fraction ceiling for the
+	// buffer pool (0 disables background cleaning).
+	CleanerTarget float64
+	// CleanerEvery is the lazywriter's rate term: one background flush
+	// per this many page dirtyings (0 disables the rate term).
+	CleanerEvery int
+}
+
+// DefaultConfig matches the experiment defaults: lazywriter keeping the
+// cache at most ~30% dirty, the small-cache equilibrium of the paper's
+// Figure 2(b).
+func DefaultConfig() Config {
+	return Config{
+		CPUCosts:      btree.DefaultCPUCosts(),
+		Tracker:       tracker.DefaultConfig(),
+		CleanerTarget: 0.30,
+		CleanerEvery:  3,
+	}
+}
+
+// DC is the data component.
+type DC struct {
+	clock *sim.Clock
+	disk  *storage.Disk
+	pool  *buffer.Pool
+	log   *wal.Log
+	tree  *btree.Tree
+	rec   *tracker.Recorder
+
+	// rsspLSN is the last redo-scan-start-point received (persisted in
+	// the metadata page).
+	rsspLSN wal.LSN
+}
+
+// smoLogger adapts the shared log for the tree's SMO records.
+type smoLogger struct{ log *wal.Log }
+
+func (l smoLogger) NextLSN() wal.LSN                { return l.log.EndLSN() }
+func (l smoLogger) AppendSMO(r *wal.SMORec) wal.LSN { return l.log.MustAppend(r) }
+
+// New creates a DC over an empty disk with a freshly created table.
+// The tree starts unlogged (bulk-load mode); call StartLogging once the
+// initial load is flushed.
+func New(clock *sim.Clock, disk *storage.Disk, log *wal.Log, cacheCapacity int, tableID wal.TableID, cfg Config) (*DC, error) {
+	pool, err := buffer.New(disk, cacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	pool.SetCleanerTarget(cfg.CleanerTarget)
+	pool.SetCleanerRate(cfg.CleanerEvery)
+	rec, err := tracker.New(log, cfg.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := btree.Create(pool, clock, tableID, storage.MetaPageID+1, cfg.CPUCosts)
+	if err != nil {
+		return nil, err
+	}
+	d := &DC{clock: clock, disk: disk, pool: pool, log: log, tree: tree, rec: rec}
+	d.wire()
+	d.rec.SetEnabled(false) // bulk-load mode: no tracking yet
+	return d, nil
+}
+
+// Open attaches a DC to an existing disk using the boot metadata page
+// (the restart path; recovery follows).
+func Open(clock *sim.Clock, disk *storage.Disk, log *wal.Log, cacheCapacity int, cfg Config) (*DC, error) {
+	pool, err := buffer.New(disk, cacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	pool.SetCleanerTarget(cfg.CleanerTarget)
+	pool.SetCleanerRate(cfg.CleanerEvery)
+	rec, err := tracker.New(log, cfg.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := disk.Read(storage.MetaPageID)
+	if err != nil {
+		return nil, fmt.Errorf("dc: reading boot page: %w", err)
+	}
+	st, err := decodeMeta(raw)
+	if err != nil {
+		return nil, err
+	}
+	tree := btree.Open(pool, clock, st.tree, cfg.CPUCosts)
+	d := &DC{clock: clock, disk: disk, pool: pool, log: log, tree: tree, rec: rec, rsspLSN: st.rsspLSN}
+	d.wire()
+	d.rec.SetEnabled(false) // recovery enables tracking when done
+	return d, nil
+}
+
+func (d *DC) wire() {
+	d.tree.SetDirtyHook(func(pid storage.PageID, lsn wal.LSN) {
+		d.rec.NoteUpdate(pid, lsn)
+	})
+	d.pool.SetFlushHook(func(pid storage.PageID, _ sim.Time) {
+		d.rec.NoteFlush(pid)
+	})
+	d.pool.SetLogForce(func() wal.LSN { return d.log.Flush() })
+}
+
+// StartLogging ends bulk-load mode: the tree's SMOs are logged from now
+// on and the ∆/BW trackers run.
+func (d *DC) StartLogging() {
+	d.tree.SetSMOLogger(smoLogger{d.log})
+	d.rec.SetEnabled(true)
+}
+
+// Pool returns the buffer pool (recovery and harness access).
+func (d *DC) Pool() *buffer.Pool { return d.pool }
+
+// Tree returns the clustered index.
+func (d *DC) Tree() *btree.Tree { return d.tree }
+
+// Disk returns the stable store.
+func (d *DC) Disk() *storage.Disk { return d.disk }
+
+// Clock returns the virtual clock.
+func (d *DC) Clock() *sim.Clock { return d.clock }
+
+// Recorder returns the ∆/BW recorder.
+func (d *DC) Recorder() *tracker.Recorder { return d.rec }
+
+// RsspLSN returns the last redo-scan-start-point persisted by RSSP.
+func (d *DC) RsspLSN() wal.LSN { return d.rsspLSN }
+
+// Read returns a copy of the value under (table, key).
+func (d *DC) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
+	if err := d.checkTable(table); err != nil {
+		return nil, false, err
+	}
+	return d.tree.Search(key)
+}
+
+// ReadRange invokes fn for every row with lo ≤ key ≤ hi, in key order.
+// The value slice is only valid during the call.
+func (d *DC) ReadRange(table wal.TableID, lo, hi uint64, fn func(key uint64, val []byte) error) error {
+	if err := d.checkTable(table); err != nil {
+		return err
+	}
+	return d.tree.ScanRange(lo, hi, fn)
+}
+
+// Update applies a logical update; see tc.DataComponent.
+func (d *DC) Update(table wal.TableID, key uint64, val []byte, logFn func(pid storage.PageID) wal.LSN) error {
+	if err := d.checkTable(table); err != nil {
+		return err
+	}
+	return d.tree.UpdateLogged(key, val, logFn)
+}
+
+// Insert applies a logical insert; see tc.DataComponent.
+func (d *DC) Insert(table wal.TableID, key uint64, val []byte, logFn func(pid storage.PageID) wal.LSN) error {
+	if err := d.checkTable(table); err != nil {
+		return err
+	}
+	return d.tree.InsertLogged(key, val, logFn)
+}
+
+// Delete applies a logical delete; see tc.DataComponent.
+func (d *DC) Delete(table wal.TableID, key uint64, logFn func(pid storage.PageID) wal.LSN) error {
+	if err := d.checkTable(table); err != nil {
+		return err
+	}
+	return d.tree.DeleteLogged(key, logFn)
+}
+
+func (d *DC) checkTable(table wal.TableID) error {
+	if table != d.tree.Meta().TableID {
+		return fmt.Errorf("dc: unknown table %d (have %d)", table, d.tree.Meta().TableID)
+	}
+	return nil
+}
+
+// EOSL receives the TC's end of stable log: it unlocks page flushes up
+// to eLSN (write-ahead-log protocol) and updates the TC-LSN the next
+// ∆-log record will carry (§4.1).
+func (d *DC) EOSL(eLSN wal.LSN) {
+	d.pool.SetELSN(eLSN)
+	d.rec.NoteEOSL(eLSN)
+}
+
+// RSSP performs the DC side of a checkpoint (§4.2):
+//
+//  1. close the current ∆/BW interval so records straddling the
+//     checkpoint carry a TC-LSN greater than rsspLSN;
+//  2. flip the checkpoint bit — pages dirtied from here on belong to
+//     the next checkpoint (§3.2);
+//  3. record the redo-scan-start-point on the log;
+//  4. flush every page dirtied before the flip;
+//  5. persist the boot metadata page.
+//
+// On return, no operation with LSN ≤ rsspLSN needs redo.
+func (d *DC) RSSP(rsspLSN wal.LSN) error {
+	d.rec.ForceEmit()
+	d.pool.BeginCheckpointFlip()
+	d.log.MustAppend(&wal.RSSPRec{RsspLSN: rsspLSN})
+	if err := d.pool.FlushForCheckpoint(); err != nil {
+		return fmt.Errorf("dc: checkpoint flush: %w", err)
+	}
+	d.rsspLSN = rsspLSN
+	return d.WriteBootPage()
+}
+
+// WriteBootPage persists the metadata page.
+func (d *DC) WriteBootPage() error {
+	buf := encodeMeta(metaState{tree: d.tree.Meta(), rsspLSN: d.rsspLSN}, d.disk.Config().PageSize)
+	if _, err := d.disk.Write(storage.MetaPageID, buf); err != nil {
+		return fmt.Errorf("dc: writing boot page: %w", err)
+	}
+	return nil
+}
+
+// BulkLoad inserts n sequential rows (keys 0..n-1) with values produced
+// by valFn, unlogged, then flushes everything and persists the boot
+// page. It must run before StartLogging.
+func (d *DC) BulkLoad(n int, valFn func(key uint64) []byte) error {
+	for k := uint64(0); k < uint64(n); k++ {
+		if err := d.tree.Insert(k, valFn(k), wal.NilLSN); err != nil {
+			return fmt.Errorf("dc: bulk load key %d: %w", k, err)
+		}
+	}
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	return d.WriteBootPage()
+}

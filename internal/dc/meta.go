@@ -1,0 +1,62 @@
+package dc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"logrec/internal/btree"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// The metadata page (storage.MetaPageID) is the DC's boot page: it
+// persists the B-tree metadata (root, height, allocator cursor) and the
+// last redo-scan-start-point LSN as of the most recent checkpoint. SMO
+// records replayed by DC recovery advance the tree metadata past the
+// checkpoint image.
+//
+// Layout: [8B magic][4B tableID][4B root][4B height][4B nextPID]
+//         [8B rsspLSN], zero-padded to the page size.
+
+var metaMagic = [8]byte{'L', 'R', 'D', 'C', 'M', 'E', 'T', 'A'}
+
+// ErrBadMeta indicates an unreadable metadata page.
+var ErrBadMeta = errors.New("dc: bad metadata page")
+
+const metaEncodedLen = 8 + 4 + 4 + 4 + 4 + 8
+
+// metaState is what the boot page carries.
+type metaState struct {
+	tree    btree.Meta
+	rsspLSN wal.LSN
+}
+
+func encodeMeta(st metaState, pageSize int) []byte {
+	buf := make([]byte, pageSize)
+	copy(buf, metaMagic[:])
+	binary.BigEndian.PutUint32(buf[8:], uint32(st.tree.TableID))
+	binary.BigEndian.PutUint32(buf[12:], uint32(st.tree.Root))
+	binary.BigEndian.PutUint32(buf[16:], st.tree.Height)
+	binary.BigEndian.PutUint32(buf[20:], uint32(st.tree.NextPID))
+	binary.BigEndian.PutUint64(buf[24:], uint64(st.rsspLSN))
+	return buf
+}
+
+func decodeMeta(buf []byte) (metaState, error) {
+	var st metaState
+	if len(buf) < metaEncodedLen {
+		return st, fmt.Errorf("%w: %d bytes", ErrBadMeta, len(buf))
+	}
+	for i, b := range metaMagic {
+		if buf[i] != b {
+			return st, fmt.Errorf("%w: magic mismatch", ErrBadMeta)
+		}
+	}
+	st.tree.TableID = wal.TableID(binary.BigEndian.Uint32(buf[8:]))
+	st.tree.Root = storage.PageID(binary.BigEndian.Uint32(buf[12:]))
+	st.tree.Height = binary.BigEndian.Uint32(buf[16:])
+	st.tree.NextPID = storage.PageID(binary.BigEndian.Uint32(buf[20:]))
+	st.rsspLSN = wal.LSN(binary.BigEndian.Uint64(buf[24:]))
+	return st, nil
+}

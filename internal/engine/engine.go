@@ -1,0 +1,117 @@
+// Package engine wires the Deuteronomy components — virtual clock,
+// simulated disk, shared log, DC and TC — into a runnable database
+// engine, and implements the controlled crash that recovery experiments
+// start from (§5.1-5.2 of the paper).
+package engine
+
+import (
+	"fmt"
+
+	"logrec/internal/dc"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+)
+
+// Config parameterises an engine instance.
+type Config struct {
+	// Disk is the stable-storage latency model.
+	Disk storage.Config
+	// DC configures the data component (CPU costs, ∆/BW tracking).
+	DC dc.Config
+	// ScanCost is the log-read model used by recovery.
+	ScanCost wal.ScanCost
+	// CachePages is the buffer pool capacity, in pages. The paper's
+	// experiments sweep this (§5.2, Figure 2).
+	CachePages int
+	// TableID names the single clustered table.
+	TableID wal.TableID
+}
+
+// DefaultConfig returns the experiment defaults (see DESIGN.md for the
+// scaling relative to the paper's 3.5 GB table).
+func DefaultConfig() Config {
+	return Config{
+		Disk:       storage.DefaultConfig(),
+		DC:         dc.DefaultConfig(),
+		ScanCost:   wal.DefaultScanCost(),
+		CachePages: 1600, // ≈16% of the default table's data pages
+		TableID:    1,
+	}
+}
+
+// Engine is a running TC+DC pair over one virtual clock.
+type Engine struct {
+	Clock *sim.Clock
+	Disk  *storage.Disk
+	Log   *wal.Log
+	DC    *dc.DC
+	TC    *tc.TC
+	Cfg   Config
+}
+
+// New creates an engine over an empty database.
+func New(cfg Config) (*Engine, error) {
+	if cfg.CachePages < 8 {
+		return nil, fmt.Errorf("engine: CachePages must be at least 8, got %d", cfg.CachePages)
+	}
+	clock := &sim.Clock{}
+	disk, err := storage.New(clock, cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	log := wal.NewLog()
+	d, err := dc.New(clock, disk, log, cfg.CachePages, cfg.TableID, cfg.DC)
+	if err != nil {
+		return nil, err
+	}
+	t := tc.New(log, d)
+	return &Engine{Clock: clock, Disk: disk, Log: log, DC: d, TC: t, Cfg: cfg}, nil
+}
+
+// Load bulk-loads n sequential rows, flushes them, enables logging and
+// takes the initial checkpoint so the engine is in steady operation.
+func (e *Engine) Load(n int, valFn func(key uint64) []byte) error {
+	if err := e.DC.BulkLoad(n, valFn); err != nil {
+		return err
+	}
+	e.DC.StartLogging()
+	return e.TC.Checkpoint()
+}
+
+// CrashState is everything that survives a crash: the frozen stable
+// disk, the stable prefix of the log, and the TC's master record. Each
+// recovery method forks the disk copy-on-write, so several methods can
+// replay the identical crash side by side (§5.1's controlled
+// comparison).
+type CrashState struct {
+	Disk        *storage.Disk
+	Log         *wal.Log
+	LastEndCkpt wal.LSN
+	Cfg         Config
+}
+
+// Crash freezes the engine's stable state and returns it. The engine
+// must not be used afterwards: its volatile state (buffer pool, lock
+// table, trackers) is conceptually lost.
+func (e *Engine) Crash() *CrashState {
+	e.Disk.Freeze()
+	return &CrashState{
+		Disk:        e.Disk,
+		Log:         e.Log.Snapshot(),
+		LastEndCkpt: e.TC.LastEndCkptLSN(),
+		Cfg:         e.Cfg,
+	}
+}
+
+// Fork creates an independent replay environment over the crash state:
+// a fresh clock, a copy-on-write disk fork, and a writable continuation
+// of the stable log. cachePages ≤ 0 uses the crashed engine's capacity.
+func (cs *CrashState) Fork(cachePages int) (*sim.Clock, *storage.Disk, *wal.Log) {
+	clock := &sim.Clock{}
+	disk := cs.Disk.Fork(clock)
+	log := cs.Log.Clone()
+	_ = cachePages
+	return clock, disk, log
+}

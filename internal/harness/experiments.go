@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"logrec/internal/core"
+	"logrec/internal/tracker"
+)
+
+// DefaultCacheFractions is Figure 2's x-axis: the paper's 64 MB-2048 MB
+// sweep expressed as fractions of the database (≈2%..60%, §5.2).
+func DefaultCacheFractions() []float64 {
+	return []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.60}
+}
+
+// Fig2Row is one cache-size point of Figure 2: redo times per method
+// (2a), the dirty fraction of the cache (2b) and the ∆/BW record counts
+// seen by the prep pass (2c).
+type Fig2Row struct {
+	CacheFrac  float64
+	CachePages int
+	DataPages  int
+	RedoMS     map[core.Method]float64
+	DPTSize    map[core.Method]int
+	DirtyPct   float64
+	DeltaSeen  int64
+	BWSeen     int64
+	Fetches    map[core.Method]*core.Metrics
+}
+
+// RunFigure2 reproduces Figure 2: for each cache fraction, drive the
+// workload to the paper's crash condition and recover side by side with
+// all five methods over the identical crash state.
+func RunFigure2(base Config, fracs []float64, progress func(string)) ([]Fig2Row, error) {
+	if len(fracs) == 0 {
+		fracs = DefaultCacheFractions()
+	}
+	rows := make([]Fig2Row, 0, len(fracs))
+	for _, frac := range fracs {
+		cfg := base.WithCacheFraction(frac)
+		if progress != nil {
+			progress(fmt.Sprintf("figure2: cache %.0f%% (%d pages): running workload to crash...",
+				frac*100, cfg.Engine.CachePages))
+		}
+		res, err := BuildCrash(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cache %.0f%%: %w", frac*100, err)
+		}
+		opt := core.DefaultOptions(cfg.Engine)
+		row := Fig2Row{
+			CacheFrac:  frac,
+			CachePages: cfg.Engine.CachePages,
+			DataPages:  cfg.DataPages(),
+			RedoMS:     make(map[core.Method]float64, 5),
+			DPTSize:    make(map[core.Method]int, 5),
+			DirtyPct:   res.DirtyPct(),
+			Fetches:    make(map[core.Method]*core.Metrics, 5),
+		}
+		for _, m := range core.Methods() {
+			met, err := RunRecovery(res, m, opt)
+			if err != nil {
+				return nil, fmt.Errorf("cache %.0f%% method %v: %w", frac*100, m, err)
+			}
+			row.RedoMS[m] = met.RedoTotal.Milliseconds()
+			row.DPTSize[m] = met.DPTSize
+			row.Fetches[m] = met
+			if m.IsLogical() && met.DeltaSeen > 0 {
+				row.DeltaSeen = met.DeltaSeen
+				row.BWSeen = met.BWSeen
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("figure2: cache %.0f%%: %-4v redo %.0f ms (DPT %d, data fetches %d)",
+					frac*100, m, met.RedoTotal.Milliseconds(), met.DPTSize, met.DataPageFetches))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigure2 renders the three panels as aligned tables.
+func PrintFigure2(w io.Writer, rows []Fig2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 2(a): redo time (virtual msec) vs cache size")
+	fmt.Fprintln(tw, "cache%\tpages\tLog0\tLog1\tSQL1\tLog2\tSQL2")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f%%\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.CacheFrac*100, r.CachePages,
+			r.RedoMS[core.Log0], r.RedoMS[core.Log1], r.RedoMS[core.SQL1],
+			r.RedoMS[core.Log2], r.RedoMS[core.SQL2])
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "Figure 2(b): dirty part of the cache (%)")
+	fmt.Fprintln(tw, "cache%\tpages\tdirty%\tDPT(Log1)\tDPT(SQL1)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f%%\t%d\t%.1f\t%d\t%d\n",
+			r.CacheFrac*100, r.CachePages, r.DirtyPct,
+			r.DPTSize[core.Log1], r.DPTSize[core.SQL1])
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "Figure 2(c): ∆- and BW-log records seen by the prep pass")
+	fmt.Fprintln(tw, "cache%\tΔ records\tBW records\tΔ/BW")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.BWSeen > 0 {
+			ratio = float64(r.DeltaSeen) / float64(r.BWSeen)
+		}
+		fmt.Fprintf(tw, "%.0f%%\t%d\t%d\t%.2f\n", r.CacheFrac*100, r.DeltaSeen, r.BWSeen, ratio)
+	}
+	tw.Flush()
+}
+
+// Fig3Row is one checkpoint-interval point of Appendix C's Figure 3.
+type Fig3Row struct {
+	Multiplier int
+	RedoMS     map[core.Method]float64
+	DPTSize    int
+	RedoRecs   int64
+}
+
+// RunFigure3 reproduces Figure 3 (Appendix C): redo time as the
+// checkpoint interval grows from the default (ci1) to 5× and 10×, at a
+// fixed cache fraction.
+func RunFigure3(base Config, multipliers []int, cacheFrac float64, progress func(string)) ([]Fig3Row, error) {
+	if len(multipliers) == 0 {
+		multipliers = []int{1, 5, 10}
+	}
+	rows := make([]Fig3Row, 0, len(multipliers))
+	for _, mult := range multipliers {
+		cfg := base.WithCacheFraction(cacheFrac)
+		cfg.CheckpointEveryUpdates = base.CheckpointEveryUpdates * mult
+		cfg.UpdatesAfterLastCkpt = base.UpdatesAfterLastCkpt * mult
+		// Keep total checkpoints constant-ish in work, not count: fewer
+		// checkpoints suffice to reach equilibrium for large intervals.
+		if mult > 1 && cfg.CrashAfterCheckpoints > 3 {
+			cfg.CrashAfterCheckpoints = 3
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("figure3: interval ×%d: running workload to crash...", mult))
+		}
+		res, err := BuildCrash(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("interval ×%d: %w", mult, err)
+		}
+		opt := core.DefaultOptions(cfg.Engine)
+		row := Fig3Row{Multiplier: mult, RedoMS: make(map[core.Method]float64, 5)}
+		for _, m := range core.Methods() {
+			met, err := RunRecovery(res, m, opt)
+			if err != nil {
+				return nil, fmt.Errorf("interval ×%d method %v: %w", mult, m, err)
+			}
+			row.RedoMS[m] = met.RedoTotal.Milliseconds()
+			if m == core.Log1 {
+				row.DPTSize = met.DPTSize
+				row.RedoRecs = met.RedoRecords
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("figure3: interval ×%d: %-4v redo %.0f ms", mult, m, met.RedoTotal.Milliseconds()))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigure3 renders Figure 3 as a table.
+func PrintFigure3(w io.Writer, rows []Fig3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 3: redo time (virtual msec) vs checkpoint interval")
+	fmt.Fprintln(tw, "interval\tLog0\tLog1\tSQL1\tLog2\tSQL2\tDPT\tredo recs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "×%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			r.Multiplier,
+			r.RedoMS[core.Log0], r.RedoMS[core.Log1], r.RedoMS[core.SQL1],
+			r.RedoMS[core.Log2], r.RedoMS[core.SQL2],
+			r.DPTSize, r.RedoRecs)
+	}
+	tw.Flush()
+}
+
+// CostModelRow compares measured page fetches with Appendix B's
+// closed-form costs (Equations 1-3).
+type CostModelRow struct {
+	Method        core.Method
+	MeasuredData  int64
+	MeasuredIndex int64
+	MeasuredLog   int64
+	Predicted     int64
+	Note          string
+}
+
+// RunAppendixB validates the cost model at one cache fraction:
+//
+//	COST(Log0) ≈ redo log records           (+ log + index pages)
+//	COST(SQL1) ≈ DPT size                   (+ log pages)
+//	COST(Log1) ≈ DPT size + tail records    (+ log + index pages)
+func RunAppendixB(base Config, cacheFrac float64) ([]CostModelRow, error) {
+	cfg := base.WithCacheFraction(cacheFrac)
+	res, err := BuildCrash(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions(cfg.Engine)
+	out := make([]CostModelRow, 0, 3)
+	for _, m := range []core.Method{core.Log0, core.Log1, core.SQL1} {
+		met, err := RunRecovery(res, m, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := CostModelRow{
+			Method:        m,
+			MeasuredData:  met.DataPageFetches,
+			MeasuredIndex: met.IndexPageFetches,
+			MeasuredLog:   met.LogPagesRead,
+		}
+		switch m {
+		case core.Log0:
+			row.Predicted = met.RedoRecords
+			row.Note = "Eq.1: one fetch per redo log record (cache hits reduce it)"
+		case core.SQL1:
+			row.Predicted = int64(met.DPTSize)
+			row.Note = "Eq.2: DPT size"
+		case core.Log1:
+			row.Predicted = int64(met.DPTSize) + met.TailRecords
+			row.Note = "Eq.3: DPT size + tail records"
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintAppendixB renders the cost-model comparison.
+func PrintAppendixB(w io.Writer, rows []CostModelRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Appendix B: measured page fetches vs cost model (Equations 1-3)")
+	fmt.Fprintln(tw, "method\tdata fetches\tpredicted\tindex fetches\tlog pages\tmodel")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%d\t%d\t%s\n",
+			r.Method, r.MeasuredData, r.Predicted, r.MeasuredIndex, r.MeasuredLog, r.Note)
+	}
+	tw.Flush()
+}
+
+// VariantRow is one Appendix D ablation point.
+type VariantRow struct {
+	Variant   tracker.Variant
+	RedoMS    float64
+	DPTSize   int
+	DeltaRecs int64
+	LogBytes  int64
+}
+
+// RunAppendixD compares the three ∆-record fidelity variants at one
+// cache fraction, each with its own workload run (the tracker's logging
+// differs by variant) but identical workload randomness.
+func RunAppendixD(base Config, cacheFrac float64) ([]VariantRow, error) {
+	out := make([]VariantRow, 0, 3)
+	for _, v := range []tracker.Variant{tracker.DeltaStandard, tracker.DeltaPerfect, tracker.DeltaReduced} {
+		cfg := base.WithCacheFraction(cacheFrac)
+		cfg.Engine.DC.Tracker.Variant = v
+		res, err := BuildCrash(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("variant %v: %w", v, err)
+		}
+		opt := core.DefaultOptions(cfg.Engine)
+		met, err := RunRecovery(res, core.Log1, opt)
+		if err != nil {
+			return nil, fmt.Errorf("variant %v: %w", v, err)
+		}
+		out = append(out, VariantRow{
+			Variant:   v,
+			RedoMS:    met.RedoTotal.Milliseconds(),
+			DPTSize:   met.DPTSize,
+			DeltaRecs: res.DeltasWritten,
+			LogBytes:  res.LogBytes,
+		})
+	}
+	return out, nil
+}
+
+// PrintAppendixD renders the ∆-variant ablation.
+func PrintAppendixD(w io.Writer, rows []VariantRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Appendix D: ∆-record fidelity ablation (Log1 redo)")
+	fmt.Fprintln(tw, "variant\tredo ms\tDPT size\tΔ records written\tlog bytes")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%.0f\t%d\t%d\t%d\n", r.Variant, r.RedoMS, r.DPTSize, r.DeltaRecs, r.LogBytes)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"logrec/internal/core"
+)
+
+// smallConfig is the paper experiment scaled down 20× for fast tests.
+func smallConfig() Config {
+	return DefaultConfig().Scaled(20)
+}
+
+func TestBuildCrashMeetsCrashCondition(t *testing.T) {
+	cfg := smallConfig().WithCacheFraction(0.08)
+	res, err := BuildCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointsRun != int64(cfg.CrashAfterCheckpoints) {
+		t.Fatalf("checkpoints = %d, want %d", res.CheckpointsRun, cfg.CrashAfterCheckpoints)
+	}
+	if res.DirtyAtCrash == 0 {
+		t.Fatal("no dirty pages at crash")
+	}
+	if res.DeltasWritten == 0 || res.BWsWritten == 0 {
+		t.Fatalf("tracker records missing: Δ=%d BW=%d", res.DeltasWritten, res.BWsWritten)
+	}
+	if res.DeltasWritten < res.BWsWritten {
+		t.Fatalf("Δ records (%d) fewer than BW records (%d); ∆ is written before every BW plus capacity flushes",
+			res.DeltasWritten, res.BWsWritten)
+	}
+	if res.UpdatesRun < int64(cfg.CrashAfterCheckpoints*cfg.CheckpointEveryUpdates) {
+		t.Fatalf("only %d updates run", res.UpdatesRun)
+	}
+}
+
+func TestRunAllMethodsVerify(t *testing.T) {
+	cfg := smallConfig().WithCacheFraction(0.08)
+	res, err := BuildCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mets, err := RunAll(res, core.DefaultOptions(cfg.Engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mets) != 5 {
+		t.Fatalf("got %d methods", len(mets))
+	}
+	// Structural expectations from the paper:
+	// Log0 fetches at least as many data pages as Log1 (no DPT screen).
+	if mets[core.Log0].DataPageFetches < mets[core.Log1].DataPageFetches {
+		t.Fatalf("Log0 fetched %d < Log1 %d", mets[core.Log0].DataPageFetches, mets[core.Log1].DataPageFetches)
+	}
+	// DPT methods must actually skip records.
+	if mets[core.Log1].SkippedDPT+mets[core.Log1].SkippedRLSN == 0 {
+		t.Fatal("Log1 DPT screened nothing")
+	}
+	if mets[core.SQL1].SkippedDPT+mets[core.SQL1].SkippedRLSN == 0 {
+		t.Fatal("SQL1 DPT screened nothing")
+	}
+	// Redo ordering (paper Figure 2a): Log0 slowest of the logical
+	// family; prefetch helps.
+	if mets[core.Log0].RedoTotal < mets[core.Log1].RedoTotal {
+		t.Fatalf("Log0 (%v) faster than Log1 (%v)", mets[core.Log0].RedoTotal, mets[core.Log1].RedoTotal)
+	}
+	if mets[core.Log2].RedoTotal > mets[core.Log1].RedoTotal {
+		t.Fatalf("prefetch made Log2 (%v) slower than Log1 (%v)", mets[core.Log2].RedoTotal, mets[core.Log1].RedoTotal)
+	}
+	if mets[core.SQL2].RedoTotal > mets[core.SQL1].RedoTotal {
+		t.Fatalf("prefetch made SQL2 (%v) slower than SQL1 (%v)", mets[core.SQL2].RedoTotal, mets[core.SQL1].RedoTotal)
+	}
+	// Only logical methods pay for index pages.
+	if mets[core.SQL1].IndexPageFetches != 0 {
+		t.Fatalf("SQL1 fetched %d index pages", mets[core.SQL1].IndexPageFetches)
+	}
+	if mets[core.Log1].IndexPageFetches == 0 {
+		t.Fatal("Log1 fetched no index pages")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	cfg := smallConfig().WithCacheFraction(0.08)
+	res, err := BuildCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _, err := core.Recover(res.Crash, core.Log1, core.DefaultOptions(cfg.Engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the oracle; Verify must notice.
+	for k := range res.Oracle {
+		res.Oracle[k] = []byte("WRONG")
+		break
+	}
+	if err := Verify(eng, res.Oracle); err == nil {
+		t.Fatal("Verify accepted corrupted state")
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	base := DefaultConfig()
+	s := base.Scaled(10)
+	if got, want := s.Workload.Rows, base.Workload.Rows/10; got != want {
+		t.Fatalf("rows %d, want %d", got, want)
+	}
+	// updates-per-interval / data-pages ratio preserved within rounding.
+	r0 := float64(base.CheckpointEveryUpdates) / float64(base.DataPages())
+	r1 := float64(s.CheckpointEveryUpdates) / float64(s.DataPages())
+	if r1 < r0*0.8 || r1 > r0*1.2 {
+		t.Fatalf("interval ratio drifted: %.4f vs %.4f", r1, r0)
+	}
+}
+
+func TestPrintFigure2Smoke(t *testing.T) {
+	cfg := DefaultConfig().Scaled(40)
+	rows, err := RunFigure2(cfg, []float64{0.08, 0.32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintFigure2(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Figure 2(a)", "Figure 2(b)", "Figure 2(c)", "Log0", "SQL2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

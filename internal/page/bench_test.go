@@ -1,0 +1,95 @@
+package page
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	data := make([]byte, 4096)
+	p := Format(data, TypeLeaf)
+	val := make([]byte, 92)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.FreeSpace() < CellSize(len(val)) {
+			p = Format(data, TypeLeaf)
+		}
+		if err := p.Insert(uint64(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	p := Format(make([]byte, 4096), TypeLeaf)
+	val := make([]byte, 92)
+	var keys []uint64
+	for k := uint64(0); ; k++ {
+		if err := p.Insert(k*3, val); err != nil {
+			break
+		}
+		keys = append(keys, k*3)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if _, found := p.Search(k); !found {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkUpdateInPlace(b *testing.B) {
+	p := Format(make([]byte, 4096), TypeLeaf)
+	val := make([]byte, 92)
+	for k := uint64(0); k < 30; k++ {
+		if err := p.Insert(k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Update(uint64(i%30), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	template := Format(make([]byte, 4096), TypeLeaf)
+	val := make([]byte, 40)
+	for k := uint64(0); k < 60; k++ {
+		if err := template.Insert(k, val); err != nil {
+			break
+		}
+	}
+	for k := uint64(0); k < 60; k += 2 {
+		_ = template.Delete(k)
+	}
+	scratch := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, template.Bytes())
+		Wrap(scratch).Compact()
+	}
+}
+
+func BenchmarkSplitInto(b *testing.B) {
+	template := Format(make([]byte, 4096), TypeLeaf)
+	val := make([]byte, 92)
+	for k := uint64(0); ; k++ {
+		if err := template.Insert(k, val); err != nil {
+			break
+		}
+	}
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(src, template.Bytes())
+		if _, err := Wrap(src).SplitInto(Format(dst, TypeLeaf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v", c.Now())
+	}
+	c.Advance(5 * Millisecond)
+	if c.Now() != Time(5*Millisecond) {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != Time(5*Millisecond) {
+		t.Fatal("zero advance moved the clock")
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestAdvanceToIsMonotone(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(Time(10 * Millisecond))
+	if c.Now() != Time(10*Millisecond) {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(Time(3 * Millisecond)) // past: no-op
+	if c.Now() != Time(10*Millisecond) {
+		t.Fatal("AdvanceTo moved the clock backward")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(0).Add(3 * Millisecond)
+	b := a.Add(2 * Millisecond)
+	if b.Sub(a) != 2*Millisecond {
+		t.Fatalf("Sub = %v", b.Sub(a))
+	}
+}
+
+func TestDurationMilliseconds(t *testing.T) {
+	if got := (1500 * Microsecond).Milliseconds(); got != 1.5 {
+		t.Fatalf("Milliseconds = %v", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		2 * Second:        "2.000s",
+		3 * Millisecond:   "3.000ms",
+		250 * Microsecond: "250.000µs",
+		7 * Nanosecond:    "7ns",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int64(d), got, want)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package storage implements the simulated stable-storage substrate: a
+// page-addressed disk with a discrete-event latency model and
+// copy-on-write forking for side-by-side recovery experiments.
+//
+// The model follows Appendix B of the paper: recovery performance is
+// gated by (i) how many data pages are requested and (ii) how often and
+// how long redo waits for them. The disk therefore models:
+//
+//   - random reads: one seek plus per-page transfer;
+//   - block reads: up to MaxBlock contiguous pages in a single IO
+//     (SQL Server reads blocks of eight contiguous pages);
+//   - a serial service queue: the device completes one IO at a time, so
+//     prefetch that outruns the device queues up and synchronous reads
+//     behind a deep queue stall longer;
+//   - asynchronous prefetch: IOs are issued without advancing the clock;
+//     a later Read of an in-flight page advances the clock only to the
+//     IO's completion time.
+//
+// All latencies are virtual (package sim), so results are deterministic.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"logrec/internal/sim"
+)
+
+// PageID identifies a page on stable storage. PageID 0 is invalid; the
+// metadata page is PageID 1.
+type PageID uint32
+
+// InvalidPageID is the zero PageID; no page ever has it.
+const InvalidPageID PageID = 0
+
+// MetaPageID is the well-known location of the database metadata page.
+const MetaPageID PageID = 1
+
+// Config parameterises the disk latency model.
+type Config struct {
+	// PageSize is the size of every data page in bytes.
+	PageSize int
+	// SeekTime is the fixed cost to position for a random IO.
+	SeekTime sim.Duration
+	// TransferPerPage is the additional cost per page moved.
+	TransferPerPage sim.Duration
+	// WriteSeekTime is the positioning cost for a write IO.
+	WriteSeekTime sim.Duration
+	// MaxBlock is the largest number of contiguous pages a single read
+	// IO may cover (the paper's prototype uses 8).
+	MaxBlock int
+	// Channels is the device queue depth: how many IOs the device
+	// services concurrently (command queueing). Synchronous reads
+	// cannot exploit it — the caller blocks per IO — but asynchronous
+	// prefetch can, which is where read-ahead's benefit comes from
+	// (Appendix A).
+	Channels int
+}
+
+// DefaultConfig returns the latency model used by the experiment
+// defaults: a 4 KB page, 4 ms seeks, 100 µs per-page transfer, 8-page
+// block reads and a queue depth of 4.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:        4096,
+		SeekTime:        4 * sim.Millisecond,
+		TransferPerPage: 100 * sim.Microsecond,
+		WriteSeekTime:   2 * sim.Millisecond,
+		MaxBlock:        8,
+		Channels:        4,
+	}
+}
+
+func (c Config) validate() error {
+	if c.PageSize <= 0 {
+		return fmt.Errorf("storage: PageSize must be positive, got %d", c.PageSize)
+	}
+	if c.MaxBlock <= 0 {
+		return fmt.Errorf("storage: MaxBlock must be positive, got %d", c.MaxBlock)
+	}
+	if c.SeekTime < 0 || c.TransferPerPage < 0 || c.WriteSeekTime < 0 {
+		return fmt.Errorf("storage: latencies must be non-negative")
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("storage: Channels must be positive, got %d", c.Channels)
+	}
+	return nil
+}
+
+// Stats counts IO activity. Reads and writes are whole IOs; PagesRead
+// and PagesWritten count pages moved (a block read moves several pages
+// in one IO).
+type Stats struct {
+	Reads        int64
+	PagesRead    int64
+	BlockReads   int64
+	Writes       int64
+	PagesWritten int64
+	// Stalls is the number of synchronous reads that had to wait for
+	// the device (IO not already complete when requested).
+	Stalls int64
+	// StallTime is total virtual time spent waiting on synchronous
+	// reads, including waits for previously prefetched pages.
+	StallTime sim.Duration
+	// PrefetchIOs and PrefetchPages count asynchronously issued IOs.
+	PrefetchIOs   int64
+	PrefetchPages int64
+	// PrefetchHits counts reads satisfied by an already-complete
+	// prefetch (no stall).
+	PrefetchHits int64
+}
+
+// Disk is the simulated stable store. It is not safe for concurrent use;
+// the engine is single-threaded over virtual time by design.
+type Disk struct {
+	clock *sim.Clock
+	cfg   Config
+
+	// base is the copy-on-write parent. Reads fall through to base when
+	// the page is absent locally; writes always land locally. base must
+	// be frozen (never written) after forking.
+	base  *Disk
+	pages map[PageID][]byte
+
+	// channels holds the time each device channel frees up; an IO is
+	// assigned to the earliest-free channel.
+	channels []sim.Time
+	inflight map[PageID]sim.Time
+
+	// frozen marks a forked parent; writes to a frozen disk fail.
+	frozen bool
+
+	stats Stats
+}
+
+// New creates an empty disk governed by clock.
+func New(clock *sim.Clock, cfg Config) (*Disk, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("storage: nil clock")
+	}
+	return &Disk{
+		clock:    clock,
+		cfg:      cfg,
+		pages:    make(map[PageID][]byte),
+		channels: make([]sim.Time, cfg.Channels),
+		inflight: make(map[PageID]sim.Time),
+	}, nil
+}
+
+// Fork returns a copy-on-write child of d sharing d's current contents.
+// The child gets its own clock so forks replay independently. The parent
+// must not be written after forking; Freeze enforces this in tests.
+func (d *Disk) Fork(clock *sim.Clock) *Disk {
+	return &Disk{
+		clock:    clock,
+		cfg:      d.cfg,
+		base:     d,
+		pages:    make(map[PageID][]byte),
+		channels: make([]sim.Time, d.cfg.Channels),
+		inflight: make(map[PageID]sim.Time),
+	}
+}
+
+// Config returns the disk's latency configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Clock returns the virtual clock governing this disk.
+func (d *Disk) Clock() *sim.Clock { return d.clock }
+
+// Stats returns a copy of the accumulated IO statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the IO statistics (used between workload and
+// recovery phases so recovery IO is measured in isolation).
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// lookup finds the current content of pid, following the CoW chain.
+func (d *Disk) lookup(pid PageID) ([]byte, bool) {
+	for cur := d; cur != nil; cur = cur.base {
+		if p, ok := cur.pages[pid]; ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Exists reports whether pid has ever been written.
+func (d *Disk) Exists(pid PageID) bool {
+	_, ok := d.lookup(pid)
+	return ok
+}
+
+// NumPages reports the number of distinct pages stored (CoW-merged).
+func (d *Disk) NumPages() int {
+	seen := make(map[PageID]struct{})
+	for cur := d; cur != nil; cur = cur.base {
+		for pid := range cur.pages {
+			seen[pid] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// serviceIO assigns an IO of duration dur to the earliest-free device
+// channel and returns its completion time. IOs on the same channel
+// serialize; the queue depth bounds concurrency.
+func (d *Disk) serviceIO(dur sim.Duration) sim.Time {
+	best := 0
+	for i := 1; i < len(d.channels); i++ {
+		if d.channels[i] < d.channels[best] {
+			best = i
+		}
+	}
+	start := d.channels[best]
+	if now := d.clock.Now(); now > start {
+		start = now
+	}
+	done := start.Add(dur)
+	d.channels[best] = done
+	return done
+}
+
+func (d *Disk) readCost(pages int) sim.Duration {
+	return d.cfg.SeekTime + sim.Duration(pages)*d.cfg.TransferPerPage
+}
+
+// Read synchronously fetches pid, advancing the clock to the IO's
+// completion. If the page was previously prefetched, the clock advances
+// only to the prefetch completion (possibly not at all).
+func (d *Disk) Read(pid PageID) ([]byte, error) {
+	data, ok := d.lookup(pid)
+	if !ok {
+		return nil, fmt.Errorf("storage: read of unwritten page %d", pid)
+	}
+	now := d.clock.Now()
+	if done, ok := d.inflight[pid]; ok {
+		delete(d.inflight, pid)
+		if done > now {
+			d.stats.Stalls++
+			d.stats.StallTime += done.Sub(now)
+			d.clock.AdvanceTo(done)
+		} else {
+			d.stats.PrefetchHits++
+		}
+		return cloneBytes(data), nil
+	}
+	done := d.serviceIO(d.readCost(1))
+	d.stats.Reads++
+	d.stats.PagesRead++
+	d.stats.Stalls++
+	d.stats.StallTime += done.Sub(now)
+	d.clock.AdvanceTo(done)
+	return cloneBytes(data), nil
+}
+
+// Prefetch asynchronously issues reads for the given pages, grouping
+// contiguous PIDs into block IOs of at most MaxBlock pages. Pages
+// already in flight are skipped. The clock does not advance. The caller
+// collects each page later with Read, which waits only if the covering
+// IO has not yet completed.
+func (d *Disk) Prefetch(pids []PageID) {
+	if len(pids) == 0 {
+		return
+	}
+	want := make([]PageID, 0, len(pids))
+	for _, pid := range pids {
+		if _, inflight := d.inflight[pid]; inflight {
+			continue
+		}
+		if _, ok := d.lookup(pid); !ok {
+			continue // nothing stable to read; caller will create the page
+		}
+		want = append(want, pid)
+	}
+	if len(want) == 0 {
+		return
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	// Group into runs of contiguous PIDs, capped at MaxBlock.
+	runStart := 0
+	for i := 1; i <= len(want); i++ {
+		endOfRun := i == len(want) ||
+			want[i] != want[i-1]+1 ||
+			i-runStart >= d.cfg.MaxBlock
+		if !endOfRun {
+			continue
+		}
+		n := i - runStart
+		done := d.serviceIO(d.readCost(n))
+		d.stats.Reads++
+		d.stats.PagesRead += int64(n)
+		d.stats.PrefetchIOs++
+		d.stats.PrefetchPages += int64(n)
+		if n > 1 {
+			d.stats.BlockReads++
+		}
+		for _, pid := range want[runStart:i] {
+			d.inflight[pid] = done
+		}
+		runStart = i
+	}
+}
+
+// QueueDepth reports how far in the future the device's most-loaded
+// channel is booked, in virtual time from now. Prefetchers use it to
+// pace issue rates.
+func (d *Disk) QueueDepth() sim.Duration {
+	now := d.clock.Now()
+	var worst sim.Time
+	for _, c := range d.channels {
+		if c > worst {
+			worst = c
+		}
+	}
+	if worst <= now {
+		return 0
+	}
+	return worst.Sub(now)
+}
+
+// InflightCount reports the number of prefetched pages whose read IOs
+// have not yet completed on the virtual clock. Completed-but-unclaimed
+// pages do not count: their data is available and costs nothing to
+// claim, so pacing against them would starve the prefetcher.
+func (d *Disk) InflightCount() int {
+	now := d.clock.Now()
+	n := 0
+	for _, done := range d.inflight {
+		if done > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Write stores data as the new stable content of pid. The IO is issued
+// asynchronously (the device queue is charged; the clock does not
+// advance) and the returned time is when the write completes — callers
+// use it to order flush-completion callbacks. The content is considered
+// stable at the completion time; the engine never crashes with writes
+// in flight (a crash is taken at a quiescent instant, which is the
+// paper's controlled-crash methodology).
+func (d *Disk) Write(pid PageID, data []byte) (sim.Time, error) {
+	if pid == InvalidPageID {
+		return 0, fmt.Errorf("storage: write to invalid page 0")
+	}
+	if len(data) != d.cfg.PageSize {
+		return 0, fmt.Errorf("storage: write of %d bytes to page %d, want page size %d", len(data), pid, d.cfg.PageSize)
+	}
+	if d.frozen {
+		return 0, fmt.Errorf("storage: write to frozen disk (page %d)", pid)
+	}
+	done := d.serviceIO(d.cfg.WriteSeekTime + d.cfg.TransferPerPage)
+	d.stats.Writes++
+	d.stats.PagesWritten++
+	d.pages[pid] = cloneBytes(data)
+	return done, nil
+}
+
+// Freeze marks the disk immutable; subsequent writes fail. Called after
+// Fork so the CoW parent cannot be corrupted.
+func (d *Disk) Freeze() { d.frozen = true }
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,110 @@
+package tc
+
+import (
+	"errors"
+	"fmt"
+
+	"logrec/internal/wal"
+)
+
+// ErrLockConflict indicates a lock request that conflicts with another
+// transaction's lock. The engine is single-threaded over virtual time,
+// so conflicts surface immediately rather than blocking; callers may
+// abort and retry.
+var ErrLockConflict = errors.New("tc: lock conflict")
+
+// LockMode is the requested access mode.
+type LockMode int
+
+// Lock modes.
+const (
+	LockShared LockMode = iota
+	LockExclusive
+)
+
+func (m LockMode) String() string {
+	if m == LockShared {
+		return "S"
+	}
+	return "X"
+}
+
+// lockKey identifies a lockable resource: a logical record named by
+// table and key. Deuteronomy's TC locks without location information
+// (§1.1); no page IDs appear here.
+type lockKey struct {
+	table wal.TableID
+	key   uint64
+}
+
+type lockState struct {
+	mode    LockMode
+	holders map[wal.TxnID]struct{}
+}
+
+// LockTable is a strict two-phase-locking lock manager over logical
+// record identities. Locks are held until commit or abort.
+type LockTable struct {
+	locks map[lockKey]*lockState
+	// held tracks each transaction's locks for O(held) release.
+	held map[wal.TxnID][]lockKey
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{
+		locks: make(map[lockKey]*lockState),
+		held:  make(map[wal.TxnID][]lockKey),
+	}
+}
+
+// Acquire grants txn a lock on (table, key) in the requested mode,
+// upgrading S→X when txn is the sole holder. It returns
+// ErrLockConflict when another transaction holds an incompatible lock.
+func (lt *LockTable) Acquire(txn wal.TxnID, table wal.TableID, key uint64, mode LockMode) error {
+	k := lockKey{table: table, key: key}
+	st, ok := lt.locks[k]
+	if !ok {
+		lt.locks[k] = &lockState{mode: mode, holders: map[wal.TxnID]struct{}{txn: {}}}
+		lt.held[txn] = append(lt.held[txn], k)
+		return nil
+	}
+	if _, holds := st.holders[txn]; holds {
+		if mode == LockExclusive && st.mode == LockShared {
+			if len(st.holders) > 1 {
+				return fmt.Errorf("%w: txn %d upgrade on table %d key %d blocked by %d other readers",
+					ErrLockConflict, txn, table, key, len(st.holders)-1)
+			}
+			st.mode = LockExclusive
+		}
+		return nil
+	}
+	if st.mode == LockShared && mode == LockShared {
+		st.holders[txn] = struct{}{}
+		lt.held[txn] = append(lt.held[txn], k)
+		return nil
+	}
+	return fmt.Errorf("%w: txn %d wants %v on table %d key %d held %v by %d txn(s)",
+		ErrLockConflict, txn, mode, table, key, st.mode, len(st.holders))
+}
+
+// ReleaseAll drops every lock txn holds (commit/abort).
+func (lt *LockTable) ReleaseAll(txn wal.TxnID) {
+	for _, k := range lt.held[txn] {
+		st, ok := lt.locks[k]
+		if !ok {
+			continue
+		}
+		delete(st.holders, txn)
+		if len(st.holders) == 0 {
+			delete(lt.locks, k)
+		}
+	}
+	delete(lt.held, txn)
+}
+
+// Count returns the number of locked resources (tests and stats).
+func (lt *LockTable) Count() int { return len(lt.locks) }
+
+// HeldBy returns how many locks txn currently holds.
+func (lt *LockTable) HeldBy(txn wal.TxnID) int { return len(lt.held[txn]) }

@@ -1,0 +1,443 @@
+// Package tc implements Deuteronomy's transactional component: it owns
+// transactions, logical locking and logical logging, and drives the
+// data component (DC) through the narrow interface of [10,12] — data
+// operations identified by table and key (never page IDs), plus the two
+// recovery-preparation control operations of §4.1:
+//
+//	EOSL: the TC regularly tells the DC its end of stable log (eLSN);
+//	      the DC uses it for the write-ahead-log protocol and as the
+//	      TC-LSN of its ∆-log records.
+//	RSSP: the TC's checkpoint: it names a redo-scan-start-point LSN and
+//	      the DC must flush every page dirtied by operations at or
+//	      before it, so the TC can start its redo scan there.
+package tc
+
+import (
+	"errors"
+	"fmt"
+
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// DataComponent is what the TC requires of a DC. All data operations
+// are logical; the returned PIDs are opaque hints the TC embeds in log
+// records solely so the same log can drive physiological recovery
+// (§5.1) — the TC never interprets them.
+type DataComponent interface {
+	// Read returns the value stored under (table, key).
+	Read(table wal.TableID, key uint64) (val []byte, found bool, err error)
+	// ReadRange invokes fn for every row with lo ≤ key ≤ hi in order.
+	ReadRange(table wal.TableID, lo, hi uint64, fn func(key uint64, val []byte) error) error
+	// Update/Insert/Delete apply an operation. logFn is called with the
+	// owning page's PID once known (after any splits) and must append
+	// the operation's log record, returning its LSN for the page stamp.
+	Update(table wal.TableID, key uint64, val []byte, logFn func(pid storage.PageID) wal.LSN) error
+	Insert(table wal.TableID, key uint64, val []byte, logFn func(pid storage.PageID) wal.LSN) error
+	Delete(table wal.TableID, key uint64, logFn func(pid storage.PageID) wal.LSN) error
+	// EOSL delivers a new end-of-stable-log LSN.
+	EOSL(eLSN wal.LSN)
+	// RSSP performs the DC side of a checkpoint for redo scan start
+	// point rsspLSN; on return all pages dirtied by operations with
+	// LSN ≤ rsspLSN are stable.
+	RSSP(rsspLSN wal.LSN) error
+}
+
+// Errors returned by transaction operations.
+var (
+	ErrTxnNotActive = errors.New("tc: transaction not active")
+	ErrKeyNotFound  = errors.New("tc: key not found")
+)
+
+// Status is a transaction's lifecycle state.
+type Status int
+
+// Transaction statuses.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// Txn is a transaction handle.
+type Txn struct {
+	ID      wal.TxnID
+	status  Status
+	lastLSN wal.LSN
+	// updates counts data operations, for harness bookkeeping.
+	updates int
+}
+
+// Status returns the transaction's lifecycle state.
+func (t *Txn) Status() Status { return t.status }
+
+// LastLSN returns the transaction's most recent log record.
+func (t *Txn) LastLSN() wal.LSN { return t.lastLSN }
+
+// Stats counts TC activity.
+type Stats struct {
+	Begun       int64
+	Committed   int64
+	Aborted     int64
+	Updates     int64
+	Inserts     int64
+	Deletes     int64
+	Checkpoints int64
+}
+
+// TC is the transactional component.
+type TC struct {
+	log   *wal.Log
+	dc    DataComponent
+	locks *LockTable
+
+	nextTxn wal.TxnID
+	active  map[wal.TxnID]*Txn
+
+	// lastEndCkpt is the TC's master record: the LSN of the most recent
+	// end-checkpoint record on the stable log. Recovery starts from the
+	// begin-checkpoint it names (§3.2's penultimate checkpoint). It is
+	// part of the crash-surviving state, like a boot block.
+	lastEndCkpt wal.LSN
+
+	stats Stats
+}
+
+// New creates a TC over the shared log and a DC.
+func New(log *wal.Log, dc DataComponent) *TC {
+	return &TC{
+		log:     log,
+		dc:      dc,
+		locks:   NewLockTable(),
+		nextTxn: 1,
+		active:  make(map[wal.TxnID]*Txn),
+	}
+}
+
+// Log returns the shared log (harness and recovery access).
+func (tc *TC) Log() *wal.Log { return tc.log }
+
+// Locks returns the lock table.
+func (tc *TC) Locks() *LockTable { return tc.locks }
+
+// Stats returns a copy of the counters.
+func (tc *TC) Stats() Stats { return tc.stats }
+
+// LastEndCkptLSN returns the master-record pointer to the latest
+// completed checkpoint's end record.
+func (tc *TC) LastEndCkptLSN() wal.LSN { return tc.lastEndCkpt }
+
+// ActiveCount returns the number of in-flight transactions.
+func (tc *TC) ActiveCount() int { return len(tc.active) }
+
+// Begin starts a transaction.
+func (tc *TC) Begin() *Txn {
+	t := &Txn{ID: tc.nextTxn, status: StatusActive}
+	tc.nextTxn++
+	tc.active[t.ID] = t
+	tc.stats.Begun++
+	return t
+}
+
+func (tc *TC) checkActive(t *Txn) error {
+	if t == nil || t.status != StatusActive {
+		return ErrTxnNotActive
+	}
+	if _, ok := tc.active[t.ID]; !ok {
+		return ErrTxnNotActive
+	}
+	return nil
+}
+
+// Read returns the value under (table, key) with a shared lock.
+func (tc *TC) Read(t *Txn, table wal.TableID, key uint64) ([]byte, bool, error) {
+	if err := tc.checkActive(t); err != nil {
+		return nil, false, err
+	}
+	if err := tc.locks.Acquire(t.ID, table, key, LockShared); err != nil {
+		return nil, false, err
+	}
+	return tc.dc.Read(table, key)
+}
+
+// Row is one result of a range read.
+type Row struct {
+	Key uint64
+	Val []byte
+}
+
+// ReadRange returns the rows with lo ≤ key ≤ hi, acquiring a shared
+// lock on every row returned (member locking; phantom protection via
+// full key-range lock modes is the subject of the companion
+// Deuteronomy paper [13] and out of scope here).
+func (tc *TC) ReadRange(t *Txn, table wal.TableID, lo, hi uint64) ([]Row, error) {
+	if err := tc.checkActive(t); err != nil {
+		return nil, err
+	}
+	var out []Row
+	err := tc.dc.ReadRange(table, lo, hi, func(key uint64, val []byte) error {
+		if err := tc.locks.Acquire(t.ID, table, key, LockShared); err != nil {
+			return err
+		}
+		out = append(out, Row{Key: key, Val: append([]byte(nil), val...)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Update replaces the value under (table, key) within t.
+func (tc *TC) Update(t *Txn, table wal.TableID, key uint64, newVal []byte) error {
+	if err := tc.checkActive(t); err != nil {
+		return err
+	}
+	if err := tc.locks.Acquire(t.ID, table, key, LockExclusive); err != nil {
+		return err
+	}
+	oldVal, found, err := tc.dc.Read(table, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
+	}
+	err = tc.dc.Update(table, key, newVal, func(pid storage.PageID) wal.LSN {
+		lsn := tc.log.MustAppend(&wal.UpdateRec{
+			TxnID:   t.ID,
+			TableID: table,
+			KeyVal:  key,
+			OldVal:  oldVal,
+			NewVal:  newVal,
+			PageID:  pid,
+			PrevLSN: t.lastLSN,
+		})
+		t.lastLSN = lsn
+		return lsn
+	})
+	if err != nil {
+		return err
+	}
+	t.updates++
+	tc.stats.Updates++
+	return nil
+}
+
+// Insert adds a new row within t.
+func (tc *TC) Insert(t *Txn, table wal.TableID, key uint64, val []byte) error {
+	if err := tc.checkActive(t); err != nil {
+		return err
+	}
+	if err := tc.locks.Acquire(t.ID, table, key, LockExclusive); err != nil {
+		return err
+	}
+	err := tc.dc.Insert(table, key, val, func(pid storage.PageID) wal.LSN {
+		lsn := tc.log.MustAppend(&wal.InsertRec{
+			TxnID:   t.ID,
+			TableID: table,
+			KeyVal:  key,
+			Val:     val,
+			PageID:  pid,
+			PrevLSN: t.lastLSN,
+		})
+		t.lastLSN = lsn
+		return lsn
+	})
+	if err != nil {
+		return err
+	}
+	t.updates++
+	tc.stats.Inserts++
+	return nil
+}
+
+// Delete removes a row within t.
+func (tc *TC) Delete(t *Txn, table wal.TableID, key uint64) error {
+	if err := tc.checkActive(t); err != nil {
+		return err
+	}
+	if err := tc.locks.Acquire(t.ID, table, key, LockExclusive); err != nil {
+		return err
+	}
+	oldVal, found, err := tc.dc.Read(table, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
+	}
+	err = tc.dc.Delete(table, key, func(pid storage.PageID) wal.LSN {
+		lsn := tc.log.MustAppend(&wal.DeleteRec{
+			TxnID:   t.ID,
+			TableID: table,
+			KeyVal:  key,
+			OldVal:  oldVal,
+			PageID:  pid,
+			PrevLSN: t.lastLSN,
+		})
+		t.lastLSN = lsn
+		return lsn
+	})
+	if err != nil {
+		return err
+	}
+	t.updates++
+	tc.stats.Deletes++
+	return nil
+}
+
+// Commit ends t successfully: the commit record is forced to the stable
+// log (group commit would batch this; we force per transaction) and the
+// new end of stable log is pushed to the DC via EOSL.
+func (tc *TC) Commit(t *Txn) error {
+	if err := tc.checkActive(t); err != nil {
+		return err
+	}
+	lsn := tc.log.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	eLSN := tc.log.Flush()
+	tc.dc.EOSL(eLSN)
+	t.status = StatusCommitted
+	delete(tc.active, t.ID)
+	tc.locks.ReleaseAll(t.ID)
+	tc.stats.Committed++
+	return nil
+}
+
+// Abort rolls t back: its operations are undone logically in reverse
+// order through the DC, each compensated by a CLR, then an abort record
+// is forced.
+func (tc *TC) Abort(t *Txn) error {
+	if err := tc.checkActive(t); err != nil {
+		return err
+	}
+	if err := tc.rollback(t); err != nil {
+		return fmt.Errorf("tc: rollback of txn %d: %w", t.ID, err)
+	}
+	lsn := tc.log.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	eLSN := tc.log.Flush()
+	tc.dc.EOSL(eLSN)
+	t.status = StatusAborted
+	delete(tc.active, t.ID)
+	tc.locks.ReleaseAll(t.ID)
+	tc.stats.Aborted++
+	return nil
+}
+
+// rollback undoes t's operations from its last record back to the
+// beginning, writing a CLR for each undone operation. Undo is logical:
+// rows are relocated by key through the DC's index, exactly as crash
+// undo does (§1.2 — undo is already logical in ARIES).
+func (tc *TC) rollback(t *Txn) error {
+	cur := t.lastLSN
+	for cur != wal.NilLSN {
+		rec, err := tc.log.Get(cur)
+		if err != nil {
+			return err
+		}
+		next, err := tc.undoOne(t, rec)
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// undoOne compensates a single record, returning the next LSN to undo.
+func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
+	switch r := rec.(type) {
+	case *wal.UpdateRec:
+		err := tc.dc.Update(r.TableID, r.KeyVal, r.OldVal, func(pid storage.PageID) wal.LSN {
+			lsn := tc.log.MustAppend(&wal.CLRRec{
+				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
+				Kind: wal.CLRUndoUpdate, RestoreVal: r.OldVal, PageID: pid,
+				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
+			})
+			t.lastLSN = lsn
+			return lsn
+		})
+		return r.PrevLSN, err
+	case *wal.InsertRec:
+		err := tc.dc.Delete(r.TableID, r.KeyVal, func(pid storage.PageID) wal.LSN {
+			lsn := tc.log.MustAppend(&wal.CLRRec{
+				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
+				Kind: wal.CLRUndoInsert, PageID: pid,
+				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
+			})
+			t.lastLSN = lsn
+			return lsn
+		})
+		return r.PrevLSN, err
+	case *wal.DeleteRec:
+		err := tc.dc.Insert(r.TableID, r.KeyVal, r.OldVal, func(pid storage.PageID) wal.LSN {
+			lsn := tc.log.MustAppend(&wal.CLRRec{
+				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
+				Kind: wal.CLRUndoDelete, RestoreVal: r.OldVal, PageID: pid,
+				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
+			})
+			t.lastLSN = lsn
+			return lsn
+		})
+		return r.PrevLSN, err
+	case *wal.CLRRec:
+		// CLRs are redo-only: skip to what the CLR says is next.
+		return r.UndoNextLSN, nil
+	default:
+		return wal.NilLSN, fmt.Errorf("tc: unexpected %v record in txn %d backchain", rec.Type(), t.ID)
+	}
+}
+
+// Checkpoint runs the penultimate checkpointing protocol (§3.2, §4.2):
+//
+//  1. append the begin-checkpoint record and force the log;
+//  2. EOSL so the DC can flush pages dirtied up to it;
+//  3. RSSP(bCkptLSN): the DC flushes everything dirtied before the
+//     begin record (checkpoint-bit discipline) and records the redo
+//     scan start point on its portion of the log;
+//  4. append the end-checkpoint record (with the active-transaction
+//     table), force it, and advance the master record.
+func (tc *TC) Checkpoint() error {
+	bLSN := tc.log.MustAppend(&wal.BeginCkptRec{})
+	eLSN := tc.log.Flush()
+	tc.dc.EOSL(eLSN)
+
+	if err := tc.dc.RSSP(bLSN); err != nil {
+		return fmt.Errorf("tc: checkpoint RSSP: %w", err)
+	}
+
+	end := &wal.EndCkptRec{BeginLSN: bLSN}
+	for id, t := range tc.active {
+		end.Active = append(end.Active, wal.ActiveTxn{TxnID: id, LastLSN: t.lastLSN})
+	}
+	endLSN := tc.log.MustAppend(end)
+	eLSN = tc.log.Flush()
+	tc.dc.EOSL(eLSN)
+	tc.lastEndCkpt = endLSN
+	tc.stats.Checkpoints++
+	return nil
+}
+
+// SendEOSL forces the log and pushes the new end of stable log to the
+// DC. The harness calls it on the paper's EOSL cadence; Commit also
+// does it implicitly.
+func (tc *TC) SendEOSL() wal.LSN {
+	eLSN := tc.log.Flush()
+	tc.dc.EOSL(eLSN)
+	return eLSN
+}
+
+// RestoreNextTxnID moves the transaction-ID allocator past IDs observed
+// in the log (called after recovery so new transactions do not collide).
+func (tc *TC) RestoreNextTxnID(maxSeen wal.TxnID) {
+	if maxSeen >= tc.nextTxn {
+		tc.nextTxn = maxSeen + 1
+	}
+}
+
+// RestoreMaster installs the master-record pointer after recovery.
+func (tc *TC) RestoreMaster(lastEndCkpt wal.LSN) {
+	tc.lastEndCkpt = lastEndCkpt
+}

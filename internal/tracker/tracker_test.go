@@ -1,0 +1,293 @@
+package tracker
+
+import (
+	"testing"
+
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+func newRecorder(t *testing.T, cfg Config) (*Recorder, *wal.Log) {
+	t.Helper()
+	log := wal.NewLog()
+	r, err := New(log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, log
+}
+
+// lastDelta scans the log and returns the most recent ∆ record.
+func lastDelta(t *testing.T, log *wal.Log) *wal.DeltaRec {
+	t.Helper()
+	log.Flush()
+	sc := log.NewScanner(wal.FirstLSN(), nil, wal.ScanCost{})
+	var out *wal.DeltaRec
+	for {
+		rec, _, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		if d, isD := rec.(*wal.DeltaRec); isD {
+			out = d
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	log := wal.NewLog()
+	if _, err := New(log, Config{FlushBatch: 0, MaxDirty: 1}); err == nil {
+		t.Fatal("accepted zero FlushBatch")
+	}
+	if _, err := New(log, Config{FlushBatch: 1, MaxDirty: 0}); err == nil {
+		t.Fatal("accepted zero MaxDirty")
+	}
+}
+
+func TestDeltaBeforeBWAtFlushBatch(t *testing.T) {
+	r, log := newRecorder(t, Config{FlushBatch: 2, MaxDirty: 100})
+	r.NoteEOSL(500)
+	r.NoteUpdate(10, 600)
+	r.NoteUpdate(11, 610)
+	r.NoteFlush(10)
+	r.NoteFlush(11) // batch hit: ∆ then BW
+	log.Flush()
+
+	sc := log.NewScanner(wal.FirstLSN(), nil, wal.ScanCost{})
+	var types []wal.Type
+	for {
+		rec, _, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		types = append(types, rec.Type())
+	}
+	if len(types) != 2 || types[0] != wal.TypeDelta || types[1] != wal.TypeBW {
+		t.Fatalf("record order = %v, want [delta bw] (∆ written exactly before BW, §5.2)", types)
+	}
+}
+
+func TestDeltaFieldsStandard(t *testing.T) {
+	r, log := newRecorder(t, Config{FlushBatch: 100, MaxDirty: 100})
+	r.NoteEOSL(1000)
+	r.NoteUpdate(1, 1100) // dirtied before first write
+	r.NoteUpdate(2, 1150)
+	r.NoteEOSL(1200)
+	r.NoteFlush(1) // first write: FW-LSN = 1200, FirstDirty = 2
+	r.NoteUpdate(3, 1300)
+	r.ForceEmit()
+
+	d := lastDelta(t, log)
+	if d == nil {
+		t.Fatal("no ∆ record")
+	}
+	if len(d.DirtySet) != 3 {
+		t.Fatalf("DirtySet = %v", d.DirtySet)
+	}
+	if d.FWLSN != 1200 {
+		t.Fatalf("FW-LSN = %v, want 1200 (eLSN at first flush)", d.FWLSN)
+	}
+	if d.FirstDirty != 2 {
+		t.Fatalf("FirstDirty = %d, want 2 (index of first dirty after first write)", d.FirstDirty)
+	}
+	if d.TCLSN != 1200 {
+		t.Fatalf("TC-LSN = %v, want 1200 (latest EOSL)", d.TCLSN)
+	}
+	if len(d.WrittenSet) != 1 || d.WrittenSet[0] != 1 {
+		t.Fatalf("WrittenSet = %v", d.WrittenSet)
+	}
+	if len(d.DirtyLSNs) != 0 {
+		t.Fatal("standard variant logged DirtyLSNs")
+	}
+}
+
+func TestDeltaNoFlushInterval(t *testing.T) {
+	// Without any flush there is no FW-LSN; every entry counts as
+	// "before the first write" so analysis assigns prev-∆ TC-LSN.
+	r, log := newRecorder(t, Config{FlushBatch: 100, MaxDirty: 100})
+	r.NoteEOSL(700)
+	r.NoteUpdate(1, 710)
+	r.NoteUpdate(2, 720)
+	r.ForceEmit()
+	d := lastDelta(t, log)
+	if d.FWLSN != wal.NilLSN {
+		t.Fatalf("FW-LSN = %v, want nil", d.FWLSN)
+	}
+	if int(d.FirstDirty) != len(d.DirtySet) {
+		t.Fatalf("FirstDirty = %d, want %d (everything before first write)", d.FirstDirty, len(d.DirtySet))
+	}
+}
+
+func TestSegmentDedupe(t *testing.T) {
+	// A page updated repeatedly within one segment is captured once;
+	// re-dirtying after the first write captures it again so analysis
+	// advances its effective lastLSN to FW-LSN (§4.2).
+	r, log := newRecorder(t, Config{FlushBatch: 100, MaxDirty: 100})
+	r.NoteEOSL(100)
+	r.NoteUpdate(5, 110)
+	r.NoteUpdate(5, 120)
+	r.NoteUpdate(5, 130)
+	r.NoteFlush(5)       // first write
+	r.NoteUpdate(5, 140) // re-dirtied after its flush: second capture
+	r.NoteUpdate(5, 150) // deduped within segment 2
+	r.ForceEmit()
+	d := lastDelta(t, log)
+	if len(d.DirtySet) != 2 {
+		t.Fatalf("DirtySet = %v, want exactly 2 captures of page 5", d.DirtySet)
+	}
+	if d.FirstDirty != 1 {
+		t.Fatalf("FirstDirty = %d, want 1", d.FirstDirty)
+	}
+}
+
+func TestCapacityForcesDelta(t *testing.T) {
+	r, log := newRecorder(t, Config{FlushBatch: 1000, MaxDirty: 3})
+	r.NoteEOSL(50)
+	for pid := storage.PageID(1); pid <= 7; pid++ {
+		r.NoteUpdate(pid, wal.LSN(100+pid))
+	}
+	log.Flush()
+	if got := log.AppendCount(wal.TypeDelta); got != 2 {
+		t.Fatalf("∆ records = %d, want 2 (capacity 3, 7 distinct pages)", got)
+	}
+	if got := r.Stats().CapacityDeltas; got != 2 {
+		t.Fatalf("CapacityDeltas = %d", got)
+	}
+	// Correctness requirement (§4.1): every dirtied page captured.
+	sc := log.NewScanner(wal.FirstLSN(), nil, wal.ScanCost{})
+	seen := make(map[storage.PageID]bool)
+	for {
+		rec, _, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if d, isD := rec.(*wal.DeltaRec); isD {
+			for _, pid := range d.DirtySet {
+				seen[pid] = true
+			}
+		}
+	}
+	r.ForceEmit()
+	log.Flush()
+	sc2 := log.NewScanner(wal.FirstLSN(), nil, wal.ScanCost{})
+	for {
+		rec, _, ok, err := sc2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if d, isD := rec.(*wal.DeltaRec); isD {
+			for _, pid := range d.DirtySet {
+				seen[pid] = true
+			}
+		}
+	}
+	for pid := storage.PageID(1); pid <= 7; pid++ {
+		if !seen[pid] {
+			t.Fatalf("page %d dirtied but never captured in a ∆ record", pid)
+		}
+	}
+}
+
+func TestPerfectVariantLogsDirtyLSNs(t *testing.T) {
+	r, log := newRecorder(t, Config{Variant: DeltaPerfect, FlushBatch: 100, MaxDirty: 100})
+	r.NoteEOSL(10)
+	r.NoteUpdate(1, 11)
+	r.NoteUpdate(2, 22)
+	r.ForceEmit()
+	d := lastDelta(t, log)
+	if len(d.DirtyLSNs) != 2 || d.DirtyLSNs[0] != 11 || d.DirtyLSNs[1] != 22 {
+		t.Fatalf("DirtyLSNs = %v", d.DirtyLSNs)
+	}
+}
+
+func TestReducedVariantOmitsFWAndFirstDirty(t *testing.T) {
+	r, log := newRecorder(t, Config{Variant: DeltaReduced, FlushBatch: 100, MaxDirty: 100})
+	r.NoteEOSL(10)
+	r.NoteUpdate(1, 11)
+	r.NoteFlush(1)
+	r.NoteUpdate(2, 22)
+	r.ForceEmit()
+	d := lastDelta(t, log)
+	if d.FWLSN != wal.NilLSN {
+		t.Fatalf("reduced variant logged FW-LSN %v", d.FWLSN)
+	}
+	if int(d.FirstDirty) != len(d.DirtySet) {
+		t.Fatalf("reduced FirstDirty = %d, want %d", d.FirstDirty, len(d.DirtySet))
+	}
+}
+
+func TestDisabledRecorderCapturesNothing(t *testing.T) {
+	r, log := newRecorder(t, Config{FlushBatch: 1, MaxDirty: 1})
+	r.SetEnabled(false)
+	r.NoteUpdate(1, 10)
+	r.NoteFlush(1)
+	r.ForceEmit()
+	log.Flush()
+	if log.AppendCount(wal.TypeDelta)+log.AppendCount(wal.TypeBW) != 0 {
+		t.Fatal("disabled recorder logged records")
+	}
+}
+
+func TestEOSLMonotone(t *testing.T) {
+	r, log := newRecorder(t, Config{FlushBatch: 100, MaxDirty: 100})
+	r.NoteEOSL(500)
+	r.NoteEOSL(300) // stale: ignored
+	r.NoteUpdate(1, 501)
+	r.ForceEmit()
+	if d := lastDelta(t, log); d.TCLSN != 500 {
+		t.Fatalf("TC-LSN = %v, want 500", d.TCLSN)
+	}
+}
+
+func TestBWFWLSNIsELSNAtFirstFlush(t *testing.T) {
+	r, log := newRecorder(t, Config{FlushBatch: 2, MaxDirty: 100})
+	r.NoteEOSL(100)
+	r.NoteFlush(1) // first flush of BW interval: FW = 100
+	r.NoteEOSL(200)
+	r.NoteFlush(2) // batch complete
+	log.Flush()
+	sc := log.NewScanner(wal.FirstLSN(), nil, wal.ScanCost{})
+	for {
+		rec, _, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if bw, isBW := rec.(*wal.BWRec); isBW {
+			if bw.FWLSN != 100 {
+				t.Fatalf("BW FW-LSN = %v, want 100", bw.FWLSN)
+			}
+			if len(bw.WrittenSet) != 2 {
+				t.Fatalf("BW WrittenSet = %v", bw.WrittenSet)
+			}
+			return
+		}
+	}
+	t.Fatal("no BW record found")
+}
+
+func TestVariantStrings(t *testing.T) {
+	for v, want := range map[Variant]string{
+		DeltaStandard: "standard",
+		DeltaPerfect:  "perfect",
+		DeltaReduced:  "reduced",
+	} {
+		if v.String() != want {
+			t.Fatalf("String(%d) = %q", v, v.String())
+		}
+	}
+}

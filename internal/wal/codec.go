@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"logrec/internal/storage"
+)
+
+// Encoding helpers. All integers are big-endian fixed-width; byte slices
+// and PID/LSN vectors are length-prefixed with a uint32 count. The
+// format is append-only and versionless within this repository; the
+// frame header carries the record type so the decoder can dispatch.
+
+func putU8(dst []byte, v uint8) []byte   { return append(dst, v) }
+func putU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func putU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+func putBytes(dst []byte, b []byte) []byte {
+	dst = putU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func putPIDs(dst []byte, pids []storage.PageID) []byte {
+	dst = putU32(dst, uint32(len(pids)))
+	for _, p := range pids {
+		dst = putU32(dst, uint32(p))
+	}
+	return dst
+}
+
+func putLSNs(dst []byte, lsns []LSN) []byte {
+	dst = putU32(dst, uint32(len(lsns)))
+	for _, l := range lsns {
+		dst = putU64(dst, uint64(l))
+	}
+	return dst
+}
+
+// decoder walks a record body. Methods record the first error and
+// subsequently return zero values, so call sites stay linear and the
+// final Err check suffices.
+type decoder struct {
+	src []byte
+	off int
+	err error
+}
+
+func newDecoder(src []byte) *decoder { return &decoder{src: src} }
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: short buffer reading %s at offset %d", ErrBadRecord, what, d.off)
+	}
+}
+
+func (d *decoder) u8(what string) uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+1 > len(d.src) {
+		d.fail(what)
+		return 0
+	}
+	v := d.src[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32(what string) uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.src) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.src[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.src) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.src[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes(what string) []byte {
+	n := int(d.u32(what))
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.src) {
+		d.fail(what)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.src[d.off:d.off+n])
+	d.off += n
+	return out
+}
+
+func (d *decoder) pids(what string) []storage.PageID {
+	n := int(d.u32(what))
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+4*n > len(d.src) {
+		d.fail(what)
+		return nil
+	}
+	out := make([]storage.PageID, n)
+	for i := range out {
+		out[i] = storage.PageID(binary.BigEndian.Uint32(d.src[d.off:]))
+		d.off += 4
+	}
+	return out
+}
+
+func (d *decoder) lsns(what string) []LSN {
+	n := int(d.u32(what))
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+8*n > len(d.src) {
+		d.fail(what)
+		return nil
+	}
+	out := make([]LSN, n)
+	for i := range out {
+		out[i] = LSN(binary.BigEndian.Uint64(d.src[d.off:]))
+		d.off += 8
+	}
+	return out
+}
+
+// finish verifies the whole body was consumed.
+func (d *decoder) finish(t Type) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.src) {
+		return fmt.Errorf("%w: %d trailing bytes in %s record", ErrBadRecord, len(d.src)-d.off, t)
+	}
+	return nil
+}

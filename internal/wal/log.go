@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"logrec/internal/sim"
+)
+
+// logHeaderSize is the size of the fixed log header. It exists so that
+// no record sits at offset 0 and LSN 0 can mean "none".
+const logHeaderSize = 16
+
+var logMagic = [8]byte{'L', 'O', 'G', 'R', 'E', 'C', 'W', 'L'}
+
+// frameHeaderSize is the per-record frame: u32 body length + u8 type.
+const frameHeaderSize = 5
+
+// ScanCost parameterises the IO charge of reading the log during
+// recovery. The log is read sequentially; the scanner charges PerPage to
+// the scanning clock each time it crosses into a new log page. The log
+// is assumed to live on its own device (as is standard), so log reads do
+// not contend with data-page IO.
+type ScanCost struct {
+	// PageSize is the log page size in bytes.
+	PageSize int
+	// PerPage is the sequential read cost per log page.
+	PerPage sim.Duration
+}
+
+// DefaultScanCost matches the experiment defaults: 4 KB log pages at
+// 500 µs per sequential page read.
+func DefaultScanCost() ScanCost {
+	return ScanCost{PageSize: 4096, PerPage: 500 * sim.Microsecond}
+}
+
+// Log is an append-only write-ahead log. Appends land in the volatile
+// tail; Flush moves the stable boundary (the "end of stable log" that
+// EOSL communicates to the DC). A crash snapshot discards the volatile
+// tail.
+//
+// Log is not safe for concurrent use; the engine is single-threaded
+// over virtual time.
+type Log struct {
+	buf        []byte
+	flushedLSN LSN
+	frozen     bool
+
+	// appendCount tracks records appended, by type, for statistics.
+	appendCount map[Type]int64
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	buf := make([]byte, logHeaderSize)
+	copy(buf, logMagic[:])
+	binary.BigEndian.PutUint32(buf[8:], 1) // version
+	return &Log{
+		buf:         buf,
+		flushedLSN:  LSN(logHeaderSize),
+		appendCount: make(map[Type]int64),
+	}
+}
+
+// Append encodes rec at the log tail and returns its LSN. The record is
+// volatile until the next Flush.
+func (l *Log) Append(rec Record) (LSN, error) {
+	if l.frozen {
+		return NilLSN, fmt.Errorf("wal: append to frozen log")
+	}
+	lsn := LSN(len(l.buf))
+	body := rec.encodeBody(nil)
+	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(body)))
+	l.buf = append(l.buf, byte(rec.Type()))
+	l.buf = append(l.buf, body...)
+	l.appendCount[rec.Type()]++
+	return lsn, nil
+}
+
+// MustAppend is Append for call sites where the log cannot be frozen;
+// it panics on error.
+func (l *Log) MustAppend(rec Record) LSN {
+	lsn, err := l.Append(rec)
+	if err != nil {
+		panic(err)
+	}
+	return lsn
+}
+
+// Flush makes everything appended so far stable and returns the new end
+// of stable log (the eLSN of the EOSL protocol).
+func (l *Log) Flush() LSN {
+	l.flushedLSN = LSN(len(l.buf))
+	return l.flushedLSN
+}
+
+// FlushedLSN returns the end of the stable log: every record with
+// LSN < FlushedLSN survives a crash.
+func (l *Log) FlushedLSN() LSN { return l.flushedLSN }
+
+// EndLSN returns the LSN one past the last appended record (the LSN the
+// next Append will return).
+func (l *Log) EndLSN() LSN { return LSN(len(l.buf)) }
+
+// AppendCount reports how many records of type t have been appended.
+func (l *Log) AppendCount(t Type) int64 { return l.appendCount[t] }
+
+// Snapshot returns the crash-surviving view of the log: only the stable
+// prefix, frozen against appends. Recovery scans the snapshot.
+func (l *Log) Snapshot() *Log {
+	return &Log{
+		buf:         l.buf[:l.flushedLSN:l.flushedLSN],
+		flushedLSN:  l.flushedLSN,
+		frozen:      true,
+		appendCount: make(map[Type]int64),
+	}
+}
+
+// Clone returns a writable copy of the log's stable prefix. Recovery
+// clones the crash snapshot so undo can append CLRs and the recovered
+// engine can continue logging, while other recovery methods still see
+// the pristine snapshot.
+func (l *Log) Clone() *Log {
+	buf := make([]byte, l.flushedLSN)
+	copy(buf, l.buf[:l.flushedLSN])
+	return &Log{
+		buf:         buf,
+		flushedLSN:  l.flushedLSN,
+		appendCount: make(map[Type]int64),
+	}
+}
+
+// Get decodes the record at lsn. It does not charge IO; use it for
+// normal-operation rollback (the tail is in memory) and for undo
+// backchain walks, whose cost the paper treats as constant across
+// methods (§2.1).
+func (l *Log) Get(lsn LSN) (Record, error) {
+	rec, _, err := l.decodeAt(lsn)
+	return rec, err
+}
+
+func (l *Log) decodeAt(lsn LSN) (Record, LSN, error) {
+	off := int(lsn)
+	if off < logHeaderSize || off+frameHeaderSize > len(l.buf) {
+		return nil, NilLSN, fmt.Errorf("%w: %v (log end %d)", ErrOutOfRange, lsn, len(l.buf))
+	}
+	bodyLen := int(binary.BigEndian.Uint32(l.buf[off:]))
+	t := Type(l.buf[off+4])
+	bodyStart := off + frameHeaderSize
+	if bodyStart+bodyLen > len(l.buf) {
+		return nil, NilLSN, fmt.Errorf("%w: record at %v runs past log end", ErrTruncated, lsn)
+	}
+	rec, err := newRecord(t)
+	if err != nil {
+		return nil, NilLSN, err
+	}
+	if err := rec.decodeBody(l.buf[bodyStart : bodyStart+bodyLen]); err != nil {
+		return nil, NilLSN, fmt.Errorf("decoding %v at %v: %w", t, lsn, err)
+	}
+	return rec, LSN(bodyStart + bodyLen), nil
+}
+
+// Scanner iterates the stable log in order, charging sequential log-page
+// read costs to a clock (which may be nil for uncharged scans, e.g.
+// tests and statistics).
+type Scanner struct {
+	log   *Log
+	next  LSN
+	clock *sim.Clock
+	cost  ScanCost
+
+	// lastPage is the index of the log page most recently charged; -1
+	// before the first read.
+	lastPage  int64
+	pagesRead int64
+}
+
+// NewScanner returns a scanner positioned at from (use FirstLSN for the
+// whole log). clock may be nil to scan without charging IO.
+func (l *Log) NewScanner(from LSN, clock *sim.Clock, cost ScanCost) *Scanner {
+	if from < LSN(logHeaderSize) {
+		from = LSN(logHeaderSize)
+	}
+	if cost.PageSize <= 0 {
+		cost = DefaultScanCost()
+	}
+	return &Scanner{log: l, next: from, clock: clock, cost: cost, lastPage: -1}
+}
+
+// FirstLSN is the LSN of the first record in any log.
+func FirstLSN() LSN { return LSN(logHeaderSize) }
+
+// Next returns the next record and its LSN. It returns ok=false at the
+// end of the stable log.
+func (s *Scanner) Next() (Record, LSN, bool, error) {
+	if s.next >= s.log.flushedLSN {
+		return nil, NilLSN, false, nil
+	}
+	lsn := s.next
+	rec, end, err := s.log.decodeAt(lsn)
+	if err != nil {
+		return nil, NilLSN, false, err
+	}
+	s.charge(lsn, end)
+	s.next = end
+	return rec, lsn, true, nil
+}
+
+// charge bills sequential log-page reads for the byte range [from,to).
+func (s *Scanner) charge(from, to LSN) {
+	first := int64(from) / int64(s.cost.PageSize)
+	last := int64(to-1) / int64(s.cost.PageSize)
+	for p := first; p <= last; p++ {
+		if p <= s.lastPage {
+			continue
+		}
+		s.lastPage = p
+		s.pagesRead++
+		if s.clock != nil {
+			s.clock.Advance(s.cost.PerPage)
+		}
+	}
+}
+
+// PagesRead reports how many log pages the scanner has charged.
+func (s *Scanner) PagesRead() int64 { return s.pagesRead }

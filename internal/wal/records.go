@@ -1,0 +1,518 @@
+package wal
+
+import (
+	"fmt"
+
+	"logrec/internal/storage"
+)
+
+// ---------------------------------------------------------------------
+// Transactional data operations
+// ---------------------------------------------------------------------
+
+// UpdateRec logs an update of an existing row. Redo applies NewVal;
+// undo restores OldVal. The row is identified logically by (TableID,
+// Key); PageID is the physiological hint captured when the update ran.
+type UpdateRec struct {
+	TxnID   TxnID
+	TableID TableID
+	KeyVal  uint64
+	OldVal  []byte
+	NewVal  []byte
+	PageID  storage.PageID
+	PrevLSN LSN
+}
+
+func (r *UpdateRec) Type() Type          { return TypeUpdate }
+func (r *UpdateRec) Txn() TxnID          { return r.TxnID }
+func (r *UpdateRec) Prev() LSN           { return r.PrevLSN }
+func (r *UpdateRec) Table() TableID      { return r.TableID }
+func (r *UpdateRec) Key() uint64         { return r.KeyVal }
+func (r *UpdateRec) PID() storage.PageID { return r.PageID }
+
+func (r *UpdateRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU32(dst, uint32(r.TableID))
+	dst = putU64(dst, r.KeyVal)
+	dst = putBytes(dst, r.OldVal)
+	dst = putBytes(dst, r.NewVal)
+	dst = putU32(dst, uint32(r.PageID))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *UpdateRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.TableID = TableID(d.u32("table"))
+	r.KeyVal = d.u64("key")
+	r.OldVal = d.bytes("old")
+	r.NewVal = d.bytes("new")
+	r.PageID = storage.PageID(d.u32("pid"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeUpdate)
+}
+
+// InsertRec logs insertion of a new row. Redo inserts; undo deletes.
+type InsertRec struct {
+	TxnID   TxnID
+	TableID TableID
+	KeyVal  uint64
+	Val     []byte
+	PageID  storage.PageID
+	PrevLSN LSN
+}
+
+func (r *InsertRec) Type() Type          { return TypeInsert }
+func (r *InsertRec) Txn() TxnID          { return r.TxnID }
+func (r *InsertRec) Prev() LSN           { return r.PrevLSN }
+func (r *InsertRec) Table() TableID      { return r.TableID }
+func (r *InsertRec) Key() uint64         { return r.KeyVal }
+func (r *InsertRec) PID() storage.PageID { return r.PageID }
+
+func (r *InsertRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU32(dst, uint32(r.TableID))
+	dst = putU64(dst, r.KeyVal)
+	dst = putBytes(dst, r.Val)
+	dst = putU32(dst, uint32(r.PageID))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *InsertRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.TableID = TableID(d.u32("table"))
+	r.KeyVal = d.u64("key")
+	r.Val = d.bytes("val")
+	r.PageID = storage.PageID(d.u32("pid"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeInsert)
+}
+
+// DeleteRec logs deletion of a row. Redo deletes; undo re-inserts OldVal.
+type DeleteRec struct {
+	TxnID   TxnID
+	TableID TableID
+	KeyVal  uint64
+	OldVal  []byte
+	PageID  storage.PageID
+	PrevLSN LSN
+}
+
+func (r *DeleteRec) Type() Type          { return TypeDelete }
+func (r *DeleteRec) Txn() TxnID          { return r.TxnID }
+func (r *DeleteRec) Prev() LSN           { return r.PrevLSN }
+func (r *DeleteRec) Table() TableID      { return r.TableID }
+func (r *DeleteRec) Key() uint64         { return r.KeyVal }
+func (r *DeleteRec) PID() storage.PageID { return r.PageID }
+
+func (r *DeleteRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU32(dst, uint32(r.TableID))
+	dst = putU64(dst, r.KeyVal)
+	dst = putBytes(dst, r.OldVal)
+	dst = putU32(dst, uint32(r.PageID))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *DeleteRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.TableID = TableID(d.u32("table"))
+	r.KeyVal = d.u64("key")
+	r.OldVal = d.bytes("old")
+	r.PageID = storage.PageID(d.u32("pid"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeDelete)
+}
+
+// CLRKind distinguishes which operation a CLR compensates.
+type CLRKind uint8
+
+// CLR kinds.
+const (
+	CLRUndoUpdate CLRKind = iota + 1 // restore OldVal
+	CLRUndoInsert                    // delete the inserted key
+	CLRUndoDelete                    // re-insert the deleted row
+)
+
+// CLRRec is a compensation log record written during undo. It is
+// redo-only: UndoNextLSN points at the next record of the transaction
+// still to be undone, so undo never repeats work after a crash during
+// recovery. RestoreVal carries the value the undo wrote (empty for
+// CLRUndoInsert, which removes the key).
+type CLRRec struct {
+	TxnID       TxnID
+	TableID     TableID
+	KeyVal      uint64
+	Kind        CLRKind
+	RestoreVal  []byte
+	PageID      storage.PageID
+	UndoNextLSN LSN
+	PrevLSN     LSN
+}
+
+func (r *CLRRec) Type() Type          { return TypeCLR }
+func (r *CLRRec) Txn() TxnID          { return r.TxnID }
+func (r *CLRRec) Prev() LSN           { return r.PrevLSN }
+func (r *CLRRec) Table() TableID      { return r.TableID }
+func (r *CLRRec) Key() uint64         { return r.KeyVal }
+func (r *CLRRec) PID() storage.PageID { return r.PageID }
+
+func (r *CLRRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU32(dst, uint32(r.TableID))
+	dst = putU64(dst, r.KeyVal)
+	dst = putU8(dst, uint8(r.Kind))
+	dst = putBytes(dst, r.RestoreVal)
+	dst = putU32(dst, uint32(r.PageID))
+	dst = putU64(dst, uint64(r.UndoNextLSN))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *CLRRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.TableID = TableID(d.u32("table"))
+	r.KeyVal = d.u64("key")
+	r.Kind = CLRKind(d.u8("kind"))
+	r.RestoreVal = d.bytes("restore")
+	r.PageID = storage.PageID(d.u32("pid"))
+	r.UndoNextLSN = LSN(d.u64("undonext"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeCLR)
+}
+
+// ---------------------------------------------------------------------
+// Transaction termination
+// ---------------------------------------------------------------------
+
+// CommitRec ends a transaction successfully.
+type CommitRec struct {
+	TxnID   TxnID
+	PrevLSN LSN
+}
+
+func (r *CommitRec) Type() Type { return TypeCommit }
+func (r *CommitRec) Txn() TxnID { return r.TxnID }
+func (r *CommitRec) Prev() LSN  { return r.PrevLSN }
+
+func (r *CommitRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *CommitRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeCommit)
+}
+
+// AbortRec ends a transaction after its rollback completed.
+type AbortRec struct {
+	TxnID   TxnID
+	PrevLSN LSN
+}
+
+func (r *AbortRec) Type() Type { return TypeAbort }
+func (r *AbortRec) Txn() TxnID { return r.TxnID }
+func (r *AbortRec) Prev() LSN  { return r.PrevLSN }
+
+func (r *AbortRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *AbortRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeAbort)
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing (§3.2 penultimate scheme)
+// ---------------------------------------------------------------------
+
+// BeginCkptRec marks the start of a checkpoint. The flush of pages
+// dirtied before this record happens between begin and end.
+type BeginCkptRec struct{}
+
+func (r *BeginCkptRec) Type() Type                   { return TypeBeginCkpt }
+func (r *BeginCkptRec) encodeBody(dst []byte) []byte { return dst }
+func (r *BeginCkptRec) decodeBody(src []byte) error {
+	return newDecoder(src).finish(TypeBeginCkpt)
+}
+
+// ActiveTxn is one entry of the active-transaction table captured in an
+// end-checkpoint record: the transaction and its most recent LSN, so
+// undo can find losers whose records all precede the redo scan start.
+type ActiveTxn struct {
+	TxnID   TxnID
+	LastLSN LSN
+}
+
+// EndCkptRec completes a checkpoint: all pages dirtied by operations
+// before BeginLSN are now stable, so a crash after this record lets
+// recovery start its redo scan at BeginLSN with an empty DPT.
+type EndCkptRec struct {
+	// BeginLSN is the LSN of the matching BeginCkptRec.
+	BeginLSN LSN
+	// Active is the transaction table at checkpoint begin.
+	Active []ActiveTxn
+}
+
+func (r *EndCkptRec) Type() Type { return TypeEndCkpt }
+
+func (r *EndCkptRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.BeginLSN))
+	dst = putU32(dst, uint32(len(r.Active)))
+	for _, a := range r.Active {
+		dst = putU64(dst, uint64(a.TxnID))
+		dst = putU64(dst, uint64(a.LastLSN))
+	}
+	return dst
+}
+
+func (r *EndCkptRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.BeginLSN = LSN(d.u64("beginLSN"))
+	n := int(d.u32("nactive"))
+	if d.err == nil {
+		// Each entry is 16 encoded bytes; reject counts the remaining
+		// body cannot hold before allocating.
+		if n < 0 || d.off+16*n > len(d.src) {
+			d.fail("nactive")
+		} else {
+			r.Active = make([]ActiveTxn, 0, n)
+			for i := 0; i < n; i++ {
+				t := TxnID(d.u64("active.txn"))
+				l := LSN(d.u64("active.lastLSN"))
+				r.Active = append(r.Active, ActiveTxn{TxnID: t, LastLSN: l})
+			}
+		}
+	}
+	return d.finish(TypeEndCkpt)
+}
+
+// ---------------------------------------------------------------------
+// Flush / dirty tracking records
+// ---------------------------------------------------------------------
+
+// BWRec is SQL Server's Buffer Write log record (§3.3): the PIDs of
+// pages whose flushes completed since the previous BW record, plus the
+// end-of-stable-log captured at the first of those flushes (FW-LSN).
+// The SQL-style analysis pass uses it to prune the DPT (Algorithm 3).
+type BWRec struct {
+	WrittenSet []storage.PageID
+	FWLSN      LSN
+}
+
+func (r *BWRec) Type() Type { return TypeBW }
+
+func (r *BWRec) encodeBody(dst []byte) []byte {
+	dst = putPIDs(dst, r.WrittenSet)
+	dst = putU64(dst, uint64(r.FWLSN))
+	return dst
+}
+
+func (r *BWRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.WrittenSet = d.pids("writtenSet")
+	r.FWLSN = LSN(d.u64("fwLSN"))
+	return d.finish(TypeBW)
+}
+
+// DeltaRec is the DC's ∆-log record (§4.1):
+//
+//	∆-logRec = (DirtySet, WrittenSet, FW-LSN, FirstDirty, TC-LSN)
+//
+// DirtySet holds, in update order, the PIDs of pages dirtied since the
+// previous ∆ record. WrittenSet holds the PIDs whose flushes completed
+// in the interval. FWLSN is the TC end-of-stable-log at the first flush
+// of the interval. FirstDirty is the index in DirtySet of the first page
+// dirtied after that first flush. TCLSN is the eLSN from the most recent
+// EOSL when the record was written.
+//
+// Correctness requires every dirtied page to be captured in some ∆
+// record (§4.1); the tracker enforces this by flushing the record when
+// DirtySet reaches capacity.
+//
+// DirtyLSNs is the Appendix D.1 "perfect DPT" extension: when non-empty
+// it is parallel to DirtySet and carries the LSN of each dirtying
+// update, letting DC analysis build exactly the DPT SQL Server builds.
+type DeltaRec struct {
+	DirtySet   []storage.PageID
+	WrittenSet []storage.PageID
+	FWLSN      LSN
+	FirstDirty uint32
+	TCLSN      LSN
+	DirtyLSNs  []LSN
+}
+
+func (r *DeltaRec) Type() Type { return TypeDelta }
+
+func (r *DeltaRec) encodeBody(dst []byte) []byte {
+	dst = putPIDs(dst, r.DirtySet)
+	dst = putPIDs(dst, r.WrittenSet)
+	dst = putU64(dst, uint64(r.FWLSN))
+	dst = putU32(dst, r.FirstDirty)
+	dst = putU64(dst, uint64(r.TCLSN))
+	dst = putLSNs(dst, r.DirtyLSNs)
+	return dst
+}
+
+func (r *DeltaRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.DirtySet = d.pids("dirtySet")
+	r.WrittenSet = d.pids("writtenSet")
+	r.FWLSN = LSN(d.u64("fwLSN"))
+	r.FirstDirty = d.u32("firstDirty")
+	r.TCLSN = LSN(d.u64("tcLSN"))
+	r.DirtyLSNs = d.lsns("dirtyLSNs")
+	if err := d.finish(TypeDelta); err != nil {
+		return err
+	}
+	if len(r.DirtyLSNs) != 0 && len(r.DirtyLSNs) != len(r.DirtySet) {
+		return fmt.Errorf("%w: delta DirtyLSNs length %d != DirtySet length %d",
+			ErrBadRecord, len(r.DirtyLSNs), len(r.DirtySet))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// DC structure modifications
+// ---------------------------------------------------------------------
+
+// PageImage is a physiological after-image of one page.
+type PageImage struct {
+	PageID storage.PageID
+	Data   []byte
+}
+
+// TreeMeta is the B-tree metadata resulting from an SMO: the root page,
+// tree height and the page allocator's next PID. Replaying SMO records
+// in order leaves the allocator and root exactly as they were.
+type TreeMeta struct {
+	TableID TableID
+	Root    storage.PageID
+	Height  uint32
+	NextPID storage.PageID
+}
+
+// SMORec logs a B-tree structure modification (page split or root
+// growth) as after-images of every page the SMO changed, plus the
+// resulting tree metadata. SMO redo is physiological — the DC knows its
+// own PIDs (§4) — and idempotent via the images' embedded pLSNs.
+type SMORec struct {
+	Meta   TreeMeta
+	Images []PageImage
+}
+
+func (r *SMORec) Type() Type { return TypeSMO }
+
+func (r *SMORec) encodeBody(dst []byte) []byte {
+	dst = putU32(dst, uint32(r.Meta.TableID))
+	dst = putU32(dst, uint32(r.Meta.Root))
+	dst = putU32(dst, r.Meta.Height)
+	dst = putU32(dst, uint32(r.Meta.NextPID))
+	dst = putU32(dst, uint32(len(r.Images)))
+	for _, img := range r.Images {
+		dst = putU32(dst, uint32(img.PageID))
+		dst = putBytes(dst, img.Data)
+	}
+	return dst
+}
+
+func (r *SMORec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.Meta.TableID = TableID(d.u32("meta.table"))
+	r.Meta.Root = storage.PageID(d.u32("meta.root"))
+	r.Meta.Height = d.u32("meta.height")
+	r.Meta.NextPID = storage.PageID(d.u32("meta.nextPID"))
+	n := int(d.u32("nimages"))
+	if d.err == nil {
+		// Each image needs at least 8 encoded bytes (pid + empty data);
+		// reject impossible counts before allocating.
+		if n < 0 || d.off+8*n > len(d.src) {
+			d.fail("nimages")
+		} else {
+			r.Images = make([]PageImage, 0, n)
+			for i := 0; i < n; i++ {
+				pid := storage.PageID(d.u32("image.pid"))
+				data := d.bytes("image.data")
+				r.Images = append(r.Images, PageImage{PageID: pid, Data: data})
+			}
+		}
+	}
+	return d.finish(TypeSMO)
+}
+
+// RSSPRec records the redo-scan-start-point the TC sent to the DC via
+// the RSSP control operation (§4.2). During DC recovery, the DC starts
+// building its DPT at the first ∆ record whose TC-LSN exceeds the last
+// recorded rsspLSN.
+type RSSPRec struct {
+	RsspLSN LSN
+}
+
+func (r *RSSPRec) Type() Type { return TypeRSSP }
+
+func (r *RSSPRec) encodeBody(dst []byte) []byte {
+	return putU64(dst, uint64(r.RsspLSN))
+}
+
+func (r *RSSPRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.RsspLSN = LSN(d.u64("rsspLSN"))
+	return d.finish(TypeRSSP)
+}
+
+// newRecord allocates the record struct for a type tag.
+func newRecord(t Type) (Record, error) {
+	switch t {
+	case TypeUpdate:
+		return &UpdateRec{}, nil
+	case TypeInsert:
+		return &InsertRec{}, nil
+	case TypeDelete:
+		return &DeleteRec{}, nil
+	case TypeCommit:
+		return &CommitRec{}, nil
+	case TypeAbort:
+		return &AbortRec{}, nil
+	case TypeCLR:
+		return &CLRRec{}, nil
+	case TypeBeginCkpt:
+		return &BeginCkptRec{}, nil
+	case TypeEndCkpt:
+		return &EndCkptRec{}, nil
+	case TypeBW:
+		return &BWRec{}, nil
+	case TypeDelta:
+		return &DeltaRec{}, nil
+	case TypeSMO:
+		return &SMORec{}, nil
+	case TypeRSSP:
+		return &RSSPRec{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, uint8(t))
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ DataOp        = (*UpdateRec)(nil)
+	_ DataOp        = (*InsertRec)(nil)
+	_ DataOp        = (*DeleteRec)(nil)
+	_ DataOp        = (*CLRRec)(nil)
+	_ Transactional = (*CommitRec)(nil)
+	_ Transactional = (*AbortRec)(nil)
+)

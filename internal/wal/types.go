@@ -1,0 +1,156 @@
+// Package wal implements the shared write-ahead log used by both
+// recovery families, following §5.1 of the paper: one log carries the
+// TC's logical update records (table + key; the PID field is present but
+// ignored by logical recovery), commit/abort/CLR records, checkpoint
+// bracketing records, the SQL-Server-style BW-log records (§3.3), the
+// DC's ∆-log records (§4.1), and the DC's physiological SMO records.
+//
+// An LSN is the byte offset of a record in the log; the log begins with
+// a fixed header so offset 0 never addresses a record and can serve as
+// the nil LSN.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"logrec/internal/storage"
+)
+
+// LSN is a log sequence number: the byte offset of a record's frame in
+// the log. LSNs are totally ordered by log position.
+type LSN uint64
+
+// NilLSN is the absent LSN. The log's leading header guarantees no
+// record ever has it.
+const NilLSN LSN = 0
+
+func (l LSN) String() string { return fmt.Sprintf("lsn:%d", uint64(l)) }
+
+// TxnID identifies a transaction. TxnID 0 is reserved for non-
+// transactional (system) records.
+type TxnID uint64
+
+// TableID identifies a table (and its clustered B-tree) in the DC.
+type TableID uint32
+
+// Type tags a log record.
+type Type uint8
+
+// Log record types.
+const (
+	TypeInvalid Type = iota
+	// TypeUpdate is a transactional update of an existing record,
+	// identified logically by (Table, Key). The PID field exists so the
+	// same log can drive physiological recovery (§5.1); logical
+	// recovery ignores it.
+	TypeUpdate
+	// TypeInsert is a transactional insert of a new record.
+	TypeInsert
+	// TypeDelete is a transactional delete of an existing record.
+	TypeDelete
+	// TypeCommit ends a transaction successfully.
+	TypeCommit
+	// TypeAbort ends a transaction after rollback completes.
+	TypeAbort
+	// TypeCLR is a compensation log record written during undo.
+	TypeCLR
+	// TypeBeginCkpt marks the start of a penultimate checkpoint (§3.2).
+	TypeBeginCkpt
+	// TypeEndCkpt marks checkpoint completion; it names its begin
+	// record and carries the active-transaction table.
+	TypeEndCkpt
+	// TypeBW is SQL Server's Buffer Write record: the PIDs flushed
+	// since the previous BW record plus the first-write LSN (§3.3).
+	TypeBW
+	// TypeDelta is the DC's ∆-log record: DirtySet, WrittenSet, FW-LSN,
+	// FirstDirty and TC-LSN (§4.1). Appendix D variants add DirtyLSNs
+	// or omit FW-LSN/FirstDirty.
+	TypeDelta
+	// TypeSMO is a DC structure-modification record carrying
+	// physiological after-images of the pages changed by a B-tree
+	// split, plus the resulting tree metadata. DC recovery replays
+	// these before any TC redo so the B-tree is well-formed (§1.2).
+	TypeSMO
+	// TypeRSSP records the redo-scan-start-point LSN the TC sent via
+	// the RSSP control operation, so the DC knows where its own
+	// recovery scan begins (§4.2).
+	TypeRSSP
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeUpdate:
+		return "update"
+	case TypeInsert:
+		return "insert"
+	case TypeDelete:
+		return "delete"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeCLR:
+		return "clr"
+	case TypeBeginCkpt:
+		return "begin-ckpt"
+	case TypeEndCkpt:
+		return "end-ckpt"
+	case TypeBW:
+		return "bw"
+	case TypeDelta:
+		return "delta"
+	case TypeSMO:
+		return "smo"
+	case TypeRSSP:
+		return "rssp"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Record is a decodable log record.
+type Record interface {
+	// Type returns the record's type tag.
+	Type() Type
+	// encodeBody appends the record body (everything after the frame
+	// header) to dst and returns the extended slice.
+	encodeBody(dst []byte) []byte
+	// decodeBody parses the record body.
+	decodeBody(src []byte) error
+}
+
+// Transactional is implemented by records that belong to a transaction's
+// backward chain (updates, inserts, deletes, CLRs, commit, abort).
+type Transactional interface {
+	Record
+	// Txn returns the owning transaction.
+	Txn() TxnID
+	// Prev returns the previous LSN written by the same transaction,
+	// or NilLSN for its first record.
+	Prev() LSN
+}
+
+// DataOp is implemented by the three data-modifying record kinds plus
+// CLRs; it exposes the logical identity and the physiological hint that
+// both redo families need.
+type DataOp interface {
+	Transactional
+	// Table and Key identify the record logically.
+	Table() TableID
+	Key() uint64
+	// PID is the physiological page hint captured at normal-operation
+	// time. Logical recovery ignores it.
+	PID() storage.PageID
+}
+
+// Errors returned by log operations.
+var (
+	// ErrTruncated indicates a record frame extends past the end of the
+	// stable log.
+	ErrTruncated = errors.New("wal: truncated record")
+	// ErrBadRecord indicates a record body failed to parse.
+	ErrBadRecord = errors.New("wal: malformed record")
+	// ErrOutOfRange indicates an LSN outside the stable log.
+	ErrOutOfRange = errors.New("wal: LSN out of range")
+)

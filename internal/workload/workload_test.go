@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.UpdatesPerTxn = 0 },
+		func(c *Config) { c.ValueSize = 0 },
+		func(c *Config) { c.ReadFraction = 1.0 },
+		func(c *Config) { c.ReadFraction = -0.1 },
+		func(c *Config) { c.Dist = Zipf; c.ZipfS = 1.0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 1000
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		a, b := g1.NextOp(), g2.NextOp()
+		if a != b {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestUniformKeysInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 100
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	for i := 0; i < 10_000; i++ {
+		k := g.NextKey()
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k]++
+	}
+	// Uniformity sanity: every key hit at least once in 10k draws of
+	// 100 keys; no key takes more than 5% of draws.
+	if len(seen) != 100 {
+		t.Fatalf("only %d distinct keys", len(seen))
+	}
+	for k, n := range seen {
+		if n > 500 {
+			t.Fatalf("key %d drew %d times — not uniform", k, n)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 10_000
+	cfg.Dist = Zipf
+	cfg.ZipfS = 1.5
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := 0
+	for i := 0; i < 10_000; i++ {
+		if g.NextKey() < 10 {
+			top++
+		}
+	}
+	// With s=1.5 the hottest 0.1% of keys should absorb far more than
+	// their uniform share (which would be ~10 draws).
+	if top < 1000 {
+		t.Fatalf("top-10 keys drew only %d of 10000 — not skewed", top)
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 100
+	cfg.ReadFraction = 0.5
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if g.NextOp().Kind == OpRead {
+			reads++
+		}
+	}
+	if reads < n*4/10 || reads > n*6/10 {
+		t.Fatalf("reads = %d of %d, want ≈50%%", reads, n)
+	}
+}
+
+func TestValuesSizedAndDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 100
+	cfg.ValueSize = 92
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := g.InitialValue(5)
+	if len(v0) != 92 {
+		t.Fatalf("initial value size %d", len(v0))
+	}
+	v1 := g.UpdateValue(5)
+	v2 := g.UpdateValue(5)
+	if len(v1) != 92 || len(v2) != 92 {
+		t.Fatal("update value size wrong")
+	}
+	if string(v1) == string(v2) {
+		t.Fatal("successive update values identical (versioning broken)")
+	}
+	if string(v1) == string(v0) {
+		t.Fatal("update value equals initial value")
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipf.String() != "zipf" {
+		t.Fatal("distribution String broken")
+	}
+}

@@ -1,0 +1,131 @@
+// Package logrec is a from-scratch Go reproduction of
+//
+//	David Lomet, Kostas Tzoumas, Michael Zwilling.
+//	"Implementing Performance Competitive Logical Recovery."
+//	PVLDB 4(7), 2011 (VLDB 2011).
+//
+// It provides a Deuteronomy-style storage engine split into a
+// transactional component (TC: transactions, logical locking, logical
+// logging — no page IDs on the log) and a data component (DC: B-tree,
+// buffer pool, page storage), five crash-recovery implementations for
+// side-by-side comparison over one shared log, and the paper's full
+// experiment harness.
+//
+// # Quick start
+//
+//	cfg := logrec.DefaultConfig()
+//	eng, err := logrec.New(cfg)           // empty database
+//	err = eng.Load(100_000, valueFn)      // bulk load + first checkpoint
+//
+//	txn := eng.TC.Begin()
+//	err = eng.TC.Update(txn, cfg.TableID, key, newValue)
+//	err = eng.TC.Commit(txn)
+//	err = eng.TC.Checkpoint()
+//
+//	crash := eng.Crash()                  // freeze stable state
+//	recovered, metrics, err := logrec.Recover(crash, logrec.Log2, logrec.DefaultOptions(cfg))
+//
+// # Recovery methods (§5.2 of the paper)
+//
+//	Log0 — basic logical redo (Algorithm 2)
+//	Log1 — logical redo + DPT from ∆-log records (Algorithms 4, 5)
+//	Log2 — Log1 + index preload and PF-list prefetch (Appendix A)
+//	SQL1 — physiological (ARIES/SQL Server) redo + analysis DPT (Algorithms 3, 1)
+//	SQL2 — SQL1 + log-driven read-ahead
+//
+// All engines run over a deterministic virtual clock and a simulated
+// disk, so recovery times are reproducible; see DESIGN.md for the
+// substitution rationale and EXPERIMENTS.md for paper-vs-measured
+// results.
+package logrec
+
+import (
+	"logrec/internal/core"
+	"logrec/internal/engine"
+	"logrec/internal/harness"
+	"logrec/internal/tracker"
+	"logrec/internal/workload"
+)
+
+// Engine is a running TC+DC database over a virtual clock.
+type Engine = engine.Engine
+
+// Config parameterises an engine.
+type Config = engine.Config
+
+// CrashState is the stable state surviving a crash; fork it with
+// Recover as many times as you like.
+type CrashState = engine.CrashState
+
+// New creates an engine over an empty database.
+func New(cfg Config) (*Engine, error) { return engine.New(cfg) }
+
+// DefaultConfig returns the paper-proportional defaults.
+func DefaultConfig() Config { return engine.DefaultConfig() }
+
+// Method selects a recovery algorithm.
+type Method = core.Method
+
+// The five recovery methods of the paper's §5.2.
+const (
+	Log0 = core.Log0
+	Log1 = core.Log1
+	Log2 = core.Log2
+	SQL1 = core.SQL1
+	SQL2 = core.SQL2
+)
+
+// Methods returns all five methods in the paper's presentation order.
+func Methods() []Method { return core.Methods() }
+
+// Options tunes a recovery run.
+type Options = core.Options
+
+// Metrics reports a recovery run's phase times and IO behaviour.
+type Metrics = core.Metrics
+
+// DefaultOptions derives recovery options from an engine config.
+func DefaultOptions(cfg Config) Options { return core.DefaultOptions(cfg) }
+
+// Recover replays a crash under the chosen method and returns a fully
+// recovered, usable engine plus metrics.
+func Recover(cs *CrashState, m Method, opt Options) (*Engine, *Metrics, error) {
+	return core.Recover(cs, m, opt)
+}
+
+// DeltaVariant selects ∆-log record fidelity (Appendix D).
+type DeltaVariant = tracker.Variant
+
+// ∆-record variants (Appendix D).
+const (
+	DeltaStandard = tracker.DeltaStandard
+	DeltaPerfect  = tracker.DeltaPerfect
+	DeltaReduced  = tracker.DeltaReduced
+)
+
+// ExperimentConfig parameterises a crash-recovery experiment.
+type ExperimentConfig = harness.Config
+
+// CrashResult is a built crash plus its verification oracle.
+type CrashResult = harness.CrashResult
+
+// DefaultExperimentConfig returns the paper's experiment setup at the
+// repository's default scale.
+func DefaultExperimentConfig() ExperimentConfig { return harness.DefaultConfig() }
+
+// BuildCrash drives the paper's workload to its crash condition.
+func BuildCrash(cfg ExperimentConfig) (*CrashResult, error) { return harness.BuildCrash(cfg) }
+
+// RunRecovery recovers a crash under one method and verifies the
+// recovered state against the oracle.
+func RunRecovery(res *CrashResult, m Method, opt Options) (*Metrics, error) {
+	return harness.RunRecovery(res, m, opt)
+}
+
+// RunAll recovers the same crash under every method.
+func RunAll(res *CrashResult, opt Options) (map[Method]*Metrics, error) {
+	return harness.RunAll(res, opt)
+}
+
+// WorkloadConfig parameterises the paper's update workload.
+type WorkloadConfig = workload.Config

@@ -1,0 +1,104 @@
+package logrec_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"logrec"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface exactly as the
+// README shows it.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := logrec.DefaultConfig()
+	cfg.CachePages = 256
+
+	eng, err := logrec.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(5_000, func(k uint64) []byte {
+		return []byte(fmt.Sprintf("value-%08d", k))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 50; i++ {
+		txn := eng.TC.Begin()
+		for u := 0; u < 10; u++ {
+			k := uint64((i*10 + u) % 5000)
+			if err := eng.TC.Update(txn, cfg.TableID, k, []byte(fmt.Sprintf("upd-%03d-%05d", i, k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.TC.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 19 {
+			if err := eng.TC.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	crash := eng.Crash()
+
+	for _, m := range logrec.Methods() {
+		rec, met, err := logrec.Recover(crash, m, logrec.DefaultOptions(cfg))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if met.Method != m {
+			t.Fatalf("metrics method %v, want %v", met.Method, m)
+		}
+		v, found, err := rec.DC.Tree().Search(10)
+		if err != nil || !found {
+			t.Fatalf("%v: key 10 missing", m)
+		}
+		if !bytes.HasPrefix(v, []byte("upd-")) {
+			t.Fatalf("%v: key 10 = %q, want an updated value", m, v)
+		}
+	}
+}
+
+// TestExperimentAPI exercises the harness re-exports.
+func TestExperimentAPI(t *testing.T) {
+	cfg := logrec.DefaultExperimentConfig().Scaled(40).WithCacheFraction(0.08)
+	res, err := logrec.BuildCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mets, err := logrec.RunAll(res, logrec.DefaultOptions(cfg.Engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mets) != 5 {
+		t.Fatalf("%d methods", len(mets))
+	}
+	if mets[logrec.Log0].RedoTotal < mets[logrec.Log2].RedoTotal {
+		t.Fatal("Log0 beat Log2")
+	}
+	single, err := logrec.RunRecovery(res, logrec.SQL2, logrec.DefaultOptions(cfg.Engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Method != logrec.SQL2 {
+		t.Fatal("wrong method in metrics")
+	}
+}
+
+// TestDeltaVariantsExported checks the Appendix D variant knob via the
+// public API.
+func TestDeltaVariantsExported(t *testing.T) {
+	for _, v := range []logrec.DeltaVariant{logrec.DeltaStandard, logrec.DeltaPerfect, logrec.DeltaReduced} {
+		cfg := logrec.DefaultExperimentConfig().Scaled(40).WithCacheFraction(0.08)
+		cfg.Engine.DC.Tracker.Variant = v
+		res, err := logrec.BuildCrash(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if _, err := logrec.RunRecovery(res, logrec.Log1, logrec.DefaultOptions(cfg.Engine)); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
