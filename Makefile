@@ -1,0 +1,37 @@
+# CI and humans invoke the same targets (.github/workflows/ci.yml runs
+# exactly these).
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full write-path sweep: emits BENCH_wal.json, then runs the Go bench
+# cases once each.
+bench:
+	$(GO) run ./cmd/walbench
+	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
+
+# Short smoke sweep for CI artifact upload.
+bench-smoke:
+	$(GO) run ./cmd/walbench -quick
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check test race

@@ -1,0 +1,3 @@
+module logrec
+
+go 1.22

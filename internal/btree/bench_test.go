@@ -108,4 +108,3 @@ func BenchmarkScan(b *testing.B) {
 		}
 	}
 }
-

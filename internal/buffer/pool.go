@@ -14,6 +14,7 @@ package buffer
 import (
 	"container/list"
 	"fmt"
+	"sync"
 
 	"logrec/internal/page"
 	"logrec/internal/sim"
@@ -56,8 +57,11 @@ type Stats struct {
 	NewPages   int64
 }
 
-// Pool is the buffer pool. Not safe for concurrent use; the engine is
-// single-threaded over virtual time.
+// Pool is the buffer pool. A single mutex guards the page map, the
+// clock state and the statistics, so the hot lookup path (Get /
+// GetIfCached) is safe under concurrent sessions; frame *contents* are
+// still owned by whoever holds the page pinned (the DC serializes data
+// operations behind the engine mutex).
 //
 // Replacement is second-chance (clock), the approximation of LRU real
 // engines use: every touch sets a frame's reference bit; the sweep
@@ -69,6 +73,10 @@ type Stats struct {
 type Pool struct {
 	disk     *storage.Disk
 	capacity int
+
+	// mu guards every field below. Internal helpers (ensureRoom,
+	// maybeClean, flushFrame) assume it is held.
+	mu sync.Mutex
 
 	frames map[storage.PageID]*Frame
 	// clock is the circular sweep order (insertion order); hand is the
@@ -141,58 +149,109 @@ func New(disk *storage.Disk, capacity int) (*Pool, error) {
 func (p *Pool) Disk() *storage.Disk { return p.disk }
 
 // SetFlushHook subscribes fn to flush completions.
-func (p *Pool) SetFlushHook(fn func(pid storage.PageID, done sim.Time)) { p.onFlush = fn }
+func (p *Pool) SetFlushHook(fn func(pid storage.PageID, done sim.Time)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onFlush = fn
+}
 
 // SetLogForce installs the WAL-protocol log-force callback.
-func (p *Pool) SetLogForce(fn func() wal.LSN) { p.forceLog = fn }
+func (p *Pool) SetLogForce(fn func() wal.LSN) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.forceLog = fn
+}
 
 // SetELSN records a new end-of-stable-log from the TC's EOSL control
-// operation. eLSN never moves backward.
+// operation. eLSN never moves backward. Safe from any goroutine (the
+// group-commit flusher publishes EOSL from outside the engine mutex).
 func (p *Pool) SetELSN(lsn wal.LSN) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.setELSN(lsn)
+}
+
+func (p *Pool) setELSN(lsn wal.LSN) {
 	if lsn > p.eLSN {
 		p.eLSN = lsn
 	}
 }
 
 // ELSN returns the pool's view of the end of the stable TC log.
-func (p *Pool) ELSN() wal.LSN { return p.eLSN }
+func (p *Pool) ELSN() wal.LSN {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.eLSN
+}
 
 // Capacity returns the pool capacity in pages.
 func (p *Pool) Capacity() int { return p.capacity }
 
 // Len returns the number of cached pages.
-func (p *Pool) Len() int { return len(p.frames) }
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
 
 // Stats returns a copy of the pool statistics.
-func (p *Pool) Stats() Stats { return p.stats }
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
 
 // ResetStats zeroes the statistics.
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
 
 // SetCleanerTarget sets the lazywriter's dirty-fraction ceiling
 // (0 disables the lazywriter entirely).
-func (p *Pool) SetCleanerTarget(frac float64) { p.cleanerTarget = frac }
+func (p *Pool) SetCleanerTarget(frac float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cleanerTarget = frac
+}
 
 // SetCleanerRate sets the rate term: one background flush per every
 // cleanerEvery page dirtyings (0 disables the rate term).
-func (p *Pool) SetCleanerRate(every int) { p.cleanerEvery = every }
+func (p *Pool) SetCleanerRate(every int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cleanerEvery = every
+}
 
 // SuspendCleaner holds the lazywriter off until ResumeCleaner.
-func (p *Pool) SuspendCleaner() { p.cleanerSuspended = true }
+func (p *Pool) SuspendCleaner() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cleanerSuspended = true
+}
 
 // ResumeCleaner re-enables the lazywriter and runs a catch-up pass.
 func (p *Pool) ResumeCleaner() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.cleanerSuspended = false
 	p.maybeClean()
 }
 
 // DirtyCount returns the number of dirty frames — the quantity Figure
 // 2(b) reports as a percentage of the cache.
-func (p *Pool) DirtyCount() int { return p.dirty }
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirty
+}
 
 // DirtyPIDs returns the PIDs of all dirty frames (test oracle for DPT
 // safety).
 func (p *Pool) DirtyPIDs() []storage.PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]storage.PageID, 0, 16)
 	for pid, f := range p.frames {
 		if f.Dirty {
@@ -206,6 +265,8 @@ func (p *Pool) DirtyPIDs() []storage.PageID {
 // advances the virtual clock per the disk model) and evicting as
 // needed. The frame is pinned; callers must Unpin.
 func (p *Pool) Get(pid storage.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[pid]; ok {
 		p.stats.Hits++
 		f.pins++
@@ -228,6 +289,8 @@ func (p *Pool) Get(pid storage.PageID) (*Frame, error) {
 
 // GetIfCached returns the pinned frame if present, else nil.
 func (p *Pool) GetIfCached(pid storage.PageID) *Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, ok := p.frames[pid]
 	if !ok {
 		return nil
@@ -240,6 +303,8 @@ func (p *Pool) GetIfCached(pid storage.PageID) *Frame {
 
 // Contains reports whether pid is cached, without touching LRU state.
 func (p *Pool) Contains(pid storage.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.frames[pid]
 	return ok
 }
@@ -247,6 +312,8 @@ func (p *Pool) Contains(pid storage.PageID) bool {
 // NewPage allocates a pinned frame for a brand-new page (no disk read)
 // formatted as type t. Used by B-tree page allocation.
 func (p *Pool) NewPage(pid storage.PageID, t page.Type) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.frames[pid]; ok {
 		return nil, fmt.Errorf("buffer: NewPage of cached page %d", pid)
 	}
@@ -263,6 +330,8 @@ func (p *Pool) NewPage(pid storage.PageID, t page.Type) (*Frame, error) {
 
 // Unpin releases one pin on f.
 func (p *Pool) Unpin(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", f.PID))
 	}
@@ -274,6 +343,8 @@ func (p *Pool) Unpin(f *Frame) {
 // lazywriter's ceiling triggers background cleaning of cold dirty
 // pages.
 func (p *Pool) MarkDirty(f *Frame, lsn wal.LSN) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !f.Dirty {
 		f.Dirty = true
 		f.RecLSN = lsn
@@ -323,7 +394,7 @@ func (p *Pool) maybeClean() {
 		if !f.Dirty || f.pins > 0 {
 			continue
 		}
-		if err := p.FlushFrame(f); err != nil {
+		if err := p.flushFrame(f); err != nil {
 			return
 		}
 		want--
@@ -358,7 +429,7 @@ func (p *Pool) ensureRoom() error {
 		}
 		if f.Dirty {
 			p.stats.DirtyEvict++
-			if err := p.FlushFrame(f); err != nil {
+			if err := p.flushFrame(f); err != nil {
 				return err
 			}
 		}
@@ -377,6 +448,16 @@ func (p *Pool) ensureRoom() error {
 // updates beyond the stable log, the log is forced first. The flush
 // hook fires with the write's completion time.
 func (p *Pool) FlushFrame(f *Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushFrame(f)
+}
+
+// flushFrame is FlushFrame with p.mu held. The log-force and flush-hook
+// callbacks are invoked while the pool lock is held; they append to the
+// (internally locked) WAL and feed the tracker, neither of which calls
+// back into the pool.
+func (p *Pool) flushFrame(f *Frame) error {
 	if !f.Dirty {
 		return nil
 	}
@@ -386,7 +467,7 @@ func (p *Pool) FlushFrame(f *Frame) error {
 				f.PID, f.LastLSN, p.eLSN)
 		}
 		p.stats.LogForces++
-		p.SetELSN(p.forceLog())
+		p.setELSN(p.forceLog())
 		if f.LastLSN > p.eLSN {
 			return fmt.Errorf("buffer: WAL violation persists for page %d after log force", f.PID)
 		}
@@ -409,6 +490,8 @@ func (p *Pool) FlushFrame(f *Frame) error {
 // on carry the new value and are exempt from the in-progress
 // checkpoint's flushing (§3.2).
 func (p *Pool) BeginCheckpointFlip() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.ckptBit = !p.ckptBit
 }
 
@@ -416,9 +499,11 @@ func (p *Pool) BeginCheckpointFlip() {
 // recent BeginCheckpointFlip (old bit value). On return, all updates
 // logged before the begin-checkpoint record are stable.
 func (p *Pool) FlushForCheckpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.Dirty && f.CkptBit != p.ckptBit {
-			if err := p.FlushFrame(f); err != nil {
+			if err := p.flushFrame(f); err != nil {
 				return err
 			}
 		}
@@ -428,8 +513,10 @@ func (p *Pool) FlushForCheckpoint() error {
 
 // FlushAll flushes every dirty frame (clean shutdown; test oracles).
 func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, f := range p.frames {
-		if err := p.FlushFrame(f); err != nil {
+		if err := p.flushFrame(f); err != nil {
 			return err
 		}
 	}
@@ -442,6 +529,8 @@ func (p *Pool) FlushAll() error {
 // skipped because already cached — so pacing cursors know where to
 // resume. A return short of len(pids) means the pool has no room.
 func (p *Pool) Prefetch(pids []storage.PageID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	free := p.capacity - len(p.frames) - p.disk.InflightCount()
 	consumed := 0
 	want := make([]storage.PageID, 0, len(pids))
@@ -463,6 +552,8 @@ func (p *Pool) Prefetch(pids []storage.PageID) int {
 // Drop removes pid from the pool without flushing (crash simulation and
 // tests only).
 func (p *Pool) Drop(pid storage.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[pid]; ok {
 		if p.hand == f.elem {
 			p.hand = f.elem.Next()

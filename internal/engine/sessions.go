@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"time"
+
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+)
+
+// NewSessionManager puts the engine into multi-client mode: it wraps
+// the shared log in a wal.GroupCommitter (batched log forces, EOSL
+// published to the DC once per batch) and returns a tc.SessionManager
+// from which each client goroutine obtains its own Session.
+//
+// flushDelay is the emulated stable-write latency of the log device in
+// *real* time — the window the batch leader lingers so concurrent
+// commits coalesce. Zero batches only what is already waiting (fastest
+// for tests); ~100µs models a fast NVMe log force and is what the
+// walbench driver uses.
+//
+// The single-threaded TC methods (Begin/Commit via e.TC) remain usable
+// for the recovery experiments; once a session manager exists, drive
+// all transactions through it.
+func (e *Engine) NewSessionManager(flushDelay time.Duration) *tc.SessionManager {
+	gc := wal.NewGroupCommitter(e.Log, func(eLSN wal.LSN) { e.DC.EOSL(eLSN) }, flushDelay)
+	return tc.NewSessionManager(e.TC, gc)
+}

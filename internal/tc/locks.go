@@ -3,14 +3,17 @@ package tc
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"logrec/internal/wal"
 )
 
 // ErrLockConflict indicates a lock request that conflicts with another
-// transaction's lock. The engine is single-threaded over virtual time,
-// so conflicts surface immediately rather than blocking; callers may
-// abort and retry.
+// transaction's lock. Conflicts surface immediately rather than
+// blocking (no-wait locking); callers may abort and retry. This keeps
+// the single-threaded virtual-time experiments deterministic and gives
+// concurrent sessions a deadlock-free discipline.
 var ErrLockConflict = errors.New("tc: lock conflict")
 
 // LockMode is the requested access mode.
@@ -42,20 +45,45 @@ type lockState struct {
 	holders map[wal.TxnID]struct{}
 }
 
+// lockShards is the number of hash shards in the lock table. Sharding
+// cuts mutex contention when many sessions acquire locks concurrently;
+// 64 shards keep the per-commit release sweep cheap while making
+// same-shard collisions rare at realistic session counts.
+const lockShards = 64
+
+// lockShard is one hash shard: an independently locked slice of the
+// lock space with its own per-transaction held lists. heldTxns counts
+// transactions with entries in held; ReleaseAll and HeldBy read it to
+// skip (without locking) shards where no transaction holds anything.
+type lockShard struct {
+	mu       sync.Mutex
+	locks    map[lockKey]*lockState
+	held     map[wal.TxnID][]lockKey
+	heldTxns atomic.Int64
+}
+
 // LockTable is a strict two-phase-locking lock manager over logical
-// record identities. Locks are held until commit or abort.
+// record identities, sharded by hash of (table, key). Locks are held
+// until commit or abort. Safe for concurrent use.
 type LockTable struct {
-	locks map[lockKey]*lockState
-	// held tracks each transaction's locks for O(held) release.
-	held map[wal.TxnID][]lockKey
+	shards [lockShards]lockShard
 }
 
 // NewLockTable returns an empty lock table.
 func NewLockTable() *LockTable {
-	return &LockTable{
-		locks: make(map[lockKey]*lockState),
-		held:  make(map[wal.TxnID][]lockKey),
+	lt := &LockTable{}
+	for i := range lt.shards {
+		lt.shards[i].locks = make(map[lockKey]*lockState)
+		lt.shards[i].held = make(map[wal.TxnID][]lockKey)
 	}
+	return lt
+}
+
+// shardOf hashes (table, key) onto a shard (Fibonacci hashing on the
+// key mixed with the table).
+func (lt *LockTable) shardOf(k lockKey) *lockShard {
+	h := (k.key ^ (uint64(k.table) << 32)) * 0x9E3779B97F4A7C15
+	return &lt.shards[h>>(64-6)] // top 6 bits → 64 shards
 }
 
 // Acquire grants txn a lock on (table, key) in the requested mode,
@@ -63,10 +91,13 @@ func NewLockTable() *LockTable {
 // ErrLockConflict when another transaction holds an incompatible lock.
 func (lt *LockTable) Acquire(txn wal.TxnID, table wal.TableID, key uint64, mode LockMode) error {
 	k := lockKey{table: table, key: key}
-	st, ok := lt.locks[k]
+	sh := lt.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.locks[k]
 	if !ok {
-		lt.locks[k] = &lockState{mode: mode, holders: map[wal.TxnID]struct{}{txn: {}}}
-		lt.held[txn] = append(lt.held[txn], k)
+		sh.locks[k] = &lockState{mode: mode, holders: map[wal.TxnID]struct{}{txn: {}}}
+		sh.noteHeld(txn, k)
 		return nil
 	}
 	if _, holds := st.holders[txn]; holds {
@@ -81,30 +112,74 @@ func (lt *LockTable) Acquire(txn wal.TxnID, table wal.TableID, key uint64, mode 
 	}
 	if st.mode == LockShared && mode == LockShared {
 		st.holders[txn] = struct{}{}
-		lt.held[txn] = append(lt.held[txn], k)
+		sh.noteHeld(txn, k)
 		return nil
 	}
 	return fmt.Errorf("%w: txn %d wants %v on table %d key %d held %v by %d txn(s)",
 		ErrLockConflict, txn, mode, table, key, st.mode, len(st.holders))
 }
 
-// ReleaseAll drops every lock txn holds (commit/abort).
+// noteHeld appends k to txn's held list; caller holds sh.mu.
+func (sh *lockShard) noteHeld(txn wal.TxnID, k lockKey) {
+	if _, ok := sh.held[txn]; !ok {
+		sh.heldTxns.Add(1)
+	}
+	sh.held[txn] = append(sh.held[txn], k)
+}
+
+// ReleaseAll drops every lock txn holds (commit/abort). Shards where no
+// transaction holds anything are skipped without locking: the releasing
+// goroutine's own acquires happened-before this call, so heldTxns == 0
+// proves txn holds nothing there.
 func (lt *LockTable) ReleaseAll(txn wal.TxnID) {
-	for _, k := range lt.held[txn] {
-		st, ok := lt.locks[k]
-		if !ok {
+	for i := range lt.shards {
+		sh := &lt.shards[i]
+		if sh.heldTxns.Load() == 0 {
 			continue
 		}
-		delete(st.holders, txn)
-		if len(st.holders) == 0 {
-			delete(lt.locks, k)
+		sh.mu.Lock()
+		keys, ok := sh.held[txn]
+		if ok {
+			for _, k := range keys {
+				st, ok := sh.locks[k]
+				if !ok {
+					continue
+				}
+				delete(st.holders, txn)
+				if len(st.holders) == 0 {
+					delete(sh.locks, k)
+				}
+			}
+			delete(sh.held, txn)
+			sh.heldTxns.Add(-1)
 		}
+		sh.mu.Unlock()
 	}
-	delete(lt.held, txn)
 }
 
 // Count returns the number of locked resources (tests and stats).
-func (lt *LockTable) Count() int { return len(lt.locks) }
+func (lt *LockTable) Count() int {
+	n := 0
+	for i := range lt.shards {
+		sh := &lt.shards[i]
+		sh.mu.Lock()
+		n += len(sh.locks)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // HeldBy returns how many locks txn currently holds.
-func (lt *LockTable) HeldBy(txn wal.TxnID) int { return len(lt.held[txn]) }
+func (lt *LockTable) HeldBy(txn wal.TxnID) int {
+	n := 0
+	for i := range lt.shards {
+		sh := &lt.shards[i]
+		if sh.heldTxns.Load() == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		n += len(sh.held[txn])
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+// Concurrent TC sessions. The recovery experiments drive the TC
+// single-threaded over virtual time; this file adds the multi-client
+// write path of a served system: N goroutines each own a Session and
+// run Begin/Update/Commit loops concurrently.
+//
+// Concurrency discipline (lock order: engine mutex → component locks):
+//
+//   - logical locks are acquired in the sharded LockTable *outside* the
+//     engine mutex, so lock traffic from different sessions only
+//     contends per shard;
+//   - DC data operations (B-tree, buffer pool, virtual clock) and the
+//     transaction table are serialized behind the SessionManager's
+//     engine mutex — the DC remains single-threaded internally, as in
+//     the paper's prototype;
+//   - commit durability waits happen *outside* the engine mutex through
+//     the wal.GroupCommitter, which is what lets many sessions overlap
+//     their commit waits and share one log force (group commit).
+package tc
+
+import (
+	"errors"
+	"sync"
+
+	"logrec/internal/wal"
+)
+
+// ErrSessionBusy indicates Begin on a session whose transaction is
+// still active.
+var ErrSessionBusy = errors.New("tc: session already has an active transaction")
+
+// SessionManager multiplexes concurrent sessions over one TC. Create it
+// once, then NewSession per client goroutine.
+type SessionManager struct {
+	tc *TC
+	gc *wal.GroupCommitter
+
+	// mu is the engine mutex: it serializes the DC (tree, pool, clock),
+	// the log tail ordering relative to page stamps, and the TC's
+	// transaction table.
+	mu sync.Mutex
+}
+
+// NewSessionManager wraps tc for concurrent use, routing every log
+// append through gc so commits batch.
+func NewSessionManager(t *TC, gc *wal.GroupCommitter) *SessionManager {
+	t.SetAppender(gc)
+	return &SessionManager{tc: t, gc: gc}
+}
+
+// TC returns the underlying transactional component.
+func (m *SessionManager) TC() *TC { return m.tc }
+
+// GroupCommitter returns the committer batching this manager's flushes.
+func (m *SessionManager) GroupCommitter() *wal.GroupCommitter { return m.gc }
+
+// Checkpoint runs the TC checkpoint protocol under the engine mutex.
+func (m *SessionManager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tc.Checkpoint()
+}
+
+// Session is one client's handle: a single goroutine drives a session,
+// one transaction at a time. Different sessions are independent.
+type Session struct {
+	mgr *SessionManager
+	txn *Txn
+}
+
+// NewSession creates a session. Safe to call concurrently.
+func (m *SessionManager) NewSession() *Session { return &Session{mgr: m} }
+
+// Txn returns the session's current transaction (nil between
+// transactions).
+func (s *Session) Txn() *Txn { return s.txn }
+
+// Begin starts the session's next transaction.
+func (s *Session) Begin() error {
+	if s.txn != nil && s.txn.status == StatusActive {
+		return ErrSessionBusy
+	}
+	s.mgr.mu.Lock()
+	s.txn = s.mgr.tc.Begin()
+	s.mgr.mu.Unlock()
+	return nil
+}
+
+// checkActive validates the session's transaction without touching the
+// shared transaction table (the session goroutine is the only writer of
+// its own txn's status).
+func (s *Session) checkActive() error {
+	if s.txn == nil || s.txn.status != StatusActive {
+		return ErrTxnNotActive
+	}
+	return nil
+}
+
+// Read returns the value under (table, key) with a shared lock.
+func (s *Session) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
+	if err := s.checkActive(); err != nil {
+		return nil, false, err
+	}
+	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockShared); err != nil {
+		return nil, false, err
+	}
+	s.mgr.mu.Lock()
+	defer s.mgr.mu.Unlock()
+	return s.mgr.tc.dc.Read(table, key)
+}
+
+// Update replaces the value under (table, key) within the session's
+// transaction. Lock conflicts return ErrLockConflict immediately
+// (no-wait); callers abort and retry.
+func (s *Session) Update(table wal.TableID, key uint64, newVal []byte) error {
+	if err := s.checkActive(); err != nil {
+		return err
+	}
+	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockExclusive); err != nil {
+		return err
+	}
+	s.mgr.mu.Lock()
+	defer s.mgr.mu.Unlock()
+	return s.mgr.tc.applyUpdate(s.txn, table, key, newVal)
+}
+
+// Insert adds a new row within the session's transaction.
+func (s *Session) Insert(table wal.TableID, key uint64, val []byte) error {
+	if err := s.checkActive(); err != nil {
+		return err
+	}
+	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockExclusive); err != nil {
+		return err
+	}
+	s.mgr.mu.Lock()
+	defer s.mgr.mu.Unlock()
+	return s.mgr.tc.applyInsert(s.txn, table, key, val)
+}
+
+// Delete removes a row within the session's transaction.
+func (s *Session) Delete(table wal.TableID, key uint64) error {
+	if err := s.checkActive(); err != nil {
+		return err
+	}
+	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockExclusive); err != nil {
+		return err
+	}
+	s.mgr.mu.Lock()
+	defer s.mgr.mu.Unlock()
+	return s.mgr.tc.applyDelete(s.txn, table, key)
+}
+
+// Commit ends the transaction: the commit record is appended under the
+// engine mutex, then the session waits for a group-commit batch flush
+// to cover it — outside the mutex, so concurrent committers share one
+// log force and one EOSL push.
+//
+// Locks release before the durability wait (early lock release). That
+// is safe because the log flushes in prefix order: any transaction that
+// read this one's writes appends its own commit record later, so it
+// cannot become durable unless this commit is durable too.
+func (s *Session) Commit() error {
+	if err := s.checkActive(); err != nil {
+		return err
+	}
+	t := s.txn
+	m := s.mgr
+	m.mu.Lock()
+	lsn := m.tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	m.tc.finishTxn(t, StatusCommitted)
+	m.mu.Unlock()
+
+	m.tc.locks.ReleaseAll(t.ID)
+	m.gc.WaitStable(lsn)
+	s.txn = nil
+	return nil
+}
+
+// Abort rolls the transaction back (logical undo with CLRs, under the
+// engine mutex) and releases its locks. The abort record needs no
+// force: it becomes stable with the next batch, and recovery rolls back
+// uncommitted transactions regardless.
+func (s *Session) Abort() error {
+	if err := s.checkActive(); err != nil {
+		return err
+	}
+	t := s.txn
+	m := s.mgr
+	m.mu.Lock()
+	if err := m.tc.rollback(t); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	lsn := m.tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
+	t.lastLSN = lsn
+	m.tc.finishTxn(t, StatusAborted)
+	m.mu.Unlock()
+
+	m.tc.locks.ReleaseAll(t.ID)
+	s.txn = nil
+	return nil
+}

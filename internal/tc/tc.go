@@ -85,9 +85,17 @@ type Stats struct {
 	Checkpoints int64
 }
 
+// Appender abstracts log appends so the concurrent session path can
+// route every record through a wal.GroupCommitter (for batch
+// accounting); the default is the raw log.
+type Appender interface {
+	MustAppend(wal.Record) wal.LSN
+}
+
 // TC is the transactional component.
 type TC struct {
 	log   *wal.Log
+	app   Appender
 	dc    DataComponent
 	locks *LockTable
 
@@ -107,12 +115,17 @@ type TC struct {
 func New(log *wal.Log, dc DataComponent) *TC {
 	return &TC{
 		log:     log,
+		app:     log,
 		dc:      dc,
 		locks:   NewLockTable(),
 		nextTxn: 1,
 		active:  make(map[wal.TxnID]*Txn),
 	}
 }
+
+// SetAppender reroutes the TC's log appends (see Appender). The session
+// layer installs the group committer here.
+func (tc *TC) SetAppender(a Appender) { tc.app = a }
 
 // Log returns the shared log (harness and recovery access).
 func (tc *TC) Log() *wal.Log { return tc.log }
@@ -196,6 +209,13 @@ func (tc *TC) Update(t *Txn, table wal.TableID, key uint64, newVal []byte) error
 	if err := tc.locks.Acquire(t.ID, table, key, LockExclusive); err != nil {
 		return err
 	}
+	return tc.applyUpdate(t, table, key, newVal)
+}
+
+// applyUpdate performs the locked portion of Update: the caller has
+// already acquired the X lock (sessions acquire it outside the engine
+// mutex so lock-table sharding pays off).
+func (tc *TC) applyUpdate(t *Txn, table wal.TableID, key uint64, newVal []byte) error {
 	oldVal, found, err := tc.dc.Read(table, key)
 	if err != nil {
 		return err
@@ -204,7 +224,7 @@ func (tc *TC) Update(t *Txn, table wal.TableID, key uint64, newVal []byte) error
 		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
 	}
 	err = tc.dc.Update(table, key, newVal, func(pid storage.PageID) wal.LSN {
-		lsn := tc.log.MustAppend(&wal.UpdateRec{
+		lsn := tc.app.MustAppend(&wal.UpdateRec{
 			TxnID:   t.ID,
 			TableID: table,
 			KeyVal:  key,
@@ -232,8 +252,14 @@ func (tc *TC) Insert(t *Txn, table wal.TableID, key uint64, val []byte) error {
 	if err := tc.locks.Acquire(t.ID, table, key, LockExclusive); err != nil {
 		return err
 	}
+	return tc.applyInsert(t, table, key, val)
+}
+
+// applyInsert performs the locked portion of Insert (X lock already
+// held by the caller).
+func (tc *TC) applyInsert(t *Txn, table wal.TableID, key uint64, val []byte) error {
 	err := tc.dc.Insert(table, key, val, func(pid storage.PageID) wal.LSN {
-		lsn := tc.log.MustAppend(&wal.InsertRec{
+		lsn := tc.app.MustAppend(&wal.InsertRec{
 			TxnID:   t.ID,
 			TableID: table,
 			KeyVal:  key,
@@ -260,6 +286,12 @@ func (tc *TC) Delete(t *Txn, table wal.TableID, key uint64) error {
 	if err := tc.locks.Acquire(t.ID, table, key, LockExclusive); err != nil {
 		return err
 	}
+	return tc.applyDelete(t, table, key)
+}
+
+// applyDelete performs the locked portion of Delete (X lock already
+// held by the caller).
+func (tc *TC) applyDelete(t *Txn, table wal.TableID, key uint64) error {
 	oldVal, found, err := tc.dc.Read(table, key)
 	if err != nil {
 		return err
@@ -268,7 +300,7 @@ func (tc *TC) Delete(t *Txn, table wal.TableID, key uint64) error {
 		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
 	}
 	err = tc.dc.Delete(table, key, func(pid storage.PageID) wal.LSN {
-		lsn := tc.log.MustAppend(&wal.DeleteRec{
+		lsn := tc.app.MustAppend(&wal.DeleteRec{
 			TxnID:   t.ID,
 			TableID: table,
 			KeyVal:  key,
@@ -294,15 +326,27 @@ func (tc *TC) Commit(t *Txn) error {
 	if err := tc.checkActive(t); err != nil {
 		return err
 	}
-	lsn := tc.log.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
+	lsn := tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
 	t.lastLSN = lsn
 	eLSN := tc.log.Flush()
 	tc.dc.EOSL(eLSN)
-	t.status = StatusCommitted
-	delete(tc.active, t.ID)
+	tc.finishTxn(t, StatusCommitted)
 	tc.locks.ReleaseAll(t.ID)
-	tc.stats.Committed++
 	return nil
+}
+
+// finishTxn records t's terminal state: status, removal from the
+// active table, and the commit/abort counter. Lock release and
+// durability stay with the caller (the single-threaded path forces the
+// log inline; sessions wait on the group committer instead).
+func (tc *TC) finishTxn(t *Txn, status Status) {
+	t.status = status
+	delete(tc.active, t.ID)
+	if status == StatusCommitted {
+		tc.stats.Committed++
+	} else {
+		tc.stats.Aborted++
+	}
 }
 
 // Abort rolls t back: its operations are undone logically in reverse
@@ -315,14 +359,12 @@ func (tc *TC) Abort(t *Txn) error {
 	if err := tc.rollback(t); err != nil {
 		return fmt.Errorf("tc: rollback of txn %d: %w", t.ID, err)
 	}
-	lsn := tc.log.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
+	lsn := tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
 	t.lastLSN = lsn
 	eLSN := tc.log.Flush()
 	tc.dc.EOSL(eLSN)
-	t.status = StatusAborted
-	delete(tc.active, t.ID)
+	tc.finishTxn(t, StatusAborted)
 	tc.locks.ReleaseAll(t.ID)
-	tc.stats.Aborted++
 	return nil
 }
 
@@ -351,7 +393,7 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 	switch r := rec.(type) {
 	case *wal.UpdateRec:
 		err := tc.dc.Update(r.TableID, r.KeyVal, r.OldVal, func(pid storage.PageID) wal.LSN {
-			lsn := tc.log.MustAppend(&wal.CLRRec{
+			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
 				Kind: wal.CLRUndoUpdate, RestoreVal: r.OldVal, PageID: pid,
 				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
@@ -362,7 +404,7 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 		return r.PrevLSN, err
 	case *wal.InsertRec:
 		err := tc.dc.Delete(r.TableID, r.KeyVal, func(pid storage.PageID) wal.LSN {
-			lsn := tc.log.MustAppend(&wal.CLRRec{
+			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
 				Kind: wal.CLRUndoInsert, PageID: pid,
 				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
@@ -373,7 +415,7 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 		return r.PrevLSN, err
 	case *wal.DeleteRec:
 		err := tc.dc.Insert(r.TableID, r.KeyVal, r.OldVal, func(pid storage.PageID) wal.LSN {
-			lsn := tc.log.MustAppend(&wal.CLRRec{
+			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
 				Kind: wal.CLRUndoDelete, RestoreVal: r.OldVal, PageID: pid,
 				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
@@ -400,7 +442,7 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 //  4. append the end-checkpoint record (with the active-transaction
 //     table), force it, and advance the master record.
 func (tc *TC) Checkpoint() error {
-	bLSN := tc.log.MustAppend(&wal.BeginCkptRec{})
+	bLSN := tc.app.MustAppend(&wal.BeginCkptRec{})
 	eLSN := tc.log.Flush()
 	tc.dc.EOSL(eLSN)
 
@@ -412,7 +454,7 @@ func (tc *TC) Checkpoint() error {
 	for id, t := range tc.active {
 		end.Active = append(end.Active, wal.ActiveTxn{TxnID: id, LastLSN: t.lastLSN})
 	}
-	endLSN := tc.log.MustAppend(end)
+	endLSN := tc.app.MustAppend(end)
 	eLSN = tc.log.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.lastEndCkpt = endLSN

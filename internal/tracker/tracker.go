@@ -15,6 +15,7 @@ package tracker
 
 import (
 	"fmt"
+	"sync"
 
 	"logrec/internal/storage"
 	"logrec/internal/wal"
@@ -78,7 +79,12 @@ type Stats struct {
 // Recorder owns both trackers and their shared cadence. It is wired to
 // the DC: NoteUpdate on every page dirtying, NoteFlush from the buffer
 // pool's flush hook, NoteEOSL from the TC's EOSL control operation.
+// A mutex makes the recorder safe for concurrent use: under concurrent
+// sessions, EOSL arrives from the group-commit flusher's goroutine
+// while updates and flushes arrive from sessions holding the engine
+// mutex.
 type Recorder struct {
+	mu  sync.Mutex
 	log *wal.Log
 	cfg Config
 
@@ -127,10 +133,18 @@ func New(log *wal.Log, cfg Config) (*Recorder, error) {
 }
 
 // SetEnabled turns capture on or off (off during recovery).
-func (r *Recorder) SetEnabled(on bool) { r.enabled = on }
+func (r *Recorder) SetEnabled(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enabled = on
+}
 
 // Stats returns a copy of the counters.
-func (r *Recorder) Stats() Stats { return r.stats }
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // Config returns the recorder configuration.
 func (r *Recorder) Config() Config { return r.cfg }
@@ -138,6 +152,8 @@ func (r *Recorder) Config() Config { return r.cfg }
 // NoteEOSL records a new TC end-of-stable-log (the EOSL control
 // operation, §4.1).
 func (r *Recorder) NoteEOSL(eLSN wal.LSN) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if eLSN > r.eLSN {
 		r.eLSN = eLSN
 	}
@@ -147,6 +163,8 @@ func (r *Recorder) NoteEOSL(eLSN wal.LSN) {
 // are deduplicated per interval segment; every clean→dirty transition
 // lands in some ∆ record, which §4.1 requires for correctness.
 func (r *Recorder) NoteUpdate(pid storage.PageID, lsn wal.LSN) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.enabled {
 		return
 	}
@@ -174,6 +192,8 @@ func (r *Recorder) NoteUpdate(pid storage.PageID, lsn wal.LSN) {
 // the first write") and FirstDirty (the DirtySet index of the next
 // dirty capture), per §4.1.
 func (r *Recorder) NoteFlush(pid storage.PageID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.enabled {
 		return
 	}
@@ -199,6 +219,8 @@ func (r *Recorder) NoteFlush(pid storage.PageID) {
 // ForceEmit writes out any buffered state (used at checkpoints so the
 // interval aligns with the redo scan start, and by tests).
 func (r *Recorder) ForceEmit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.emitDelta()
 	r.emitBW()
 }

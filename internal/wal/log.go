@@ -3,6 +3,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"logrec/internal/sim"
 )
@@ -39,12 +40,22 @@ func DefaultScanCost() ScanCost {
 // EOSL communicates to the DC). A crash snapshot discards the volatile
 // tail.
 //
-// Log is not safe for concurrent use; the engine is single-threaded
-// over virtual time.
+// Log is safe for concurrent use: a single mutex guards the tail and
+// the stable boundary. The recovery experiments remain single-threaded
+// over virtual time (the mutex is uncontended there); the concurrent
+// write path (GroupCommitter, tc.Session) appends from many goroutines.
 type Log struct {
+	mu         sync.Mutex
 	buf        []byte
 	flushedLSN LSN
 	frozen     bool
+
+	// recCount is the total number of records appended; stableRecs is
+	// how many of them the stable prefix holds (set by Flush). The
+	// group committer diffs stableRecs across flushes for exact
+	// records-per-flush accounting.
+	recCount   int64
+	stableRecs int64
 
 	// appendCount tracks records appended, by type, for statistics.
 	appendCount map[Type]int64
@@ -65,14 +76,17 @@ func NewLog() *Log {
 // Append encodes rec at the log tail and returns its LSN. The record is
 // volatile until the next Flush.
 func (l *Log) Append(rec Record) (LSN, error) {
+	body := rec.encodeBody(nil)
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.frozen {
 		return NilLSN, fmt.Errorf("wal: append to frozen log")
 	}
 	lsn := LSN(len(l.buf))
-	body := rec.encodeBody(nil)
 	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(body)))
 	l.buf = append(l.buf, byte(rec.Type()))
 	l.buf = append(l.buf, body...)
+	l.recCount++
 	l.appendCount[rec.Type()]++
 	return lsn, nil
 }
@@ -90,28 +104,61 @@ func (l *Log) MustAppend(rec Record) LSN {
 // Flush makes everything appended so far stable and returns the new end
 // of stable log (the eLSN of the EOSL protocol).
 func (l *Log) Flush() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.flushedLSN = LSN(len(l.buf))
+	l.stableRecs = l.recCount
 	return l.flushedLSN
+}
+
+// Records returns the total number of records appended.
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recCount
+}
+
+// StableRecords returns how many records the stable prefix holds.
+func (l *Log) StableRecords() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stableRecs
 }
 
 // FlushedLSN returns the end of the stable log: every record with
 // LSN < FlushedLSN survives a crash.
-func (l *Log) FlushedLSN() LSN { return l.flushedLSN }
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushedLSN
+}
 
 // EndLSN returns the LSN one past the last appended record (the LSN the
 // next Append will return).
-func (l *Log) EndLSN() LSN { return LSN(len(l.buf)) }
+func (l *Log) EndLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(len(l.buf))
+}
 
 // AppendCount reports how many records of type t have been appended.
-func (l *Log) AppendCount(t Type) int64 { return l.appendCount[t] }
+func (l *Log) AppendCount(t Type) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendCount[t]
+}
 
 // Snapshot returns the crash-surviving view of the log: only the stable
 // prefix, frozen against appends. Recovery scans the snapshot.
 func (l *Log) Snapshot() *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return &Log{
 		buf:         l.buf[:l.flushedLSN:l.flushedLSN],
 		flushedLSN:  l.flushedLSN,
 		frozen:      true,
+		recCount:    l.stableRecs,
+		stableRecs:  l.stableRecs,
 		appendCount: make(map[Type]int64),
 	}
 }
@@ -121,11 +168,15 @@ func (l *Log) Snapshot() *Log {
 // engine can continue logging, while other recovery methods still see
 // the pristine snapshot.
 func (l *Log) Clone() *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	buf := make([]byte, l.flushedLSN)
 	copy(buf, l.buf[:l.flushedLSN])
 	return &Log{
 		buf:         buf,
 		flushedLSN:  l.flushedLSN,
+		recCount:    l.stableRecs,
+		stableRecs:  l.stableRecs,
 		appendCount: make(map[Type]int64),
 	}
 }
@@ -135,10 +186,22 @@ func (l *Log) Clone() *Log {
 // backchain walks, whose cost the paper treats as constant across
 // methods (§2.1).
 func (l *Log) Get(lsn LSN) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	rec, _, err := l.decodeAt(lsn)
 	return rec, err
 }
 
+// readAt is the locked decode used by scanners; like decodeAt it
+// returns the record and the LSN one past its frame.
+func (l *Log) readAt(lsn LSN) (Record, LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decodeAt(lsn)
+}
+
+// decodeAt parses the frame at lsn, returning the record and the LSN
+// one past its frame. Callers must hold l.mu.
 func (l *Log) decodeAt(lsn LSN) (Record, LSN, error) {
 	off := int(lsn)
 	if off < logHeaderSize || off+frameHeaderSize > len(l.buf) {
@@ -193,11 +256,11 @@ func FirstLSN() LSN { return LSN(logHeaderSize) }
 // Next returns the next record and its LSN. It returns ok=false at the
 // end of the stable log.
 func (s *Scanner) Next() (Record, LSN, bool, error) {
-	if s.next >= s.log.flushedLSN {
+	if s.next >= s.log.FlushedLSN() {
 		return nil, NilLSN, false, nil
 	}
 	lsn := s.next
-	rec, end, err := s.log.decodeAt(lsn)
+	rec, end, err := s.log.readAt(lsn)
 	if err != nil {
 		return nil, NilLSN, false, err
 	}

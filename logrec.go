@@ -43,7 +43,9 @@ import (
 	"logrec/internal/core"
 	"logrec/internal/engine"
 	"logrec/internal/harness"
+	"logrec/internal/tc"
 	"logrec/internal/tracker"
+	"logrec/internal/wal"
 	"logrec/internal/workload"
 )
 
@@ -129,3 +131,15 @@ func RunAll(res *CrashResult, opt Options) (map[Method]*Metrics, error) {
 
 // WorkloadConfig parameterises the paper's update workload.
 type WorkloadConfig = workload.Config
+
+// SessionManager multiplexes concurrent client sessions over one TC;
+// obtain one with Engine.NewSessionManager.
+type SessionManager = tc.SessionManager
+
+// Session is one client's transactional handle (single goroutine per
+// session, N sessions in parallel).
+type Session = tc.Session
+
+// GroupCommitStats reports group-commit batching (flushes,
+// records-per-flush).
+type GroupCommitStats = wal.GroupCommitStats
