@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+# Bench output stays out of the checkout (it used to dirty the tree in
+# CI); the regression gate reads from here and CI uploads it as an
+# artifact. Override BENCH_DIR to redirect, TOLERANCE to loosen/tighten
+# the gate.
+BENCH_DIR ?= $(if $(RUNNER_TEMP),$(RUNNER_TEMP),/tmp)/logrec-bench
+TOLERANCE ?= 0.30
+
+.PHONY: build test race bench bench-smoke bench-gate bench-baseline staticcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -14,15 +21,40 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full write-path sweep: emits BENCH_wal.json, then runs the Go bench
-# cases once each.
-bench:
-	$(GO) run ./cmd/walbench
+$(BENCH_DIR):
+	mkdir -p $(BENCH_DIR)
+
+# Full write-path + recovery sweeps, then the Go bench cases once each.
+bench: | $(BENCH_DIR)
+	$(GO) run ./cmd/walbench -out $(BENCH_DIR)/BENCH_wal.json
+	$(GO) run ./cmd/recoverybench -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
 
-# Short smoke sweep for CI artifact upload.
-bench-smoke:
-	$(GO) run ./cmd/walbench -quick
+# Short smoke sweeps for CI artifact upload and the regression gate.
+bench-smoke: | $(BENCH_DIR)
+	$(GO) run ./cmd/walbench -quick -out $(BENCH_DIR)/BENCH_wal.json
+	$(GO) run ./cmd/recoverybench -quick -out $(BENCH_DIR)/BENCH_recovery.json
+
+# Regression gate: compare fresh smoke numbers against the checked-in
+# baselines. Fails on a >TOLERANCE walbench throughput drop, a parallel
+# redo speedup collapse, or a redo-window drift past TOLERANCE.
+bench-gate: bench-smoke
+	$(GO) run ./cmd/benchdiff -kind wal -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_wal.json -current $(BENCH_DIR)/BENCH_wal.json
+	$(GO) run ./cmd/benchdiff -kind recovery -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_recovery.json -current $(BENCH_DIR)/BENCH_recovery.json
+
+# Refresh the checked-in baselines after an intentional perf change.
+bench-baseline: bench-smoke
+	cp $(BENCH_DIR)/BENCH_wal.json ci/baselines/BENCH_wal.json
+	cp $(BENCH_DIR)/BENCH_recovery.json ci/baselines/BENCH_recovery.json
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs it — see .github/workflows/ci.yml)"; \
+	fi
 
 fmt:
 	gofmt -w .
@@ -34,4 +66,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race
+ci: build vet fmt-check staticcheck test race

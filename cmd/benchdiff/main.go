@@ -1,0 +1,194 @@
+// Command benchdiff is the CI bench-regression gate: it compares a
+// fresh benchmark JSON against the checked-in baseline under
+// ci/baselines/ and exits non-zero when a metric regresses past the
+// tolerance.
+//
+// Two kinds of comparison:
+//
+//	-kind wal       compares walbench commits/sec per client count
+//	                against the baseline (fail on a >tolerance drop).
+//	-kind recovery  checks the machine-independent invariants of
+//	                recoverybench — parallel redo must beat 1 worker by
+//	                -min-speedup, checkpointed recovery must replay
+//	                fewer records than cold — and compares the
+//	                deterministic record counts against the baseline
+//	                within the tolerance.
+//
+// Refresh baselines with `make bench-baseline` after an intentional
+// performance change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type walReport struct {
+	Results []struct {
+		Clients        int     `json:"clients"`
+		CommitsPerSec  float64 `json:"commits_per_sec"`
+		CommitsPerFlus float64 `json:"commits_per_flush"`
+	} `json:"results"`
+}
+
+type recoveryReport struct {
+	Workers []struct {
+		Workers     int     `json:"workers"`
+		WallRedoMS  float64 `json:"wall_redo_ms"`
+		RedoRecords int64   `json:"redo_records"`
+		Speedup     float64 `json:"speedup_vs_1"`
+	} `json:"workers"`
+	Checkpoint struct {
+		ColdRedoRecords int64 `json:"cold_redo_records"`
+		CkptRedoRecords int64 `json:"ckpt_redo_records"`
+	} `json:"checkpoint"`
+}
+
+func main() {
+	var (
+		kind       = flag.String("kind", "", "report kind: wal or recovery")
+		baseline   = flag.String("baseline", "", "checked-in baseline JSON path")
+		current    = flag.String("current", "", "freshly produced JSON path")
+		tolerance  = flag.Float64("tolerance", 0.30, "allowed fractional regression vs baseline")
+		minSpeedup = flag.Float64("min-speedup", 1.2, "required parallel-redo speedup at the max worker count (recovery kind)")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	var failures []string
+	switch *kind {
+	case "wal":
+		failures = diffWAL(*baseline, *current, *tolerance)
+	case "recovery":
+		failures = diffRecovery(*baseline, *current, *tolerance, *minSpeedup)
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal or recovery)\n", *kind)
+		os.Exit(2)
+	}
+
+	if len(failures) > 0 {
+		fmt.Printf("benchdiff FAIL (%s): %d regression(s)\n", *kind, len(failures))
+		for _, f := range failures {
+			fmt.Printf("  - %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff PASS (%s): %s within tolerance %.0f%% of %s\n",
+		*kind, *current, *tolerance*100, *baseline)
+}
+
+func load(path string, v any) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+}
+
+func diffWAL(basePath, curPath string, tol float64) []string {
+	var base, cur walReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	curBy := make(map[int]float64, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Clients] = r.CommitsPerSec
+	}
+	var fails []string
+	for _, b := range base.Results {
+		got, ok := curBy[b.Clients]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("clients=%d: missing from current run", b.Clients))
+			continue
+		}
+		floor := b.CommitsPerSec * (1 - tol)
+		if got < floor {
+			fails = append(fails, fmt.Sprintf(
+				"clients=%d: %.0f commits/sec < %.0f (baseline %.0f - %.0f%%)",
+				b.Clients, got, floor, b.CommitsPerSec, tol*100))
+		}
+	}
+	// Machine-independent shape invariants: group commit must scale —
+	// the widest client count must beat the narrowest on throughput and
+	// actually batch commits. These hold on any hardware, so a noisy
+	// runner can only trip the absolute comparison above, not these.
+	if len(cur.Results) >= 2 {
+		lo, hi := cur.Results[0], cur.Results[0]
+		for _, r := range cur.Results[1:] {
+			if r.Clients < lo.Clients {
+				lo = r
+			}
+			if r.Clients > hi.Clients {
+				hi = r
+			}
+		}
+		if hi.Clients > lo.Clients {
+			if hi.CommitsPerSec <= lo.CommitsPerSec {
+				fails = append(fails, fmt.Sprintf(
+					"group commit stopped scaling: %d clients %.0f commits/sec ≤ %d clients %.0f",
+					hi.Clients, hi.CommitsPerSec, lo.Clients, lo.CommitsPerSec))
+			}
+			if hi.CommitsPerFlus <= 1 {
+				fails = append(fails, fmt.Sprintf(
+					"no commit batching at %d clients: %.2f commits/flush",
+					hi.Clients, hi.CommitsPerFlus))
+			}
+		}
+	}
+	return fails
+}
+
+func diffRecovery(basePath, curPath string, tol, minSpeedup float64) []string {
+	var base, cur recoveryReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+
+	// Machine-independent invariants of the current run.
+	if len(cur.Workers) == 0 {
+		return []string{"current run has no worker sweep"}
+	}
+	widest := cur.Workers[0]
+	for _, w := range cur.Workers[1:] {
+		if w.Workers > widest.Workers {
+			widest = w
+		}
+	}
+	if widest.Workers <= 1 {
+		fails = append(fails, "worker sweep never ran more than 1 worker; the speedup gate has nothing to check")
+	} else if widest.Speedup < minSpeedup {
+		fails = append(fails, fmt.Sprintf(
+			"parallel redo: %d workers only %.2fx over 1 worker, want ≥ %.2fx",
+			widest.Workers, widest.Speedup, minSpeedup))
+	}
+	if cur.Checkpoint.CkptRedoRecords >= cur.Checkpoint.ColdRedoRecords {
+		fails = append(fails, fmt.Sprintf(
+			"checkpointing did not bound the redo scan: %d records with ckpt ≥ %d cold",
+			cur.Checkpoint.CkptRedoRecords, cur.Checkpoint.ColdRedoRecords))
+	}
+
+	// Record counts are deterministic for fixed flags; drifting past the
+	// tolerance means the redo window or screening changed.
+	checkCount := func(name string, baseN, curN int64) {
+		if baseN == 0 {
+			return
+		}
+		drift := float64(curN-baseN) / float64(baseN)
+		if drift > tol || drift < -tol {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %d records vs baseline %d (drift %.0f%% > %.0f%%)",
+				name, curN, baseN, drift*100, tol*100))
+		}
+	}
+	checkCount("cold redo window", base.Checkpoint.ColdRedoRecords, cur.Checkpoint.ColdRedoRecords)
+	checkCount("checkpointed redo window", base.Checkpoint.CkptRedoRecords, cur.Checkpoint.CkptRedoRecords)
+	return fails
+}

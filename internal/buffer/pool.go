@@ -44,6 +44,12 @@ type Frame struct {
 	ref  bool
 	pins int
 	elem *list.Element
+
+	// loading is non-nil while the frame's disk read is in flight with
+	// the pool lock released (real-IO mode); it is closed when the read
+	// completes. Concurrent getters of the same page wait on it instead
+	// of issuing a duplicate read.
+	loading chan struct{}
 }
 
 // Stats counts pool activity.
@@ -264,19 +270,58 @@ func (p *Pool) DirtyPIDs() []storage.PageID {
 // Get returns the frame for pid, fetching from disk on a miss (which
 // advances the virtual clock per the disk model) and evicting as
 // needed. The frame is pinned; callers must Unpin.
+//
+// When the disk is in real-IO mode the pool lock is released for the
+// duration of the miss read: the frame is inserted first as a pinned
+// "loading" placeholder so concurrent getters of the same page wait for
+// the one IO instead of duplicating it, and getters of other pages
+// proceed — which is what lets parallel redo workers overlap their page
+// fetches in wall-clock time.
 func (p *Pool) Get(pid storage.PageID) (*Frame, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[pid]; ok {
+	for {
+		f, ok := p.frames[pid]
+		if !ok {
+			break
+		}
+		if f.loading != nil {
+			ch := f.loading
+			p.mu.Unlock()
+			<-ch
+			p.mu.Lock()
+			// Re-lookup: the load may have failed and removed the frame.
+			continue
+		}
 		p.stats.Hits++
 		f.pins++
 		f.ref = true
+		p.mu.Unlock()
 		return f, nil
 	}
 	p.stats.Misses++
 	if err := p.ensureRoom(); err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
+	if p.disk.RealTime() {
+		f := &Frame{PID: pid, pins: 1, ref: true, loading: make(chan struct{})}
+		f.elem = p.clock.PushBack(f)
+		p.frames[pid] = f
+		p.mu.Unlock()
+		data, err := p.disk.Read(pid)
+		p.mu.Lock()
+		close(f.loading)
+		f.loading = nil
+		if err != nil {
+			p.removeFrame(f)
+			p.mu.Unlock()
+			return nil, err
+		}
+		f.Page = page.Wrap(data)
+		p.mu.Unlock()
+		return f, nil
+	}
+	defer p.mu.Unlock()
 	data, err := p.disk.Read(pid)
 	if err != nil {
 		return nil, err
@@ -287,12 +332,29 @@ func (p *Pool) Get(pid storage.PageID) (*Frame, error) {
 	return f, nil
 }
 
-// GetIfCached returns the pinned frame if present, else nil.
+// removeFrame unlinks f from the page map and the clock list, fixing up
+// the sweep hands. Caller holds p.mu.
+func (p *Pool) removeFrame(f *Frame) {
+	if p.hand == f.elem {
+		p.hand = f.elem.Next()
+	}
+	if p.lazyHand == f.elem {
+		p.lazyHand = f.elem.Next()
+	}
+	if f.Dirty {
+		p.dirty--
+	}
+	p.clock.Remove(f.elem)
+	delete(p.frames, f.PID)
+}
+
+// GetIfCached returns the pinned frame if present, else nil. A frame
+// whose read is still in flight counts as absent.
 func (p *Pool) GetIfCached(pid storage.PageID) *Frame {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, ok := p.frames[pid]
-	if !ok {
+	if !ok || f.loading != nil {
 		return nil
 	}
 	p.stats.Hits++
@@ -555,16 +617,6 @@ func (p *Pool) Drop(pid storage.PageID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[pid]; ok {
-		if p.hand == f.elem {
-			p.hand = f.elem.Next()
-		}
-		if p.lazyHand == f.elem {
-			p.lazyHand = f.elem.Next()
-		}
-		if f.Dirty {
-			p.dirty--
-		}
-		p.clock.Remove(f.elem)
-		delete(p.frames, pid)
+		p.removeFrame(f)
 	}
 }

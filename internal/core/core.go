@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"logrec/internal/dc"
 	"logrec/internal/dpt"
@@ -99,6 +100,23 @@ type Options struct {
 	// PF-list (paper's choice) or DPT-rLSN order (Appendix A.2's
 	// alternative).
 	PrefetchStrategy PrefetchStrategy
+	// RedoWorkers ≥ 1 replays the redo pass with that many
+	// page-partitioned worker goroutines (see parallel.go); 1 runs the
+	// parallel machinery single-shard, the apples-to-apples baseline
+	// for worker sweeps. 0 keeps the paper's deterministic serial pass.
+	//
+	// Recovered *state* is correct in any mode, but virtual-time
+	// durations are only meaningful serial: parallel workers interleave
+	// their clock charges nondeterministically and model no IO overlap.
+	// For timing parallel runs, set RealIOScale and read the Wall*
+	// metrics instead.
+	RedoWorkers int
+	// RealIOScale > 0 runs recovery against wall-clock IO: the forked
+	// disk sleeps its modelled latencies divided by this factor instead
+	// of advancing the virtual clock, so parallel redo workers overlap
+	// real waits and Metrics.WallRedoTime reports genuine speedups. 0
+	// keeps the virtual-time simulation.
+	RealIOScale int
 }
 
 // PrefetchStrategy selects Log2's prefetch source (Appendix A.2).
@@ -139,12 +157,20 @@ func DefaultOptions(cfg engine.Config) Options {
 // both families (§2.1).
 type Metrics struct {
 	Method Method
+	// RedoWorkers is the parallelism the redo pass ran with (1 = serial).
+	RedoWorkers int
 
 	PrepTime  sim.Duration // DC recovery (logical) or analysis pass (SQL)
 	RedoTime  sim.Duration
 	UndoTime  sim.Duration
 	RedoTotal sim.Duration // PrepTime + RedoTime ("redo time" in figures)
 	TotalTime sim.Duration
+
+	// WallRedoTime and WallTotalTime are wall-clock measurements of the
+	// same phases — meaningful in real-IO mode (Options.RealIOScale),
+	// where virtual durations no longer accumulate.
+	WallRedoTime  time.Duration
+	WallTotalTime time.Duration
 
 	DPTSize   int
 	DeltaSeen int64 // ∆ records seen by the prep pass (Figure 2c)
@@ -194,13 +220,21 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		cache = cs.Cfg.CachePages
 	}
 
+	workers := opt.RedoWorkers
+	if workers < 0 {
+		workers = 0
+	}
+
 	clock, disk, log := cs.Fork(cache)
+	if opt.RealIOScale > 0 {
+		disk.SetRealIOScale(opt.RealIOScale)
+	}
 	d, err := dc.Open(clock, disk, log, cache, opt.DCConfig)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: reopening DC: %w", err)
 	}
 
-	met := &Metrics{Method: m}
+	met := &Metrics{Method: m, RedoWorkers: max(workers, 1)}
 	r := &run{cs: cs, m: m, opt: opt, clock: clock, d: d, log: log, met: met, txns: newTxnTable()}
 
 	if err := r.findScanStart(); err != nil {
@@ -208,6 +242,7 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	}
 
 	// Phase 1: prep — DC recovery (logical) or analysis (SQL).
+	w0 := time.Now()
 	t0 := clock.Now()
 	if m.IsLogical() {
 		if err := r.dcPass(); err != nil {
@@ -223,11 +258,16 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		met.DPTSize = r.table.Len()
 	}
 
-	// Phase 2: redo.
+	// Phase 2: redo — serial (the paper's virtual-time experiments) or
+	// page-partitioned parallel (parallel.go).
+	w1 := time.Now()
 	t1 := clock.Now()
-	if m.IsLogical() {
+	switch {
+	case workers >= 1:
+		err = r.parallelRedo(workers)
+	case m.IsLogical():
 		err = r.logicalRedo()
-	} else {
+	default:
 		err = r.physiologicalRedo()
 	}
 	if err != nil {
@@ -235,6 +275,7 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	}
 	met.RedoTime = clock.Now().Sub(t1)
 	met.RedoTotal = met.PrepTime + met.RedoTime
+	met.WallRedoTime = time.Since(w1)
 
 	// Phase 3: undo of losers (logical in every method, §2.1).
 	t2 := clock.Now()
@@ -243,6 +284,7 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	}
 	met.UndoTime = clock.Now().Sub(t2)
 	met.TotalTime = clock.Now().Sub(t0)
+	met.WallTotalTime = time.Since(w0)
 
 	r.captureIOStats()
 

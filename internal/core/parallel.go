@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"logrec/internal/buffer"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// Parallel page-partitioned redo.
+//
+// The serial redo passes replay the log one record at a time; on a cold
+// cache nearly every record stalls on its page fetch, so redo time is
+// dominated by serialized IO (§1.3, Appendix B). This file shards that
+// work: a dispatcher scans the log once and routes each data operation
+// to one of N workers keyed by the operation's page, so
+//
+//   - all records for one page land on the same worker and are applied
+//     in log order (per-page ordering, which is all redo requires —
+//     pages are independent between structure modifications);
+//   - different pages replay concurrently, overlapping their IO.
+//
+// Structure modifications are the one cross-page dependency: an SMO
+// moves keys between pages, so records before and after it may name the
+// same key under different PIDs. The two families resolve it
+// differently:
+//
+//   - Logical family: dcPass has already replayed every SMO in the
+//     window (§4.2 — the tree must be well-formed before logical redo),
+//     so the pages carry their end-of-window structure before redo
+//     begins and the dispatcher skips SMO records, exactly like the
+//     serial logical pass. Routing by the record's physiological PID
+//     hint stays sound: an operation whose key later moved pages is
+//     subsumed by that SMO's after-image, and the pLSN test on the
+//     hinted page (stamped at or past the SMO's LSN) screens it out.
+//   - SQL family: SMOs replay inline at their log position (SQL
+//     Server's system-transaction redo), so the dispatcher runs an SMO
+//     barrier: all workers drain and pause, the SMO replays serially,
+//     and the workers resume.
+//
+// Each worker owns a pacer prefetcher over its shard of the PF-list
+// (Log2) or the DPT in rLSN order (SQL2), so prefetch stays
+// page-partitioned along with the redo work.
+
+// redoTask is one unit routed to a worker: either a data operation or a
+// barrier token.
+type redoTask struct {
+	op      wal.DataOp
+	lsn     wal.LSN
+	barrier *redoBarrier
+}
+
+// redoBarrier synchronizes every worker around an SMO: each worker
+// signals arrival and then blocks until the dispatcher has replayed the
+// SMO and closed resume.
+type redoBarrier struct {
+	arrived *sync.WaitGroup
+	resume  chan struct{}
+}
+
+// redoWorker replays the records of its page shard in arrival (= log)
+// order. Metrics are worker-private and merged by the dispatcher after
+// the workers exit.
+type redoWorker struct {
+	r     *run
+	tasks chan redoTask
+	pf    *pacer
+	met   Metrics
+	err   error
+}
+
+func (w *redoWorker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	pool := w.r.d.Pool()
+	for t := range w.tasks {
+		if t.barrier != nil {
+			t.barrier.arrived.Done()
+			<-t.barrier.resume
+			continue
+		}
+		if w.err != nil {
+			continue // drain remaining tasks so the dispatcher never blocks
+		}
+		if w.pf != nil {
+			w.pf.topUp()
+		}
+		if err := w.apply(pool, t); err != nil {
+			w.err = err
+		}
+	}
+}
+
+// apply fetches the task's page and re-executes the operation behind the
+// pLSN idempotence test, exactly like the serial passes.
+func (w *redoWorker) apply(pool *buffer.Pool, t redoTask) error {
+	pid := t.op.PID()
+	cached := pool.Contains(pid)
+	f, err := pool.Get(pid)
+	if err != nil {
+		return fmt.Errorf("fetching page %d: %w", pid, err)
+	}
+	if !cached {
+		// Only this worker fetches this page, so the miss attribution
+		// is exact even though the counter check is done in two steps.
+		w.met.DataPageFetches++
+	}
+	if uint64(t.lsn) <= f.Page.LSN() {
+		w.met.SkippedPLSN++
+		pool.Unpin(f)
+		return nil
+	}
+	err = applyOp(pool, f, t.op, t.lsn)
+	pool.Unpin(f)
+	if err != nil {
+		return err
+	}
+	w.met.Applied++
+	return nil
+}
+
+// shardPIDs splits a prefetch list so that shard i holds exactly the
+// pages worker i will replay (same modulo routing as the dispatcher).
+func shardPIDs(src []storage.PageID, n int) [][]storage.PageID {
+	out := make([][]storage.PageID, n)
+	for _, pid := range src {
+		i := int(uint32(pid) % uint32(n))
+		out[i] = append(out[i], pid)
+	}
+	return out
+}
+
+// parallelRedo is the page-partitioned parallel redo pass. It serves
+// both families: the DPT screen (when present) runs in the dispatcher,
+// application and the pLSN test run in the workers. Index preloading is
+// skipped — parallel redo locates pages by PID hint, not by index
+// traversal, so the index pages are not on its critical path.
+func (r *run) parallelRedo(workers int) error {
+	pool := r.d.Pool()
+
+	var lists [][]storage.PageID
+	if r.m.UsesPrefetch() && r.table != nil {
+		src := r.pfList
+		if !r.m.IsLogical() || r.opt.PrefetchStrategy == PrefetchDPTOrder {
+			// SQL2's serial prefetch is log-driven lookahead; the
+			// parallel equivalent is the DPT in rLSN order, which
+			// approximates first-use order without a second log scan.
+			src = dptPrefetchList(r.table)
+		}
+		lists = shardPIDs(src, workers)
+	}
+
+	ws := make([]*redoWorker, workers)
+	var wg sync.WaitGroup
+	for i := range ws {
+		w := &redoWorker{r: r, tasks: make(chan redoTask, 128)}
+		if lists != nil {
+			w.pf = newPacer(pool, r.table, lists[i], r.opt.MaxOutstanding)
+			w.pf.topUp()
+		}
+		ws[i] = w
+		wg.Add(1)
+		go w.loop(&wg)
+	}
+	finish := func() error {
+		for _, w := range ws {
+			close(w.tasks)
+		}
+		wg.Wait()
+		var err error
+		for _, w := range ws {
+			if err == nil && w.err != nil {
+				err = w.err
+			}
+			r.met.Applied += w.met.Applied
+			r.met.SkippedPLSN += w.met.SkippedPLSN
+			r.met.DataPageFetches += w.met.DataPageFetches
+		}
+		return err
+	}
+
+	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+	for {
+		rec, lsn, ok, err := sc.Next()
+		if err != nil {
+			finish()
+			return err
+		}
+		if !ok {
+			break
+		}
+		r.txns.note(rec, lsn)
+		switch t := rec.(type) {
+		case *wal.SMORec:
+			if r.m.IsLogical() {
+				// Already replayed by dcPass; redo ignores it, like
+				// the serial logical pass.
+				continue
+			}
+			// Barrier: drain every worker, replay the SMO serially
+			// while they are paused, then release them.
+			b := &redoBarrier{arrived: new(sync.WaitGroup), resume: make(chan struct{})}
+			b.arrived.Add(workers)
+			for _, w := range ws {
+				w.tasks <- redoTask{barrier: b}
+			}
+			b.arrived.Wait()
+			err = r.redoSMOPhysiological(t, lsn)
+			close(b.resume)
+			if err != nil {
+				finish()
+				return err
+			}
+		case wal.DataOp:
+			r.met.RedoRecords++
+			r.clock.Advance(r.opt.PerRecordCPU)
+			pid := t.PID()
+			if r.table != nil {
+				if r.m.IsLogical() && lsn >= r.lastDeltaTCLSN {
+					// Tail of the log: pages dirtied after the last ∆
+					// record are unknown to the DPT (§4.3); replay
+					// unscreened, as serial basic mode does.
+					r.met.TailRecords++
+				} else {
+					e := r.table.Find(pid)
+					if e == nil {
+						r.met.SkippedDPT++
+						continue
+					}
+					if lsn < e.RLSN {
+						r.met.SkippedRLSN++
+						continue
+					}
+				}
+			}
+			ws[int(uint32(pid)%uint32(workers))].tasks <- redoTask{op: t, lsn: lsn}
+		}
+	}
+	r.met.LogPagesRead += sc.PagesRead()
+	return finish()
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"logrec/internal/engine"
+)
+
+// buildCrashWithSplits drives a mixed update+insert workload so the
+// redo window contains SMO records: parallel redo must barrier on them
+// and still reproduce the committed state exactly.
+func buildCrashWithSplits(t *testing.T, cfg engine.Config, nRows, txns, opsPerTxn, ckptEvery int, seed int64) (*engine.CrashState, oracle) {
+	t.Helper()
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := make(oracle, nRows)
+	if err := eng.Load(nRows, func(k uint64) []byte {
+		v := val(k, 0)
+		om[k] = v
+		return v
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nextKey := uint64(nRows)
+	for i := 0; i < txns; i++ {
+		txn := eng.TC.Begin()
+		staged := make(map[uint64][]byte)
+		for u := 0; u < opsPerTxn; u++ {
+			if rng.Intn(3) == 0 {
+				// Insert a fresh key: sequential inserts at the right
+				// edge force leaf splits (SMO records) mid-window.
+				k := nextKey
+				nextKey++
+				v := val(k, i+1)
+				if err := eng.TC.Insert(txn, cfg.TableID, k, v); err != nil {
+					t.Fatalf("txn %d insert: %v", i, err)
+				}
+				staged[k] = v
+				continue
+			}
+			k := uint64(rng.Intn(nRows))
+			v := val(k, i+1)
+			if err := eng.TC.Update(txn, cfg.TableID, k, v); err != nil {
+				t.Fatalf("txn %d update: %v", i, err)
+			}
+			staged[k] = v
+		}
+		if err := eng.TC.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range staged {
+			om[k] = v
+		}
+		if ckptEvery > 0 && (i+1)%ckptEvery == 0 {
+			if err := eng.TC.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A loser transaction so parallel runs also feed the undo pass.
+	txn := eng.TC.Begin()
+	for u := 0; u < opsPerTxn; u++ {
+		k := uint64(rng.Intn(nRows))
+		if err := eng.TC.Update(txn, cfg.TableID, k, []byte("UNCOMMITTED-GARBAGE-value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.TC.SendEOSL()
+	return eng.Crash(), om
+}
+
+// TestParallelRedoMatchesOracle recovers the same crash under every
+// method at several worker counts and checks each run reproduces the
+// serial result: the committed state, a well-formed tree, and the same
+// redo-window record count.
+func TestParallelRedoMatchesOracle(t *testing.T) {
+	cfg := testConfig(300)
+	cs, om := buildCrashWithSplits(t, cfg, 2000, 150, 8, 40, 7)
+	opt := DefaultOptions(cfg)
+
+	for _, m := range Methods() {
+		serialOpt := opt
+		eng, serialMet, err := Recover(cs, m, serialOpt)
+		if err != nil {
+			t.Fatalf("%v serial: %v", m, err)
+		}
+		verifyRecovered(t, m, eng, om)
+
+		for _, workers := range []int{2, 4} {
+			popt := opt
+			popt.RedoWorkers = workers
+			eng, met, err := Recover(cs, m, popt)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			verifyRecovered(t, m, eng, om)
+			if met.RedoWorkers != workers {
+				t.Errorf("%v: RedoWorkers = %d, want %d", m, met.RedoWorkers, workers)
+			}
+			if met.RedoRecords != serialMet.RedoRecords {
+				t.Errorf("%v workers=%d: RedoRecords = %d, serial saw %d",
+					m, workers, met.RedoRecords, serialMet.RedoRecords)
+			}
+			if met.Applied == 0 {
+				t.Errorf("%v workers=%d: no records applied", m, workers)
+			}
+		}
+	}
+}
+
+// TestParallelRedoRealIO exercises the wall-clock IO path: the forked
+// disk sleeps scaled latencies, workers overlap them, and the recovered
+// state must still match the oracle.
+func TestParallelRedoRealIO(t *testing.T) {
+	cfg := testConfig(300)
+	cs, om := buildCrashWithSplits(t, cfg, 1500, 80, 8, 30, 11)
+	opt := DefaultOptions(cfg)
+	opt.RealIOScale = 4000 // 4ms seek → 1µs sleep: fast but real
+	for _, m := range []Method{Log0, Log2, SQL1} {
+		for _, workers := range []int{1, 4} {
+			popt := opt
+			popt.RedoWorkers = workers
+			eng, met, err := Recover(cs, m, popt)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			verifyRecovered(t, m, eng, om)
+			if met.WallRedoTime <= 0 {
+				t.Errorf("%v workers=%d: WallRedoTime not measured", m, workers)
+			}
+		}
+	}
+}

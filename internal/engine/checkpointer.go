@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+)
+
+// CheckpointerConfig tunes the background checkpoint daemon.
+type CheckpointerConfig struct {
+	// Interval is the wall-clock cadence between checkpoint attempts.
+	Interval time.Duration
+	// MinRecords skips a tick when fewer than this many log records
+	// were appended since the last checkpoint — an idle engine should
+	// not grind out empty checkpoints.
+	MinRecords int64
+}
+
+// DefaultCheckpointerConfig checkpoints every 100ms provided at least
+// 256 records of new log exist — frequent enough that the redo scan
+// stays short under a steady session workload, cheap enough to be
+// invisible when idle.
+func DefaultCheckpointerConfig() CheckpointerConfig {
+	return CheckpointerConfig{Interval: 100 * time.Millisecond, MinRecords: 256}
+}
+
+// CheckpointerStats counts daemon activity.
+type CheckpointerStats struct {
+	// Taken is the number of completed checkpoints.
+	Taken int64
+	// Skipped is the number of ticks below the MinRecords threshold.
+	Skipped int64
+	// LastErr is the outcome of the most recent checkpoint attempt
+	// (nil after a success, so a transient failure clears on recovery).
+	LastErr error
+}
+
+// Checkpointer is the background checkpoint daemon: on a timer it runs
+// the TC's penultimate checkpoint protocol (§3.2/§4.2) against the live
+// engine — BeginCkpt into the WAL via the group committer, RSSP (the DC
+// flushes every page dirtied before the begin record and logs the
+// redo-scan-start-point), then EndCkpt and the master-record advance —
+// so the redo scan a crash would need stays bounded while concurrent
+// tc.Session traffic continues.
+type Checkpointer struct {
+	mgr *tc.SessionManager
+	log *wal.Log
+	cfg CheckpointerConfig
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu       sync.Mutex
+	lastRecs int64
+	stats    CheckpointerStats
+}
+
+// StartCheckpointer launches the daemon over the engine's session
+// manager. Call Stop before crashing or discarding the engine.
+// Non-positive config fields take their defaults; pass MinRecords 1 to
+// checkpoint on every tick that saw any new log at all.
+func (e *Engine) StartCheckpointer(mgr *tc.SessionManager, cfg CheckpointerConfig) *Checkpointer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultCheckpointerConfig().Interval
+	}
+	if cfg.MinRecords <= 0 {
+		cfg.MinRecords = DefaultCheckpointerConfig().MinRecords
+	}
+	c := &Checkpointer{
+		mgr:      mgr,
+		log:      e.Log,
+		cfg:      cfg,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lastRecs: e.Log.Records(),
+	}
+	go c.run()
+	return c
+}
+
+func (c *Checkpointer) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.tick()
+		}
+	}
+}
+
+// tick takes one checkpoint if enough log has accumulated.
+func (c *Checkpointer) tick() {
+	recs := c.log.Records()
+	c.mu.Lock()
+	due := recs-c.lastRecs >= c.cfg.MinRecords
+	if !due {
+		c.stats.Skipped++
+	}
+	c.mu.Unlock()
+	if !due {
+		return
+	}
+	err := c.mgr.Checkpoint()
+	c.mu.Lock()
+	c.stats.LastErr = err
+	if err == nil {
+		c.stats.Taken++
+		c.lastRecs = c.log.Records()
+	}
+	c.mu.Unlock()
+}
+
+// CheckpointNow takes a checkpoint synchronously, regardless of the
+// MinRecords threshold (tests; graceful shutdown).
+func (c *Checkpointer) CheckpointNow() error {
+	err := c.mgr.Checkpoint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.LastErr = err
+	if err == nil {
+		c.stats.Taken++
+		c.lastRecs = c.log.Records()
+	}
+	return err
+}
+
+// Stop halts the daemon and waits for any in-flight checkpoint to
+// finish. Idempotent: extra calls (e.g. an explicit Stop plus a
+// deferred one) are no-ops.
+func (c *Checkpointer) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Stats returns a copy of the daemon counters.
+func (c *Checkpointer) Stats() CheckpointerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"logrec/internal/wal"
+)
+
+// TestCheckpointDaemonUnderConcurrentSessions runs the checkpoint
+// daemon at an aggressive cadence while session goroutines commit
+// concurrently (the PR-1 workload), then checks checkpoints actually
+// landed in the live WAL and advanced the master record. Run under
+// -race this doubles as the daemon's data-race oracle.
+func TestCheckpointDaemonUnderConcurrentSessions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachePages = 512
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 4000
+	if err := eng.Load(rows, func(k uint64) []byte {
+		return []byte(fmt.Sprintf("initial-%08d", k))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := eng.NewSessionManager(0)
+	ckpt := eng.StartCheckpointer(mgr, CheckpointerConfig{
+		Interval:   time.Millisecond,
+		MinRecords: 1,
+	})
+
+	const clients, txns, ops = 8, 150, 3
+	perClient := rows / clients
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := mgr.NewSession()
+			base := uint64(c * perClient)
+			for i := 0; i < txns; i++ {
+				if err := sess.Begin(); err != nil {
+					errs <- err
+					return
+				}
+				for u := 0; u < ops; u++ {
+					k := base + uint64((i*ops+u)%perClient)
+					v := []byte(fmt.Sprintf("c%02d-t%05d-u%d", c, i, u))
+					if err := sess.Update(cfg.TableID, k, v); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := sess.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ckpt.Stop()
+
+	st := ckpt.Stats()
+	if st.LastErr != nil {
+		t.Fatalf("checkpointer error: %v", st.LastErr)
+	}
+	if st.Taken == 0 {
+		t.Fatal("daemon took no checkpoints under a sustained workload")
+	}
+	// Load() takes the initial checkpoint; the daemon must have appended
+	// more Begin/End pairs and at least one RSSP to the live WAL.
+	if n := eng.Log.AppendCount(wal.TypeBeginCkpt); n < 2 {
+		t.Errorf("BeginCkpt records = %d, want ≥ 2", n)
+	}
+	if n := eng.Log.AppendCount(wal.TypeEndCkpt); n < 2 {
+		t.Errorf("EndCkpt records = %d, want ≥ 2", n)
+	}
+	if n := eng.Log.AppendCount(wal.TypeRSSP); n < 2 {
+		t.Errorf("RSSP records = %d, want ≥ 2", n)
+	}
+	if eng.TC.LastEndCkptLSN() == wal.NilLSN {
+		t.Error("master record never advanced")
+	}
+	if got := eng.TC.Stats().Checkpoints; got != st.Taken+1 {
+		t.Errorf("TC counted %d checkpoints, daemon took %d (+1 initial)", got, st.Taken)
+	}
+}

@@ -8,7 +8,10 @@
 // naturally (e.g. 4*sim.Millisecond for a random-read seek).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Duration is a span of virtual time in nanoseconds.
 type Duration int64
@@ -55,12 +58,16 @@ func (d Duration) String() string {
 // Components that consume CPU or wait on IO advance the clock; components
 // that overlap work with IO (prefetch) schedule completions in the future
 // and only advance the clock when a waiter actually blocks.
+//
+// The clock is safe for concurrent use: parallel redo workers all charge
+// the same clock. Single-threaded experiments see exactly the sequential
+// semantics (atomic adds commute).
 type Clock struct {
-	now Time
+	now atomic.Int64
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
 
 // Advance moves the clock forward by d. Negative d panics: virtual time
 // is monotone.
@@ -68,13 +75,19 @@ func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Advance by negative duration %d", d))
 	}
-	c.now += Time(d)
+	c.now.Add(int64(d))
 }
 
 // AdvanceTo moves the clock forward to t. If t is in the past it is a
 // no-op: waiting for an already-completed event costs nothing.
 func (c *Clock) AdvanceTo(t Time) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
 }

@@ -22,6 +22,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"logrec/internal/sim"
 )
@@ -55,6 +57,12 @@ type Config struct {
 	// prefetch can, which is where read-ahead's benefit comes from
 	// (Appendix A).
 	Channels int
+	// RealIOScale switches the disk into wall-clock mode: every IO
+	// sleeps its modelled latency divided by this factor in real time
+	// instead of advancing the virtual clock. Parallel redo workers then
+	// genuinely overlap their IO waits, so wall-clock speedups are
+	// measurable. 0 keeps the pure virtual-time simulation.
+	RealIOScale int
 }
 
 // DefaultConfig returns the latency model used by the experiment
@@ -84,6 +92,9 @@ func (c Config) validate() error {
 	if c.Channels <= 0 {
 		return fmt.Errorf("storage: Channels must be positive, got %d", c.Channels)
 	}
+	if c.RealIOScale < 0 {
+		return fmt.Errorf("storage: RealIOScale must be non-negative, got %d", c.RealIOScale)
+	}
 	return nil
 }
 
@@ -110,11 +121,17 @@ type Stats struct {
 	PrefetchHits int64
 }
 
-// Disk is the simulated stable store. It is not safe for concurrent use;
-// the engine is single-threaded over virtual time by design.
+// Disk is the simulated stable store. A mutex makes it safe for
+// concurrent use, which parallel redo workers rely on; single-threaded
+// virtual-time experiments see identical behaviour (the mutex is
+// uncontended there).
 type Disk struct {
 	clock *sim.Clock
 	cfg   Config
+
+	// mu guards pages, channels, inflight, realInflight, frozen and
+	// stats. Real-mode sleeps happen outside the lock.
+	mu sync.Mutex
 
 	// base is the copy-on-write parent. Reads fall through to base when
 	// the page is absent locally; writes always land locally. base must
@@ -126,6 +143,12 @@ type Disk struct {
 	// assigned to the earliest-free channel.
 	channels []sim.Time
 	inflight map[PageID]sim.Time
+
+	// realInflight maps prefetched pages to their completion signal in
+	// real-IO mode; realSlots is a Channels-sized semaphore bounding
+	// concurrent real prefetch IOs (the device queue depth).
+	realInflight map[PageID]chan struct{}
+	realSlots    chan struct{}
 
 	// frozen marks a forked parent; writes to a frozen disk fail.
 	frozen bool
@@ -141,20 +164,56 @@ func New(clock *sim.Clock, cfg Config) (*Disk, error) {
 	if clock == nil {
 		return nil, fmt.Errorf("storage: nil clock")
 	}
-	return &Disk{
+	d := &Disk{
 		clock:    clock,
 		cfg:      cfg,
 		pages:    make(map[PageID][]byte),
 		channels: make([]sim.Time, cfg.Channels),
 		inflight: make(map[PageID]sim.Time),
-	}, nil
+	}
+	d.initRealMode()
+	return d, nil
+}
+
+// initRealMode allocates the real-IO bookkeeping if the config asks for
+// wall-clock IO. Caller must ensure no IO is concurrently in flight.
+func (d *Disk) initRealMode() {
+	if d.cfg.RealIOScale > 0 {
+		d.realInflight = make(map[PageID]chan struct{})
+		d.realSlots = make(chan struct{}, d.cfg.Channels)
+	}
+}
+
+// SetRealIOScale flips the disk into (or out of) wall-clock mode; see
+// Config.RealIOScale. Recovery runs call it on a freshly forked disk
+// before any IO is issued.
+func (d *Disk) SetRealIOScale(scale int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cfg.RealIOScale = scale
+	d.initRealMode()
+}
+
+// RealTime reports whether the disk is in wall-clock IO mode.
+func (d *Disk) RealTime() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg.RealIOScale > 0
+}
+
+// realSleep blocks the caller for the modelled cost scaled down by
+// RealIOScale, in wall-clock time.
+func (d *Disk) realSleep(cost sim.Duration, scale int) {
+	time.Sleep(time.Duration(int64(cost) / int64(scale)))
 }
 
 // Fork returns a copy-on-write child of d sharing d's current contents.
 // The child gets its own clock so forks replay independently. The parent
 // must not be written after forking; Freeze enforces this in tests.
 func (d *Disk) Fork(clock *sim.Clock) *Disk {
-	return &Disk{
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	child := &Disk{
 		clock:    clock,
 		cfg:      d.cfg,
 		base:     d,
@@ -162,22 +221,38 @@ func (d *Disk) Fork(clock *sim.Clock) *Disk {
 		channels: make([]sim.Time, d.cfg.Channels),
 		inflight: make(map[PageID]sim.Time),
 	}
+	child.initRealMode()
+	return child
 }
 
 // Config returns the disk's latency configuration.
-func (d *Disk) Config() Config { return d.cfg }
+func (d *Disk) Config() Config {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg
+}
 
 // Clock returns the virtual clock governing this disk.
 func (d *Disk) Clock() *sim.Clock { return d.clock }
 
 // Stats returns a copy of the accumulated IO statistics.
-func (d *Disk) Stats() Stats { return d.stats }
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes the IO statistics (used between workload and
 // recovery phases so recovery IO is measured in isolation).
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
 
 // lookup finds the current content of pid, following the CoW chain.
+// Caller holds d.mu; ancestors are frozen (read-only), so walking them
+// without their locks is safe.
 func (d *Disk) lookup(pid PageID) ([]byte, bool) {
 	for cur := d; cur != nil; cur = cur.base {
 		if p, ok := cur.pages[pid]; ok {
@@ -189,12 +264,16 @@ func (d *Disk) lookup(pid PageID) ([]byte, bool) {
 
 // Exists reports whether pid has ever been written.
 func (d *Disk) Exists(pid PageID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	_, ok := d.lookup(pid)
 	return ok
 }
 
 // NumPages reports the number of distinct pages stored (CoW-merged).
 func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	seen := make(map[PageID]struct{})
 	for cur := d; cur != nil; cur = cur.base {
 		for pid := range cur.pages {
@@ -230,11 +309,51 @@ func (d *Disk) readCost(pages int) sim.Duration {
 // Read synchronously fetches pid, advancing the clock to the IO's
 // completion. If the page was previously prefetched, the clock advances
 // only to the prefetch completion (possibly not at all).
+//
+// In real-IO mode the caller instead sleeps the scaled latency in wall
+// time (or waits on the covering prefetch IO), outside the disk lock, so
+// concurrent readers overlap their waits.
 func (d *Disk) Read(pid PageID) ([]byte, error) {
+	d.mu.Lock()
 	data, ok := d.lookup(pid)
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("storage: read of unwritten page %d", pid)
 	}
+	if scale := d.cfg.RealIOScale; scale > 0 {
+		if ch, inflight := d.realInflight[pid]; inflight {
+			delete(d.realInflight, pid)
+			select {
+			case <-ch: // prefetch already complete: free claim
+				d.stats.PrefetchHits++
+				d.mu.Unlock()
+			default:
+				d.stats.Stalls++
+				d.mu.Unlock()
+				start := time.Now()
+				<-ch
+				d.addStallWall(time.Since(start), scale)
+			}
+			return cloneBytes(data), nil
+		}
+		cost := d.readCost(1)
+		d.stats.Reads++
+		d.stats.PagesRead++
+		d.stats.Stalls++
+		slots := d.realSlots
+		d.mu.Unlock()
+		start := time.Now()
+		// Synchronous reads contend for the same device channel slots
+		// as prefetch and write IOs, so measured parallelism stays
+		// bounded by the modeled queue depth, exactly like serviceIO
+		// bounds it in virtual mode.
+		slots <- struct{}{}
+		d.realSleep(cost, scale)
+		<-slots
+		d.addStallWall(time.Since(start), scale)
+		return cloneBytes(data), nil
+	}
+	defer d.mu.Unlock()
 	now := d.clock.Now()
 	if done, ok := d.inflight[pid]; ok {
 		delete(d.inflight, pid)
@@ -256,6 +375,14 @@ func (d *Disk) Read(pid PageID) ([]byte, error) {
 	return cloneBytes(data), nil
 }
 
+// addStallWall accounts a real-mode wait, scaled back up to the modelled
+// latency domain so real and virtual stall times are comparable.
+func (d *Disk) addStallWall(elapsed time.Duration, scale int) {
+	d.mu.Lock()
+	d.stats.StallTime += sim.Duration(elapsed.Nanoseconds() * int64(scale))
+	d.mu.Unlock()
+}
+
 // Prefetch asynchronously issues reads for the given pages, grouping
 // contiguous PIDs into block IOs of at most MaxBlock pages. Pages
 // already in flight are skipped. The clock does not advance. The caller
@@ -265,9 +392,16 @@ func (d *Disk) Prefetch(pids []PageID) {
 	if len(pids) == 0 {
 		return
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	real := d.cfg.RealIOScale > 0
 	want := make([]PageID, 0, len(pids))
 	for _, pid := range pids {
-		if _, inflight := d.inflight[pid]; inflight {
+		if real {
+			if _, inflight := d.realInflight[pid]; inflight {
+				continue
+			}
+		} else if _, inflight := d.inflight[pid]; inflight {
 			continue
 		}
 		if _, ok := d.lookup(pid); !ok {
@@ -289,7 +423,7 @@ func (d *Disk) Prefetch(pids []PageID) {
 			continue
 		}
 		n := i - runStart
-		done := d.serviceIO(d.readCost(n))
+		cost := d.readCost(n)
 		d.stats.Reads++
 		d.stats.PagesRead += int64(n)
 		d.stats.PrefetchIOs++
@@ -297,8 +431,26 @@ func (d *Disk) Prefetch(pids []PageID) {
 		if n > 1 {
 			d.stats.BlockReads++
 		}
-		for _, pid := range want[runStart:i] {
-			d.inflight[pid] = done
+		if real {
+			// The IO runs on its own goroutine: it takes a device
+			// channel slot (queue depth), sleeps the scaled latency and
+			// signals every covered page.
+			ch := make(chan struct{})
+			for _, pid := range want[runStart:i] {
+				d.realInflight[pid] = ch
+			}
+			scale := d.cfg.RealIOScale
+			go func() {
+				d.realSlots <- struct{}{}
+				d.realSleep(cost, scale)
+				<-d.realSlots
+				close(ch)
+			}()
+		} else {
+			done := d.serviceIO(cost)
+			for _, pid := range want[runStart:i] {
+				d.inflight[pid] = done
+			}
 		}
 		runStart = i
 	}
@@ -306,8 +458,14 @@ func (d *Disk) Prefetch(pids []PageID) {
 
 // QueueDepth reports how far in the future the device's most-loaded
 // channel is booked, in virtual time from now. Prefetchers use it to
-// pace issue rates.
+// pace issue rates. Real-IO mode reports 0 (pacing there uses
+// InflightCount).
 func (d *Disk) QueueDepth() sim.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.RealIOScale > 0 {
+		return 0
+	}
 	now := d.clock.Now()
 	var worst sim.Time
 	for _, c := range d.channels {
@@ -326,6 +484,19 @@ func (d *Disk) QueueDepth() sim.Duration {
 // pages do not count: their data is available and costs nothing to
 // claim, so pacing against them would starve the prefetcher.
 func (d *Disk) InflightCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.RealIOScale > 0 {
+		n := 0
+		for _, ch := range d.realInflight {
+			select {
+			case <-ch: // complete but unclaimed
+			default:
+				n++
+			}
+		}
+		return n
+	}
 	now := d.clock.Now()
 	n := 0
 	for _, done := range d.inflight {
@@ -344,25 +515,49 @@ func (d *Disk) InflightCount() int {
 // in flight (a crash is taken at a quiescent instant, which is the
 // paper's controlled-crash methodology).
 func (d *Disk) Write(pid PageID, data []byte) (sim.Time, error) {
+	d.mu.Lock()
 	if pid == InvalidPageID {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("storage: write to invalid page 0")
 	}
 	if len(data) != d.cfg.PageSize {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("storage: write of %d bytes to page %d, want page size %d", len(data), pid, d.cfg.PageSize)
 	}
 	if d.frozen {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("storage: write to frozen disk (page %d)", pid)
 	}
-	done := d.serviceIO(d.cfg.WriteSeekTime + d.cfg.TransferPerPage)
 	d.stats.Writes++
 	d.stats.PagesWritten++
 	d.pages[pid] = cloneBytes(data)
+	if scale := d.cfg.RealIOScale; scale > 0 {
+		// Matching the virtual semantics, the write IO is asynchronous:
+		// the content is stable now, and a goroutine occupies a device
+		// channel slot for the scaled latency (backpressuring prefetch)
+		// without sleeping the caller — who may hold the buffer-pool
+		// lock on an eviction flush.
+		cost := d.cfg.WriteSeekTime + d.cfg.TransferPerPage
+		d.mu.Unlock()
+		go func() {
+			d.realSlots <- struct{}{}
+			d.realSleep(cost, scale)
+			<-d.realSlots
+		}()
+		return d.clock.Now(), nil
+	}
+	done := d.serviceIO(d.cfg.WriteSeekTime + d.cfg.TransferPerPage)
+	d.mu.Unlock()
 	return done, nil
 }
 
 // Freeze marks the disk immutable; subsequent writes fail. Called after
 // Fork so the CoW parent cannot be corrupted.
-func (d *Disk) Freeze() { d.frozen = true }
+func (d *Disk) Freeze() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frozen = true
+}
 
 func cloneBytes(b []byte) []byte {
 	out := make([]byte, len(b))

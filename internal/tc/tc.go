@@ -85,11 +85,13 @@ type Stats struct {
 	Checkpoints int64
 }
 
-// Appender abstracts log appends so the concurrent session path can
-// route every record through a wal.GroupCommitter (for batch
-// accounting); the default is the raw log.
+// Appender abstracts log appends and forces so the concurrent session
+// path can route every record — and every checkpoint/commit log force —
+// through a wal.GroupCommitter (for batch accounting and a single EOSL
+// publication per force); the default is the raw log.
 type Appender interface {
 	MustAppend(wal.Record) wal.LSN
+	Flush() wal.LSN
 }
 
 // TC is the transactional component.
@@ -328,7 +330,7 @@ func (tc *TC) Commit(t *Txn) error {
 	}
 	lsn := tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
 	t.lastLSN = lsn
-	eLSN := tc.log.Flush()
+	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.finishTxn(t, StatusCommitted)
 	tc.locks.ReleaseAll(t.ID)
@@ -361,7 +363,7 @@ func (tc *TC) Abort(t *Txn) error {
 	}
 	lsn := tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
 	t.lastLSN = lsn
-	eLSN := tc.log.Flush()
+	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.finishTxn(t, StatusAborted)
 	tc.locks.ReleaseAll(t.ID)
@@ -443,7 +445,7 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 //     table), force it, and advance the master record.
 func (tc *TC) Checkpoint() error {
 	bLSN := tc.app.MustAppend(&wal.BeginCkptRec{})
-	eLSN := tc.log.Flush()
+	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 
 	if err := tc.dc.RSSP(bLSN); err != nil {
@@ -455,7 +457,7 @@ func (tc *TC) Checkpoint() error {
 		end.Active = append(end.Active, wal.ActiveTxn{TxnID: id, LastLSN: t.lastLSN})
 	}
 	endLSN := tc.app.MustAppend(end)
-	eLSN = tc.log.Flush()
+	eLSN = tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.lastEndCkpt = endLSN
 	tc.stats.Checkpoints++
@@ -466,7 +468,7 @@ func (tc *TC) Checkpoint() error {
 // DC. The harness calls it on the paper's EOSL cadence; Commit also
 // does it implicitly.
 func (tc *TC) SendEOSL() wal.LSN {
-	eLSN := tc.log.Flush()
+	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	return eLSN
 }
