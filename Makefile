@@ -10,7 +10,7 @@ GO ?= go
 BENCH_DIR ?= $(if $(RUNNER_TEMP),$(RUNNER_TEMP),/tmp)/logrec-bench
 TOLERANCE ?= 0.30
 
-.PHONY: build test race bench bench-smoke bench-gate bench-baseline staticcheck fmt fmt-check vet ci
+.PHONY: build test race fuzz-smoke examples doclint bench bench-smoke bench-gate bench-baseline staticcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,25 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzz pass over the WAL codec: adversarial bytes and torn tails
+# must never panic the decoder. CI runs this; `go test -fuzz` without
+# -fuzztime runs it open-ended for real fuzzing sessions.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeAt -fuzztime 10s ./internal/wal
+
+# Build and run every example program, so the documented entry points
+# cannot rot silently.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/replica
+	$(GO) run ./examples/sidebyside
+
+# Documentation lint: every package needs a godoc comment and every
+# Config/Options knob field needs a doc comment (see cmd/doclint).
+doclint:
+	$(GO) run ./cmd/doclint internal cmd examples
 
 $(BENCH_DIR):
 	mkdir -p $(BENCH_DIR)
@@ -66,4 +85,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check staticcheck test race
+ci: build vet fmt-check staticcheck doclint test race

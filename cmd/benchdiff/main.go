@@ -9,8 +9,12 @@
 //	                against the baseline (fail on a >tolerance drop).
 //	-kind recovery  checks the machine-independent invariants of
 //	                recoverybench — parallel redo must beat 1 worker by
-//	                -min-speedup, checkpointed recovery must replay
-//	                fewer records than cold — and compares the
+//	                -min-speedup at the widest worker count AND must
+//	                still be improving there (no plateau: the widest
+//	                count's speedup strictly exceeds the previous
+//	                one's), parallel undo must beat 1 worker by
+//	                -min-undo-speedup, checkpointed recovery must
+//	                replay fewer records than cold — and compares the
 //	                deterministic record counts against the baseline
 //	                within the tolerance.
 //
@@ -40,6 +44,12 @@ type recoveryReport struct {
 		RedoRecords int64   `json:"redo_records"`
 		Speedup     float64 `json:"speedup_vs_1"`
 	} `json:"workers"`
+	UndoWorkers []struct {
+		Workers     int     `json:"workers"`
+		WallUndoMS  float64 `json:"wall_undo_ms"`
+		CLRsWritten int64   `json:"clrs_written"`
+		Speedup     float64 `json:"speedup_vs_1"`
+	} `json:"undo_workers"`
 	Checkpoint struct {
 		ColdRedoRecords int64 `json:"cold_redo_records"`
 		CkptRedoRecords int64 `json:"ckpt_redo_records"`
@@ -48,11 +58,12 @@ type recoveryReport struct {
 
 func main() {
 	var (
-		kind       = flag.String("kind", "", "report kind: wal or recovery")
-		baseline   = flag.String("baseline", "", "checked-in baseline JSON path")
-		current    = flag.String("current", "", "freshly produced JSON path")
-		tolerance  = flag.Float64("tolerance", 0.30, "allowed fractional regression vs baseline")
-		minSpeedup = flag.Float64("min-speedup", 1.2, "required parallel-redo speedup at the max worker count (recovery kind)")
+		kind           = flag.String("kind", "", "report kind: wal or recovery")
+		baseline       = flag.String("baseline", "", "checked-in baseline JSON path")
+		current        = flag.String("current", "", "freshly produced JSON path")
+		tolerance      = flag.Float64("tolerance", 0.30, "allowed fractional regression vs baseline")
+		minSpeedup     = flag.Float64("min-speedup", 1.2, "required parallel-redo speedup at the max worker count (recovery kind)")
+		minUndoSpeedup = flag.Float64("min-undo-speedup", 1.2, "required parallel-undo speedup at the max undo worker count (recovery kind)")
 	)
 	flag.Parse()
 	if *baseline == "" || *current == "" {
@@ -65,7 +76,7 @@ func main() {
 	case "wal":
 		failures = diffWAL(*baseline, *current, *tolerance)
 	case "recovery":
-		failures = diffRecovery(*baseline, *current, *tolerance, *minSpeedup)
+		failures = diffRecovery(*baseline, *current, *tolerance, *minSpeedup, *minUndoSpeedup)
 	default:
 		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal or recovery)\n", *kind)
 		os.Exit(2)
@@ -146,7 +157,7 @@ func diffWAL(basePath, curPath string, tol float64) []string {
 	return fails
 }
 
-func diffRecovery(basePath, curPath string, tol, minSpeedup float64) []string {
+func diffRecovery(basePath, curPath string, tol, minSpeedup, minUndoSpeedup float64) []string {
 	var base, cur recoveryReport
 	load(basePath, &base)
 	load(curPath, &cur)
@@ -157,17 +168,50 @@ func diffRecovery(basePath, curPath string, tol, minSpeedup float64) []string {
 		return []string{"current run has no worker sweep"}
 	}
 	widest := cur.Workers[0]
+	runnerUp := widest
 	for _, w := range cur.Workers[1:] {
 		if w.Workers > widest.Workers {
+			runnerUp = widest
 			widest = w
+		} else if w.Workers > runnerUp.Workers || runnerUp.Workers == widest.Workers {
+			runnerUp = w
 		}
 	}
 	if widest.Workers <= 1 {
 		fails = append(fails, "worker sweep never ran more than 1 worker; the speedup gate has nothing to check")
-	} else if widest.Speedup < minSpeedup {
-		fails = append(fails, fmt.Sprintf(
-			"parallel redo: %d workers only %.2fx over 1 worker, want ≥ %.2fx",
-			widest.Workers, widest.Speedup, minSpeedup))
+	} else {
+		if widest.Speedup < minSpeedup {
+			fails = append(fails, fmt.Sprintf(
+				"parallel redo: %d workers only %.2fx over 1 worker, want ≥ %.2fx",
+				widest.Workers, widest.Speedup, minSpeedup))
+		}
+		// No-plateau check: the widest worker count must still improve
+		// on the previous one (the pipelined dispatcher and shard-scoped
+		// barriers exist to keep this curve climbing).
+		if runnerUp.Workers > 1 && runnerUp.Workers < widest.Workers && widest.Speedup <= runnerUp.Speedup {
+			fails = append(fails, fmt.Sprintf(
+				"parallel redo plateaued: %d workers %.2fx ≤ %d workers %.2fx",
+				widest.Workers, widest.Speedup, runnerUp.Workers, runnerUp.Speedup))
+		}
+	}
+
+	// Parallel undo invariants, when the run has an undo sweep.
+	if len(cur.UndoWorkers) > 0 {
+		uw := cur.UndoWorkers[0]
+		for _, w := range cur.UndoWorkers[1:] {
+			if w.Workers > uw.Workers {
+				uw = w
+			}
+		}
+		if uw.Workers <= 1 {
+			fails = append(fails, "undo worker sweep never ran more than 1 worker; the undo speedup gate has nothing to check")
+		} else if uw.Speedup < minUndoSpeedup {
+			fails = append(fails, fmt.Sprintf(
+				"parallel undo: %d workers only %.2fx over 1 worker, want ≥ %.2fx",
+				uw.Workers, uw.Speedup, minUndoSpeedup))
+		}
+	} else if len(base.UndoWorkers) > 0 {
+		fails = append(fails, "baseline has an undo worker sweep but the current run has none")
 	}
 	if cur.Checkpoint.CkptRedoRecords >= cur.Checkpoint.ColdRedoRecords {
 		fails = append(fails, fmt.Sprintf(
@@ -190,5 +234,10 @@ func diffRecovery(basePath, curPath string, tol, minSpeedup float64) []string {
 	}
 	checkCount("cold redo window", base.Checkpoint.ColdRedoRecords, cur.Checkpoint.ColdRedoRecords)
 	checkCount("checkpointed redo window", base.Checkpoint.CkptRedoRecords, cur.Checkpoint.CkptRedoRecords)
+	if len(base.UndoWorkers) > 0 && len(cur.UndoWorkers) > 0 {
+		// The CLR count is the same at every worker width (undo plans
+		// serially), so comparing the first entries suffices.
+		checkCount("undo CLR count", base.UndoWorkers[0].CLRsWritten, cur.UndoWorkers[0].CLRsWritten)
+	}
 	return fails
 }

@@ -1,14 +1,22 @@
 // Command recoverybench measures the production-shaped recovery path:
 //
-//  1. Worker sweep — the same crash is recovered at increasing
+//  1. Redo worker sweep — the same crash is recovered at increasing
 //     RedoWorkers counts against wall-clock IO (storage's real-IO
-//     mode), so the page-partitioned parallel redo's speedup is a real
+//     mode), so the pipelined page-partitioned redo's speedup is a real
 //     elapsed-time measurement, not a simulation artefact. Every run is
 //     verified against the committed-state oracle.
-//  2. Checkpoint comparison — the same workload volume is crashed twice,
+//  2. Undo worker sweep — a crash with many long-running loser
+//     transactions (whose pages the redo traffic has evicted) is
+//     recovered at increasing UndoWorkers counts, measuring parallel
+//     undo's wall-clock speedup the same way.
+//  3. Checkpoint comparison — the same workload volume is crashed twice,
 //     once with live checkpoints and once cold, and recovered in the
 //     virtual-time simulation: checkpointing must bound the redo scan
 //     (fewer records replayed, less redo time).
+//
+// The sweeps run against an NVMe-class device queue (-channels, default
+// 16): the modeled SATA-era depth of 4 caps any replay parallelism at
+// 4x regardless of worker count, which is the plateau PR 2 measured.
 //
 // It emits BENCH_recovery.json for the CI bench-regression gate and
 // artifact upload.
@@ -43,6 +51,14 @@ type workerResult struct {
 	Speedup     float64 `json:"speedup_vs_1"`
 }
 
+type undoResult struct {
+	Workers     int     `json:"workers"`
+	WallUndoMS  float64 `json:"wall_undo_ms"`
+	CLRsWritten int64   `json:"clrs_written"`
+	Losers      int     `json:"losers"`
+	Speedup     float64 `json:"speedup_vs_1"`
+}
+
 type ckptResult struct {
 	ColdRedoRecords int64   `json:"cold_redo_records"`
 	CkptRedoRecords int64   `json:"ckpt_redo_records"`
@@ -57,16 +73,22 @@ type report struct {
 	GoMaxProcs  int            `json:"go_max_procs"`
 	Scale       int            `json:"scale"`
 	RealIOScale int            `json:"real_io_scale"`
+	Channels    int            `json:"channels"`
 	Workers     []workerResult `json:"workers"`
+	UndoWorkers []undoResult   `json:"undo_workers"`
 	Checkpoint  ckptResult     `json:"checkpoint"`
 }
 
 func main() {
 	var (
 		workersFlag = flag.String("workers", "1,2,4,8", "comma-separated redo worker counts to sweep")
+		undoFlag    = flag.String("undoworkers", "1,2,4,8", "comma-separated undo worker counts to sweep")
 		scale       = flag.Int("scale", 10, "shrink the workload by this factor (see harness.Config.Scaled)")
 		realScale   = flag.Int("realscale", 50, "real-IO latency divisor (modelled latency / this = wall sleep)")
-		methodFlag  = flag.String("method", "Log1", "recovery method for the worker sweep (Log0..SQL2)")
+		channels    = flag.Int("channels", 16, "modeled device queue depth for the worker sweeps (NVMe-class)")
+		losers      = flag.Int("losers", 8, "loser transactions left open for the undo sweep")
+		loserOps    = flag.Int("loserops", 25, "updates per loser transaction in the undo sweep")
+		methodFlag  = flag.String("method", "Log1", "recovery method for the worker sweeps (Log0..SQL2)")
 		out         = flag.String("out", "BENCH_recovery.json", "output JSON path")
 		quick       = flag.Bool("quick", false, "CI smoke settings (smaller workload)")
 	)
@@ -83,22 +105,27 @@ func main() {
 		}
 	}
 
-	var workers []int
-	haveOne := false
-	for _, s := range strings.Split(*workersFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			log.Fatalf("bad -workers entry %q", s)
+	parseSweep := func(name, s string) []int {
+		var out []int
+		haveOne := false
+		for _, tok := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				log.Fatalf("bad -%s entry %q", name, tok)
+			}
+			out = append(out, n)
+			haveOne = haveOne || n == 1
 		}
-		workers = append(workers, n)
-		haveOne = haveOne || n == 1
+		if !haveOne {
+			// speedup_vs_1 must mean what it says; always measure the
+			// 1-worker baseline.
+			fmt.Printf("recoverybench: adding %s=1 to the sweep (speedup baseline)\n", name)
+			out = append([]int{1}, out...)
+		}
+		return out
 	}
-	if !haveOne {
-		// speedup_vs_1 must mean what it says; always measure the
-		// 1-worker baseline.
-		fmt.Println("recoverybench: adding workers=1 to the sweep (speedup baseline)")
-		workers = append([]int{1}, workers...)
-	}
+	workers := parseSweep("workers", *workersFlag)
+	undoWorkers := parseSweep("undoworkers", *undoFlag)
 	method, err := parseMethod(*methodFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -110,24 +137,30 @@ func main() {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Scale:       *scale,
 		RealIOScale: *realScale,
+		Channels:    *channels,
 	}
 
 	// Cold crash: only the initial (post-load) checkpoint, then a long
 	// update run — the redo window is essentially the whole log, which
 	// is what gives the worker sweep enough pages to shard.
 	cold := harness.DefaultConfig().Scaled(*scale)
+	cold.Engine.Disk.Channels = *channels
 	cold.CrashAfterCheckpoints = 0
 	cold.UpdatesAfterLastCkpt = 8 * cold.CheckpointEveryUpdates
-	fmt.Printf("recoverybench: building cold crash (rows=%d, redo window ≈%d updates)\n",
-		cold.Workload.Rows, cold.UpdatesAfterLastCkpt)
+	fmt.Printf("recoverybench: building cold crash (rows=%d, redo window ≈%d updates, queue depth %d)\n",
+		cold.Workload.Rows, cold.UpdatesAfterLastCkpt, *channels)
 	coldRes, err := harness.BuildCrash(cold)
 	if err != nil {
 		log.Fatalf("building cold crash: %v", err)
 	}
 
-	// Worker sweep against wall-clock IO. Speedups are computed against
-	// the 1-worker run (always present in the sweep).
+	// Redo worker sweep against wall-clock IO. Speedups are computed
+	// against the 1-worker run (always present in the sweep).
+	maxRedoWorkers := 1
 	for _, w := range workers {
+		if w > maxRedoWorkers {
+			maxRedoWorkers = w
+		}
 		opt := core.DefaultOptions(cold.Engine)
 		opt.RedoWorkers = w
 		opt.RealIOScale = *realScale
@@ -160,8 +193,57 @@ func main() {
 			r.Workers, r.WallRedoMS, r.WallTotalMS, r.RedoRecords, r.Speedup)
 	}
 
+	// Undo worker sweep: long-running losers whose strided pages the
+	// redo traffic evicted, so undo's leaf fetches are real IO. Redo
+	// runs at the widest swept width to keep the measured phase hot.
+	undoCfg := harness.DefaultConfig().Scaled(*scale)
+	undoCfg.Engine.Disk.Channels = *channels
+	undoCfg.CrashAfterCheckpoints = 0
+	undoCfg.UpdatesAfterLastCkpt = 8 * undoCfg.CheckpointEveryUpdates
+	undoCfg.EarlyLosers = true
+	undoCfg.OpenTxns = *losers
+	undoCfg.OpenTxnUpdates = *loserOps
+	fmt.Printf("building undo crash (%d losers × %d updates)\n", *losers, *loserOps)
+	undoRes, err := harness.BuildCrash(undoCfg)
+	if err != nil {
+		log.Fatalf("building undo crash: %v", err)
+	}
+	for _, w := range undoWorkers {
+		opt := core.DefaultOptions(undoCfg.Engine)
+		opt.RedoWorkers = maxRedoWorkers
+		opt.UndoWorkers = w
+		opt.RealIOScale = *realScale
+		met, err := harness.RunRecovery(undoRes, method, opt)
+		if err != nil {
+			log.Fatalf("undo workers=%d: %v", w, err)
+		}
+		rep.UndoWorkers = append(rep.UndoWorkers, undoResult{
+			Workers:     w,
+			WallUndoMS:  float64(met.WallUndoTime.Microseconds()) / 1000,
+			CLRsWritten: met.CLRsWritten,
+			Losers:      met.LosersUndone,
+		})
+	}
+	base = 0
+	for _, r := range rep.UndoWorkers {
+		if r.Workers == 1 {
+			base = r.WallUndoMS
+			break
+		}
+	}
+	fmt.Printf("%8s %14s %12s %10s %10s\n", "workers", "wall undo ms", "CLRs", "losers", "speedup")
+	for i := range rep.UndoWorkers {
+		r := &rep.UndoWorkers[i]
+		if r.WallUndoMS > 0 {
+			r.Speedup = base / r.WallUndoMS
+		}
+		fmt.Printf("%8d %14.2f %12d %10d %9.2fx\n",
+			r.Workers, r.WallUndoMS, r.CLRsWritten, r.Losers, r.Speedup)
+	}
+
 	// Checkpoint comparison in virtual time: same update volume, with
-	// periodic checkpoints vs cold.
+	// periodic checkpoints vs cold. This leg keeps the default device
+	// model — it measures the scan bound, not parallelism.
 	ckpt := harness.DefaultConfig().Scaled(*scale)
 	ckpt.CrashAfterCheckpoints = 8
 	fmt.Printf("building checkpointed crash (ckpt every %d updates)\n", ckpt.CheckpointEveryUpdates)

@@ -111,6 +111,16 @@ type Options struct {
 	// For timing parallel runs, set RealIOScale and read the Wall*
 	// metrics instead.
 	RedoWorkers int
+	// UndoWorkers ≥ 1 runs the undo pass with that many
+	// page-partitioned worker goroutines (see undo_parallel.go),
+	// sharing the redo pool's machinery; 1 is the single-shard
+	// baseline. 0 keeps the serial undo pass. The CLR log sequence is
+	// identical in every mode.
+	UndoWorkers int
+	// ScanAheadRecords bounds the parallel redo pipeline's decode ring:
+	// how many decoded, DPT-screened records the scan stage may run
+	// ahead of dispatch (default 512). Serial passes ignore it.
+	ScanAheadRecords int
 	// RealIOScale > 0 runs recovery against wall-clock IO: the forked
 	// disk sleeps its modelled latencies divided by this factor instead
 	// of advancing the virtual clock, so parallel redo workers overlap
@@ -159,6 +169,8 @@ type Metrics struct {
 	Method Method
 	// RedoWorkers is the parallelism the redo pass ran with (1 = serial).
 	RedoWorkers int
+	// UndoWorkers is the parallelism the undo pass ran with (1 = serial).
+	UndoWorkers int
 
 	PrepTime  sim.Duration // DC recovery (logical) or analysis pass (SQL)
 	RedoTime  sim.Duration
@@ -166,10 +178,12 @@ type Metrics struct {
 	RedoTotal sim.Duration // PrepTime + RedoTime ("redo time" in figures)
 	TotalTime sim.Duration
 
-	// WallRedoTime and WallTotalTime are wall-clock measurements of the
-	// same phases — meaningful in real-IO mode (Options.RealIOScale),
-	// where virtual durations no longer accumulate.
+	// WallRedoTime, WallUndoTime and WallTotalTime are wall-clock
+	// measurements of the same phases — meaningful in real-IO mode
+	// (Options.RealIOScale), where virtual durations no longer
+	// accumulate.
 	WallRedoTime  time.Duration
+	WallUndoTime  time.Duration
 	WallTotalTime time.Duration
 
 	DPTSize   int
@@ -196,6 +210,19 @@ type Metrics struct {
 
 	LosersUndone int
 	CLRsWritten  int64
+	// UndoApplied counts CLR page applications performed by undo shard
+	// workers (parallel undo only; structural steps are counted in
+	// UndoBarriers instead).
+	UndoApplied int64
+
+	// SMOBarriers counts SMO records replayed under a shard-scoped
+	// barrier during parallel redo; UndoBarriers counts structural undo
+	// steps replayed under a global barrier. BarrierWorkersPaused sums
+	// the workers parked across all barriers — with shard scoping it
+	// stays below barriers × workers, the global-pause worst case.
+	SMOBarriers          int64
+	UndoBarriers         int64
+	BarrierWorkersPaused int64
 }
 
 // Recover replays the crash state under method m and returns a fully
@@ -215,6 +242,9 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	if opt.LookaheadRecords == 0 {
 		opt.LookaheadRecords = 256
 	}
+	if opt.ScanAheadRecords <= 0 {
+		opt.ScanAheadRecords = 512
+	}
 	cache := opt.CachePages
 	if cache == 0 {
 		cache = cs.Cfg.CachePages
@@ -223,6 +253,10 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	workers := opt.RedoWorkers
 	if workers < 0 {
 		workers = 0
+	}
+	undoWorkers := opt.UndoWorkers
+	if undoWorkers < 0 {
+		undoWorkers = 0
 	}
 
 	clock, disk, log := cs.Fork(cache)
@@ -234,7 +268,7 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		return nil, nil, fmt.Errorf("core: reopening DC: %w", err)
 	}
 
-	met := &Metrics{Method: m, RedoWorkers: max(workers, 1)}
+	met := &Metrics{Method: m, RedoWorkers: max(workers, 1), UndoWorkers: max(undoWorkers, 1)}
 	r := &run{cs: cs, m: m, opt: opt, clock: clock, d: d, log: log, met: met, txns: newTxnTable()}
 
 	if err := r.findScanStart(); err != nil {
@@ -277,13 +311,21 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	met.RedoTotal = met.PrepTime + met.RedoTime
 	met.WallRedoTime = time.Since(w1)
 
-	// Phase 3: undo of losers (logical in every method, §2.1).
+	// Phase 3: undo of losers (logical in every method, §2.1) — serial,
+	// or page-partitioned parallel (undo_parallel.go).
+	w2 := time.Now()
 	t2 := clock.Now()
-	if err := r.undo(); err != nil {
+	if undoWorkers >= 1 {
+		err = r.parallelUndo(undoWorkers)
+	} else {
+		err = r.undo()
+	}
+	if err != nil {
 		return nil, nil, fmt.Errorf("core: %v undo: %w", m, err)
 	}
 	met.UndoTime = clock.Now().Sub(t2)
 	met.TotalTime = clock.Now().Sub(t0)
+	met.WallUndoTime = time.Since(w2)
 	met.WallTotalTime = time.Since(w0)
 
 	r.captureIOStats()

@@ -9,18 +9,29 @@ import (
 	"logrec/internal/wal"
 )
 
-// Parallel page-partitioned redo.
+// Parallel page-partitioned replay.
 //
 // The serial redo passes replay the log one record at a time; on a cold
 // cache nearly every record stalls on its page fetch, so redo time is
 // dominated by serialized IO (§1.3, Appendix B). This file shards that
-// work: a dispatcher scans the log once and routes each data operation
-// to one of N workers keyed by the operation's page, so
+// work: a dispatcher routes each page operation to one of N workers
+// keyed by the operation's page, so
 //
 //   - all records for one page land on the same worker and are applied
-//     in log order (per-page ordering, which is all redo requires —
-//     pages are independent between structure modifications);
+//     in dispatch (= log) order (per-page ordering, which is all redo
+//     requires — pages are independent between structure modifications);
 //   - different pages replay concurrently, overlapping their IO.
+//
+// The replay pipeline has three stages:
+//
+//	log scan ──► bounded ring ──► dispatcher ──► shard workers
+//	(decode, DPT screen,          (route, SMO     (fetch, pLSN test,
+//	 txn table, off-thread)        barriers)       apply)
+//
+// The scan stage decodes log records and runs the DPT/rLSN screen on
+// its own goroutine, feeding survivors into a bounded ring
+// (Options.ScanAheadRecords), so at high worker counts dispatch is a
+// channel send, not a decode loop.
 //
 // Structure modifications are the one cross-page dependency: an SMO
 // moves keys between pages, so records before and after it may name the
@@ -30,40 +41,46 @@ import (
 //   - Logical family: dcPass has already replayed every SMO in the
 //     window (§4.2 — the tree must be well-formed before logical redo),
 //     so the pages carry their end-of-window structure before redo
-//     begins and the dispatcher skips SMO records, exactly like the
+//     begins and the scan stage skips SMO records, exactly like the
 //     serial logical pass. Routing by the record's physiological PID
 //     hint stays sound: an operation whose key later moved pages is
 //     subsumed by that SMO's after-image, and the pLSN test on the
 //     hinted page (stamped at or past the SMO's LSN) screens it out.
 //   - SQL family: SMOs replay inline at their log position (SQL
-//     Server's system-transaction redo), so the dispatcher runs an SMO
-//     barrier: all workers drain and pause, the SMO replays serially,
-//     and the workers resume.
+//     Server's system-transaction redo), under a barrier scoped to the
+//     shards owning the SMO's pages (SMORec.AffectedPIDs): those
+//     workers drain and pause, the SMO replays, and they resume.
+//     Workers owning none of the SMO's pages run ahead — their queued
+//     tasks touch disjoint pages, so no ordering is lost (FIFO
+//     channels are the fence; the pool's barrier-epoch counter tracks
+//     how many fences have been raised).
 //
-// Each worker owns a pacer prefetcher over its shard of the PF-list
-// (Log2) or the DPT in rLSN order (SQL2), so prefetch stays
-// page-partitioned along with the redo work.
+// Parallel undo (undo_parallel.go) reuses the same worker pool: CLRs
+// are planned and appended serially, and their page applications are
+// sharded exactly like redo, with structure-changing undo operations
+// running under a global (all-shard) barrier.
 
-// redoTask is one unit routed to a worker: either a data operation or a
-// barrier token.
+// redoTask is one unit routed to a worker: either a page operation or a
+// barrier token. FIFO channel order is the fence: a task routed before
+// a barrier is applied before it, one routed after waits behind it.
 type redoTask struct {
 	op      wal.DataOp
 	lsn     wal.LSN
-	barrier *redoBarrier
+	barrier *poolBarrier
 }
 
-// redoBarrier synchronizes every worker around an SMO: each worker
-// signals arrival and then blocks until the dispatcher has replayed the
-// SMO and closed resume.
-type redoBarrier struct {
+// poolBarrier synchronizes a set of workers around a structure
+// modification: each affected worker signals arrival and then blocks
+// until the dispatcher has applied the modification and closed resume.
+type poolBarrier struct {
 	arrived *sync.WaitGroup
 	resume  chan struct{}
 }
 
-// redoWorker replays the records of its page shard in arrival (= log)
-// order. Metrics are worker-private and merged by the dispatcher after
-// the workers exit.
-type redoWorker struct {
+// shardWorker replays the page operations of its shard in arrival
+// (= dispatch) order. Metrics are worker-private and merged by
+// shardedPool.finish after the workers exit.
+type shardWorker struct {
 	r     *run
 	tasks chan redoTask
 	pf    *pacer
@@ -71,7 +88,7 @@ type redoWorker struct {
 	err   error
 }
 
-func (w *redoWorker) loop(wg *sync.WaitGroup) {
+func (w *shardWorker) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	pool := w.r.d.Pool()
 	for t := range w.tasks {
@@ -94,7 +111,7 @@ func (w *redoWorker) loop(wg *sync.WaitGroup) {
 
 // apply fetches the task's page and re-executes the operation behind the
 // pLSN idempotence test, exactly like the serial passes.
-func (w *redoWorker) apply(pool *buffer.Pool, t redoTask) error {
+func (w *shardWorker) apply(pool *buffer.Pool, t redoTask) error {
 	pid := t.op.PID()
 	cached := pool.Contains(pid)
 	f, err := pool.Get(pid)
@@ -120,6 +137,97 @@ func (w *redoWorker) apply(pool *buffer.Pool, t redoTask) error {
 	return nil
 }
 
+// shardedPool is the page-partitioned worker pool shared by parallel
+// redo and parallel undo: route sends a page operation to the worker
+// owning its page, pause drains a subset of workers for a structure
+// modification, finish joins the pool and merges worker metrics.
+type shardedPool struct {
+	workers []*shardWorker
+	wg      sync.WaitGroup
+	// epoch counts barriers begun (dispatcher-owned observability).
+	epoch uint64
+}
+
+// newShardedPool starts n workers. lists, when non-nil, gives each
+// worker its prefetch shard (see shardPIDs).
+func newShardedPool(r *run, n int, lists [][]storage.PageID) *shardedPool {
+	p := &shardedPool{workers: make([]*shardWorker, n)}
+	pool := r.d.Pool()
+	for i := range p.workers {
+		w := &shardWorker{r: r, tasks: make(chan redoTask, 128)}
+		if lists != nil {
+			w.pf = newPacer(pool, r.table, lists[i], r.opt.MaxOutstanding)
+			w.pf.topUp()
+		}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go w.loop(&p.wg)
+	}
+	return p
+}
+
+// shard maps a page to its owning worker index.
+func (p *shardedPool) shard(pid storage.PageID) int {
+	return int(uint32(pid) % uint32(len(p.workers)))
+}
+
+// route sends op to the worker owning its page, blocking when that
+// worker's queue is full (natural backpressure).
+func (p *shardedPool) route(op wal.DataOp, lsn wal.LSN) {
+	p.workers[p.shard(op.PID())].tasks <- redoTask{op: op, lsn: lsn}
+}
+
+// pause drains and parks the workers owning pids — or every worker when
+// pids is nil (a global barrier) — and returns a release function plus
+// the number of workers paused. The dispatcher may touch the paused
+// shards' pages until it calls release; unaffected shards keep running.
+func (p *shardedPool) pause(pids []storage.PageID) (release func(), paused int) {
+	p.epoch++
+	var affected []int
+	if pids == nil {
+		affected = make([]int, len(p.workers))
+		for i := range affected {
+			affected[i] = i
+		}
+	} else {
+		seen := make(map[int]bool, len(pids))
+		for _, pid := range pids {
+			i := p.shard(pid)
+			if !seen[i] {
+				seen[i] = true
+				affected = append(affected, i)
+			}
+		}
+	}
+	b := &poolBarrier{arrived: new(sync.WaitGroup), resume: make(chan struct{})}
+	b.arrived.Add(len(affected))
+	for _, i := range affected {
+		p.workers[i].tasks <- redoTask{barrier: b}
+	}
+	b.arrived.Wait()
+	return func() { close(b.resume) }, len(affected)
+}
+
+// finish closes the pool, waits for the workers to drain, and returns
+// their merged worker-side metrics plus the first worker error.
+func (p *shardedPool) finish() (Metrics, error) {
+	for _, w := range p.workers {
+		close(w.tasks)
+	}
+	p.wg.Wait()
+	var met Metrics
+	var err error
+	for _, w := range p.workers {
+		if err == nil && w.err != nil {
+			err = w.err
+		}
+		met.Applied += w.met.Applied
+		met.SkippedPLSN += w.met.SkippedPLSN
+		met.DataPageFetches += w.met.DataPageFetches
+	}
+	return met, err
+}
+
 // shardPIDs splits a prefetch list so that shard i holds exactly the
 // pages worker i will replay (same modulo routing as the dispatcher).
 func shardPIDs(src []storage.PageID, n int) [][]storage.PageID {
@@ -131,14 +239,20 @@ func shardPIDs(src []storage.PageID, n int) [][]storage.PageID {
 	return out
 }
 
-// parallelRedo is the page-partitioned parallel redo pass. It serves
-// both families: the DPT screen (when present) runs in the dispatcher,
-// application and the pLSN test run in the workers. Index preloading is
-// skipped — parallel redo locates pages by PID hint, not by index
-// traversal, so the index pages are not on its critical path.
-func (r *run) parallelRedo(workers int) error {
-	pool := r.d.Pool()
+// scanItem is one ring entry produced by the scan stage: a screened
+// data operation, or an SMO the dispatcher must barrier for.
+type scanItem struct {
+	op  wal.DataOp
+	lsn wal.LSN
+	smo *wal.SMORec
+}
 
+// parallelRedo is the pipelined page-partitioned redo pass. It serves
+// both families: decode and the DPT screen (when present) run in the
+// scan stage, application and the pLSN test run in the workers. Index
+// preloading is skipped — parallel redo locates pages by PID hint, not
+// by index traversal, so the index pages are not on its critical path.
+func (r *run) parallelRedo(workers int) error {
 	var lists [][]storage.PageID
 	if r.m.UsesPrefetch() && r.table != nil {
 		src := r.pfList
@@ -150,93 +264,104 @@ func (r *run) parallelRedo(workers int) error {
 		}
 		lists = shardPIDs(src, workers)
 	}
+	pool := newShardedPool(r, workers, lists)
 
-	ws := make([]*redoWorker, workers)
-	var wg sync.WaitGroup
-	for i := range ws {
-		w := &redoWorker{r: r, tasks: make(chan redoTask, 128)}
-		if lists != nil {
-			w.pf = newPacer(pool, r.table, lists[i], r.opt.MaxOutstanding)
-			w.pf.topUp()
-		}
-		ws[i] = w
-		wg.Add(1)
-		go w.loop(&wg)
-	}
-	finish := func() error {
-		for _, w := range ws {
-			close(w.tasks)
-		}
-		wg.Wait()
-		var err error
-		for _, w := range ws {
-			if err == nil && w.err != nil {
-				err = w.err
-			}
-			r.met.Applied += w.met.Applied
-			r.met.SkippedPLSN += w.met.SkippedPLSN
-			r.met.DataPageFetches += w.met.DataPageFetches
-		}
-		return err
-	}
-
-	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
-	for {
-		rec, lsn, ok, err := sc.Next()
-		if err != nil {
-			finish()
-			return err
-		}
-		if !ok {
-			break
-		}
-		r.txns.note(rec, lsn)
-		switch t := rec.(type) {
-		case *wal.SMORec:
-			if r.m.IsLogical() {
-				// Already replayed by dcPass; redo ignores it, like
-				// the serial logical pass.
-				continue
-			}
-			// Barrier: drain every worker, replay the SMO serially
-			// while they are paused, then release them.
-			b := &redoBarrier{arrived: new(sync.WaitGroup), resume: make(chan struct{})}
-			b.arrived.Add(workers)
-			for _, w := range ws {
-				w.tasks <- redoTask{barrier: b}
-			}
-			b.arrived.Wait()
-			err = r.redoSMOPhysiological(t, lsn)
-			close(b.resume)
+	// Scan stage: decode, transaction-table maintenance and the DPT/rLSN
+	// screen run off the dispatch goroutine, feeding the bounded ring.
+	// scanMet and scanErr are published by the ring close (happens-before
+	// the dispatcher's range loop ending).
+	ring := make(chan scanItem, r.opt.ScanAheadRecords)
+	var scanMet Metrics
+	var scanErr error
+	go func() {
+		defer close(ring)
+		sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+		defer func() { scanMet.LogPagesRead = sc.PagesRead() }()
+		for {
+			rec, lsn, ok, err := sc.Next()
 			if err != nil {
-				finish()
-				return err
+				scanErr = err
+				return
 			}
-		case wal.DataOp:
-			r.met.RedoRecords++
-			r.clock.Advance(r.opt.PerRecordCPU)
-			pid := t.PID()
-			if r.table != nil {
-				if r.m.IsLogical() && lsn >= r.lastDeltaTCLSN {
-					// Tail of the log: pages dirtied after the last ∆
-					// record are unknown to the DPT (§4.3); replay
-					// unscreened, as serial basic mode does.
-					r.met.TailRecords++
-				} else {
-					e := r.table.Find(pid)
-					if e == nil {
-						r.met.SkippedDPT++
-						continue
-					}
-					if lsn < e.RLSN {
-						r.met.SkippedRLSN++
-						continue
+			if !ok {
+				return
+			}
+			r.txns.note(rec, lsn)
+			switch t := rec.(type) {
+			case *wal.SMORec:
+				if r.m.IsLogical() {
+					// Already replayed by dcPass; redo ignores it, like
+					// the serial logical pass.
+					continue
+				}
+				ring <- scanItem{smo: t, lsn: lsn}
+			case wal.DataOp:
+				scanMet.RedoRecords++
+				r.clock.Advance(r.opt.PerRecordCPU)
+				if r.table != nil {
+					if r.m.IsLogical() && lsn >= r.lastDeltaTCLSN {
+						// Tail of the log: pages dirtied after the last ∆
+						// record are unknown to the DPT (§4.3); replay
+						// unscreened, as serial basic mode does.
+						scanMet.TailRecords++
+					} else {
+						e := r.table.Find(t.PID())
+						if e == nil {
+							scanMet.SkippedDPT++
+							continue
+						}
+						if lsn < e.RLSN {
+							scanMet.SkippedRLSN++
+							continue
+						}
 					}
 				}
+				ring <- scanItem{op: t, lsn: lsn}
 			}
-			ws[int(uint32(pid)%uint32(workers))].tasks <- redoTask{op: t, lsn: lsn}
+		}
+	}()
+
+	// Dispatch stage: route survivors to their shard workers; barrier
+	// only the shards an SMO touches.
+	var dispatchErr error
+	for it := range ring {
+		if it.smo == nil {
+			pool.route(it.op, it.lsn)
+			continue
+		}
+		release, paused := pool.pause(it.smo.AffectedPIDs())
+		err := r.redoSMOPhysiological(it.smo, it.lsn)
+		release()
+		r.met.SMOBarriers++
+		r.met.BarrierWorkersPaused += int64(paused)
+		if err != nil {
+			dispatchErr = err
+			break
 		}
 	}
-	r.met.LogPagesRead += sc.PagesRead()
-	return finish()
+	if dispatchErr != nil {
+		// Unblock the scan stage (it may be parked on a full ring) and
+		// drain so the workers can be joined.
+		for range ring {
+		}
+	}
+	wmet, werr := pool.finish()
+
+	r.met.RedoRecords += scanMet.RedoRecords
+	r.met.TailRecords += scanMet.TailRecords
+	r.met.SkippedDPT += scanMet.SkippedDPT
+	r.met.SkippedRLSN += scanMet.SkippedRLSN
+	r.met.LogPagesRead += scanMet.LogPagesRead
+	r.met.Applied += wmet.Applied
+	r.met.SkippedPLSN += wmet.SkippedPLSN
+	r.met.DataPageFetches += wmet.DataPageFetches
+
+	switch {
+	case dispatchErr != nil:
+		return dispatchErr
+	case scanErr != nil:
+		return scanErr
+	default:
+		return werr
+	}
 }

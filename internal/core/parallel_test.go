@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"logrec/internal/engine"
+	"logrec/internal/storage"
 )
 
 // buildCrashWithSplits drives a mixed update+insert workload so the
@@ -108,7 +109,66 @@ func TestParallelRedoMatchesOracle(t *testing.T) {
 			if met.Applied == 0 {
 				t.Errorf("%v workers=%d: no records applied", m, workers)
 			}
+			if m.IsLogical() {
+				// dcPass replays SMOs before redo starts; the pipeline
+				// never barriers.
+				if met.SMOBarriers != 0 {
+					t.Errorf("%v workers=%d: %d SMO barriers in logical redo",
+						m, workers, met.SMOBarriers)
+				}
+				continue
+			}
+			// SQL family: the split-heavy window must have replayed SMOs
+			// under barriers, each pausing at most the shards owning the
+			// SMO's pages (TestBarrierShardScope checks the scoping
+			// precisely).
+			if met.SMOBarriers == 0 {
+				t.Errorf("%v workers=%d: no SMO barriers in a split-heavy window", m, workers)
+			}
+			if met.BarrierWorkersPaused <= 0 || met.BarrierWorkersPaused > met.SMOBarriers*int64(workers) {
+				t.Errorf("%v workers=%d: %d worker pauses over %d barriers out of range",
+					m, workers, met.BarrierWorkersPaused, met.SMOBarriers)
+			}
 		}
+	}
+}
+
+// TestBarrierShardScope drives the worker pool's pause primitive
+// directly: a barrier names only the shards that own its pages, an
+// epoch increments per barrier, and a nil page set means a global
+// pause.
+func TestBarrierShardScope(t *testing.T) {
+	eng, err := engine.New(testConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(100, func(k uint64) []byte { return val(k, 0) }); err != nil {
+		t.Fatal(err)
+	}
+	r := &run{d: eng.DC}
+	pool := newShardedPool(r, 4, nil)
+
+	// Pages 8 and 12 both map to shard 0; 5 maps to shard 1.
+	release, paused := pool.pause([]storage.PageID{8, 12})
+	release()
+	if paused != 1 {
+		t.Errorf("pause({8,12}): paused %d workers, want 1 (one shard)", paused)
+	}
+	release, paused = pool.pause([]storage.PageID{8, 5})
+	release()
+	if paused != 2 {
+		t.Errorf("pause({8,5}): paused %d workers, want 2", paused)
+	}
+	release, paused = pool.pause(nil)
+	release()
+	if paused != 4 {
+		t.Errorf("pause(nil): paused %d workers, want 4 (global)", paused)
+	}
+	if pool.epoch != 3 {
+		t.Errorf("epoch = %d after 3 barriers, want 3", pool.epoch)
+	}
+	if _, err := pool.finish(); err != nil {
+		t.Fatal(err)
 	}
 }
 

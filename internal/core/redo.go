@@ -220,18 +220,25 @@ func (r *run) redoSMOPhysiological(t *wal.SMORec, lsn wal.LSN) error {
 		if e := r.table.Find(img.PageID); e == nil || lsn < e.RLSN {
 			continue
 		}
-		missBefore := pool.Stats().Misses
+		// Miss attribution is per-image, not a pool-counter diff: under
+		// shard-scoped barriers, unaffected workers keep missing on
+		// their own pages while this replays. The SMO's own pages are
+		// quiesced (their shards are paused), so the cached check
+		// cannot race.
 		var f *buffer.Frame
 		var err error
-		if pool.Contains(img.PageID) || r.d.Disk().Exists(img.PageID) {
+		switch {
+		case pool.Contains(img.PageID):
 			f, err = pool.Get(img.PageID)
-		} else {
+		case r.d.Disk().Exists(img.PageID):
+			f, err = pool.Get(img.PageID)
+			r.met.SMOPageFetches++
+		default:
 			f, err = pool.NewPage(img.PageID, page.TypeInvalid)
 		}
 		if err != nil {
 			return fmt.Errorf("SMO image for page %d: %w", img.PageID, err)
 		}
-		r.met.SMOPageFetches += pool.Stats().Misses - missBefore
 		if f.Page.LSN() < uint64(lsn) {
 			copy(f.Page.Bytes(), img.Data)
 			pool.MarkDirty(f, lsn)

@@ -7,6 +7,37 @@ import (
 	"logrec/internal/wal"
 )
 
+// undoState tracks one loser transaction through the merged backward
+// sweep.
+type undoState struct {
+	next wal.LSN // next record of this txn to undo
+	last wal.LSN // txn's current backchain head (CLR PrevLSN)
+}
+
+// buildLosers seeds the undo sweep from the recovered transaction
+// table.
+func (r *run) buildLosers() map[wal.TxnID]*undoState {
+	losers := make(map[wal.TxnID]*undoState)
+	for id, lsn := range r.txns.losers() {
+		losers[id] = &undoState{next: lsn, last: lsn}
+	}
+	return losers
+}
+
+// nextLoser picks the loser with the highest next-undo LSN — the merged
+// backward sweep order both the serial and parallel passes follow.
+func nextLoser(losers map[wal.TxnID]*undoState) wal.TxnID {
+	var pick wal.TxnID
+	var maxLSN wal.LSN
+	for id, st := range losers {
+		if st.next >= maxLSN {
+			maxLSN = st.next
+			pick = id
+		}
+	}
+	return pick
+}
+
 // undo rolls back every loser transaction — logical undo, the final
 // pass in every recovery method (§2.1). Losers' update records are
 // compensated in a single merged backward sweep over the log, highest
@@ -14,26 +45,11 @@ import (
 // directly to their UndoNextLSN so undo work lost in a crash-during-
 // recovery is never repeated.
 func (r *run) undo() error {
-	type undoState struct {
-		next wal.LSN // next record of this txn to undo
-		last wal.LSN // txn's current backchain head (CLR PrevLSN)
-	}
-	losers := make(map[wal.TxnID]*undoState)
-	for id, lsn := range r.txns.losers() {
-		losers[id] = &undoState{next: lsn, last: lsn}
-	}
+	losers := r.buildLosers()
 	r.met.LosersUndone = len(losers)
 
 	for len(losers) > 0 {
-		// Pick the loser with the highest next-undo LSN.
-		var pick wal.TxnID
-		var maxLSN wal.LSN
-		for id, st := range losers {
-			if st.next >= maxLSN {
-				maxLSN = st.next
-				pick = id
-			}
-		}
+		pick := nextLoser(losers)
 		st := losers[pick]
 		if st.next == wal.NilLSN {
 			// Fully undone: close the transaction with an abort record.

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"logrec/internal/btree"
+	"logrec/internal/wal"
+)
+
+// Parallel undo.
+//
+// Losers are key-disjoint — two-phase locking means an uncommitted
+// transaction still holds exclusive locks on every key it touched at
+// the crash — so their compensations commute logically and only
+// page-level coordination is needed. Parallel undo therefore splits
+// each undo step into a serial *plan* and a sharded *apply*, reusing
+// the redo worker pool:
+//
+//   - the dispatcher runs the same merged backward sweep as serial undo
+//     (highest LSN first), appending each CLR itself — the log sequence
+//     and every per-transaction backchain are byte-identical to a
+//     serial run;
+//   - for each CLR it resolves the key's current page through the index
+//     (internal pages only; the tree's structure is frozen between
+//     barriers) and routes the page application to the worker owning
+//     that page, exactly like a redo task — workers fetch their leaf
+//     pages concurrently, which is where undo's IO parallelism comes
+//     from;
+//   - an undo operation that can change the tree's structure (restoring
+//     a deleted row, or restoring a value larger than the one it
+//     replaces, either of which can split a full leaf) runs under a
+//     global barrier: every shard drains, the operation goes through
+//     the full logical path of serial undo, and the shards resume.
+//     The FIFO task channels double as the ordering fence: everything
+//     routed before the barrier is applied before the structure moves,
+//     and everything planned after it is resolved against the new
+//     structure.
+func (r *run) parallelUndo(workers int) error {
+	losers := r.buildLosers()
+	r.met.LosersUndone = len(losers)
+
+	pool := newShardedPool(r, workers, nil)
+	loopErr := r.parallelUndoSweep(pool, losers)
+	wmet, werr := pool.finish()
+	r.met.UndoApplied += wmet.Applied
+	r.met.DataPageFetches += wmet.DataPageFetches
+	if loopErr == nil {
+		loopErr = werr
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+
+	// Make the undo work durable and release the WAL constraint for
+	// post-recovery flushing.
+	r.d.EOSL(r.log.Flush())
+	return nil
+}
+
+// parallelUndoSweep is the dispatcher side: the serial merged backward
+// sweep with the page applications farmed out.
+func (r *run) parallelUndoSweep(pool *shardedPool, losers map[wal.TxnID]*undoState) error {
+	tree := r.d.Tree()
+	for len(losers) > 0 {
+		pick := nextLoser(losers)
+		st := losers[pick]
+		if st.next == wal.NilLSN {
+			// Fully undone: close the transaction with an abort record.
+			r.log.MustAppend(&wal.AbortRec{TxnID: pick, PrevLSN: st.last})
+			delete(losers, pick)
+			continue
+		}
+		rec, err := r.log.Get(st.next)
+		if err != nil {
+			return fmt.Errorf("undo of txn %d at %v: %w", pick, st.next, err)
+		}
+		next, err := r.undoOneParallel(pool, tree, pick, st, rec)
+		if err != nil {
+			return fmt.Errorf("undo of txn %d at %v: %w", pick, st.next, err)
+		}
+		st.next = next
+	}
+	return nil
+}
+
+// undoOneParallel compensates one record: non-structural inverses are
+// planned and routed to the page's shard worker; structural ones run
+// serially under a global barrier.
+func (r *run) undoOneParallel(pool *shardedPool, tree *btree.Tree, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
+	switch t := rec.(type) {
+	case *wal.UpdateRec:
+		if len(t.OldVal) > len(t.NewVal) {
+			// Restoring a larger value can overflow the leaf and force
+			// a split.
+			return r.undoStructural(pool, txn, st, rec)
+		}
+		return t.PrevLSN, r.routeUndoCLR(pool, tree, txn, st, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN)
+	case *wal.InsertRec:
+		// The inverse is a page delete; leaves never merge, so this
+		// cannot change the tree's structure.
+		return t.PrevLSN, r.routeUndoCLR(pool, tree, txn, st, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN)
+	case *wal.DeleteRec:
+		// The inverse re-inserts the row, which can split a full leaf.
+		return r.undoStructural(pool, txn, st, rec)
+	case *wal.CLRRec:
+		// Redo-only: skip over already-compensated work.
+		return t.UndoNextLSN, nil
+	default:
+		return wal.NilLSN, fmt.Errorf("unexpected %v record in backchain", rec.Type())
+	}
+}
+
+// routeUndoCLR plans one non-structural undo operation: the CLR is
+// appended here, on the dispatch goroutine (keeping the log sequence
+// identical to serial undo and the per-transaction backchain intact),
+// the key's current leaf is resolved through the index, and the page
+// application is routed to the owning shard worker. WAL ordering holds:
+// the CLR is on the (volatile) log before any worker can dirty the
+// page, and the pool's log-force hook covers eviction flushes.
+func (r *run) routeUndoCLR(pool *shardedPool, tree *btree.Tree, txn wal.TxnID, st *undoState, kind wal.CLRKind, table wal.TableID, key uint64, restore []byte, undoNext wal.LSN) error {
+	pid, err := tree.FindLeaf(key)
+	if err != nil {
+		return fmt.Errorf("index search for key %d: %w", key, err)
+	}
+	clr := &wal.CLRRec{
+		TxnID: txn, TableID: table, KeyVal: key,
+		Kind: kind, RestoreVal: restore, PageID: pid,
+		UndoNextLSN: undoNext, PrevLSN: st.last,
+	}
+	lsn := r.log.MustAppend(clr)
+	r.met.CLRsWritten++
+	st.last = lsn
+	pool.route(clr, lsn)
+	return nil
+}
+
+// undoStructural runs one undo step that may modify the tree's
+// structure. Every shard drains and pauses (a split can touch any
+// page: the leaf, its new sibling, parents up to the root), the record
+// is compensated through the full logical path — exactly the serial
+// undo step, CLR included — and the shards resume.
+func (r *run) undoStructural(pool *shardedPool, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
+	release, paused := pool.pause(nil)
+	defer release()
+	r.met.UndoBarriers++
+	r.met.BarrierWorkersPaused += int64(paused)
+	return r.undoRecord(txn, st.last, rec, func(lsn wal.LSN) { st.last = lsn })
+}

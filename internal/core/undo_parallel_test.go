@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"logrec/internal/engine"
+	"logrec/internal/tc"
+)
+
+// loserSpec shapes each loser transaction's operations so undo
+// exercises every path: same-size updates (routed, non-structural),
+// inserts of fresh keys (undo = page delete, non-structural), deletes
+// (undo re-inserts and may split — structural), and shrinking updates
+// (undo restores a larger value — structural).
+type loserSpec struct {
+	updates int
+	inserts int
+	deletes int
+	shrinks int
+}
+
+// buildCrashWithLosers builds a crash with nLosers long-running
+// transactions that never commit. The losers' operations run in two
+// rounds — before and midway through the committed traffic — so their
+// backchains span checkpoints and the SMOs the committed inserts force
+// (splits inside the undo window). Losers touch strided reserved keys
+// the committed traffic avoids, mirroring the key-disjointness 2PL
+// guarantees.
+func buildCrashWithLosers(t *testing.T, cfg engine.Config, nRows, txns, opsPerTxn, nLosers int, spec loserSpec, seed int64) (*engine.CrashState, oracle) {
+	t.Helper()
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := make(oracle, nRows)
+	if err := eng.Load(nRows, func(k uint64) []byte {
+		v := val(k, 0)
+		om[k] = v
+		return v
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Reserved keys: strided across the table so the losers' pages
+	// spread (and later get evicted by redo traffic).
+	perLoser := spec.updates + spec.deletes + spec.shrinks
+	stride := uint64(nRows/(nLosers*perLoser+1)) + 1
+	var nextReserved uint64
+	reserved := make(map[uint64]bool)
+	takeReserved := func() uint64 {
+		if nextReserved >= uint64(nRows) {
+			t.Fatalf("ran out of reserved keys (stride %d)", stride)
+		}
+		k := nextReserved
+		nextReserved += stride
+		reserved[k] = true
+		return k
+	}
+
+	losers := make([]*tc.Txn, nLosers)
+	for i := range losers {
+		losers[i] = eng.TC.Begin()
+	}
+	// nextLoserInsert stays far above the committed inserts' key range.
+	nextLoserInsert := uint64(1) << 32
+	loserRound := func(updates, inserts, deletes, shrinks int) {
+		for _, txn := range losers {
+			for u := 0; u < updates; u++ {
+				k := takeReserved()
+				if err := eng.TC.Update(txn, cfg.TableID, k, val(k, 999)); err != nil {
+					t.Fatalf("loser update key %d: %v", k, err)
+				}
+			}
+			for u := 0; u < inserts; u++ {
+				k := nextLoserInsert
+				nextLoserInsert++
+				if err := eng.TC.Insert(txn, cfg.TableID, k, val(k, 999)); err != nil {
+					t.Fatalf("loser insert key %d: %v", k, err)
+				}
+			}
+			for u := 0; u < deletes; u++ {
+				k := takeReserved()
+				if err := eng.TC.Delete(txn, cfg.TableID, k); err != nil {
+					t.Fatalf("loser delete key %d: %v", k, err)
+				}
+			}
+			for u := 0; u < shrinks; u++ {
+				k := takeReserved()
+				if err := eng.TC.Update(txn, cfg.TableID, k, []byte("tiny")); err != nil {
+					t.Fatalf("loser shrink key %d: %v", k, err)
+				}
+			}
+		}
+	}
+	committedRound := func(n int) {
+		nextKey := uint64(nRows) + uint64(eng.TC.Stats().Inserts)
+		for i := 0; i < n; i++ {
+			txn := eng.TC.Begin()
+			staged := make(map[uint64][]byte)
+			for u := 0; u < opsPerTxn; u++ {
+				if rng.Intn(3) == 0 {
+					// Inserts at the right edge force leaf splits (SMO
+					// records) inside the redo and undo windows.
+					k := nextKey
+					nextKey++
+					v := val(k, i+1)
+					if err := eng.TC.Insert(txn, cfg.TableID, k, v); err != nil {
+						t.Fatalf("committed insert %d: %v", k, err)
+					}
+					staged[k] = v
+					continue
+				}
+				k := uint64(rng.Intn(nRows))
+				for reserved[k] {
+					k = (k + 1) % uint64(nRows)
+				}
+				v := val(k, i+1)
+				if err := eng.TC.Update(txn, cfg.TableID, k, v); err != nil {
+					t.Fatalf("committed update %d: %v", k, err)
+				}
+				staged[k] = v
+			}
+			if err := eng.TC.Commit(txn); err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range staged {
+				om[k] = v
+			}
+			if (i+1)%25 == 0 {
+				if err := eng.TC.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Round 1: half of each loser's work, then committed traffic (with
+	// checkpoints, so the losers ride the active-transaction list), then
+	// the rest of the losers' work, then more committed traffic.
+	loserRound(spec.updates/2, spec.inserts/2, spec.deletes/2, spec.shrinks/2)
+	committedRound(txns / 2)
+	loserRound(spec.updates-spec.updates/2, spec.inserts-spec.inserts/2,
+		spec.deletes-spec.deletes/2, spec.shrinks-spec.shrinks/2)
+	committedRound(txns - txns/2)
+
+	// Force the log so the losers' records survive; they never commit.
+	eng.TC.SendEOSL()
+	return eng.Crash(), om
+}
+
+// TestParallelUndoMatchesSerialOracle recovers the same multi-loser
+// crash under every method with serial undo, then with parallel undo at
+// several worker counts, and checks byte-identical outcomes: the
+// committed state, the loser count, the CLR count, and the exact same
+// log end (parallel undo plans CLRs in the serial sweep order, so the
+// log sequence must not change).
+func TestParallelUndoMatchesSerialOracle(t *testing.T) {
+	cfg := testConfig(300)
+	spec := loserSpec{updates: 6, inserts: 3, deletes: 2, shrinks: 1}
+	cs, om := buildCrashWithLosers(t, cfg, 2000, 120, 8, 4, spec, 17)
+
+	for _, m := range Methods() {
+		opt := DefaultOptions(cfg)
+		sEng, sMet, err := Recover(cs, m, opt)
+		if err != nil {
+			t.Fatalf("%v serial: %v", m, err)
+		}
+		verifyRecovered(t, m, sEng, om)
+		if sMet.LosersUndone != 4 {
+			t.Fatalf("%v serial: LosersUndone = %d, want 4", m, sMet.LosersUndone)
+		}
+		serialEnd := sEng.Log.EndLSN()
+
+		for _, uw := range []int{1, 2, 4} {
+			popt := opt
+			popt.RedoWorkers = 2
+			popt.UndoWorkers = uw
+			eng, met, err := Recover(cs, m, popt)
+			if err != nil {
+				t.Fatalf("%v undo workers=%d: %v", m, uw, err)
+			}
+			verifyRecovered(t, m, eng, om)
+			if met.UndoWorkers != uw {
+				t.Errorf("%v: UndoWorkers = %d, want %d", m, met.UndoWorkers, uw)
+			}
+			if met.LosersUndone != sMet.LosersUndone {
+				t.Errorf("%v workers=%d: LosersUndone = %d, serial %d",
+					m, uw, met.LosersUndone, sMet.LosersUndone)
+			}
+			if met.CLRsWritten != sMet.CLRsWritten {
+				t.Errorf("%v workers=%d: CLRsWritten = %d, serial %d",
+					m, uw, met.CLRsWritten, sMet.CLRsWritten)
+			}
+			// Deletes and shrinking updates must have taken the
+			// structural barrier path; everything else is routed and
+			// applied by the shard workers.
+			if met.UndoBarriers == 0 {
+				t.Errorf("%v workers=%d: no structural undo barriers", m, uw)
+			}
+			if met.UndoApplied+met.UndoBarriers != met.CLRsWritten {
+				t.Errorf("%v workers=%d: UndoApplied %d + UndoBarriers %d != CLRsWritten %d",
+					m, uw, met.UndoApplied, met.UndoBarriers, met.CLRsWritten)
+			}
+			if end := eng.Log.EndLSN(); end != serialEnd {
+				t.Errorf("%v workers=%d: log end %v, serial undo ended at %v",
+					m, uw, end, serialEnd)
+			}
+		}
+	}
+}
+
+// TestParallelUndoRealIO exercises parallel undo against wall-clock IO:
+// the shard workers overlap their leaf fetches, and the recovered state
+// must still match the oracle.
+func TestParallelUndoRealIO(t *testing.T) {
+	cfg := testConfig(200)
+	spec := loserSpec{updates: 12, inserts: 2, deletes: 1}
+	cs, om := buildCrashWithLosers(t, cfg, 1500, 60, 8, 4, spec, 23)
+	opt := DefaultOptions(cfg)
+	opt.RealIOScale = 4000 // 4ms seek → 1µs sleep: fast but real
+	for _, uw := range []int{1, 4} {
+		popt := opt
+		popt.RedoWorkers = 4
+		popt.UndoWorkers = uw
+		eng, met, err := Recover(cs, Log1, popt)
+		if err != nil {
+			t.Fatalf("undo workers=%d: %v", uw, err)
+		}
+		verifyRecovered(t, Log1, eng, om)
+		if met.WallUndoTime <= 0 {
+			t.Errorf("undo workers=%d: WallUndoTime not measured", uw)
+		}
+	}
+}

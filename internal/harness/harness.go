@@ -18,7 +18,9 @@ import (
 
 // Config parameterises one crash build.
 type Config struct {
-	Engine   engine.Config
+	// Engine configures the engine under test (disk model, cache, DC).
+	Engine engine.Config
+	// Workload configures the committed update traffic.
 	Workload workload.Config
 
 	// CheckpointEveryUpdates is the checkpoint interval in update
@@ -38,6 +40,20 @@ type Config struct {
 	// LeaveOpenTxn leaves one uncommitted transaction in flight at the
 	// crash so undo has work to do.
 	LeaveOpenTxn bool
+	// OpenTxns leaves this many uncommitted transactions in flight at
+	// the crash (0 falls back to LeaveOpenTxn's single loser). Each
+	// loser updates keys strided across the table so their pages
+	// spread.
+	OpenTxns int
+	// OpenTxnUpdates is how many updates each loser makes (0 uses
+	// Workload.UpdatesPerTxn).
+	OpenTxnUpdates int
+	// EarlyLosers runs the losers' updates before the committed
+	// traffic instead of at the crash: long-running transactions whose
+	// pages the later redo traffic evicts, so the undo pass has real
+	// IO to do — the undo worker sweep's workload. The committed
+	// workload steers around the losers' keys (they stay X-locked).
+	EarlyLosers bool
 }
 
 // DefaultConfig returns the paper-proportional experiment at the
@@ -116,6 +132,7 @@ type CrashResult struct {
 	BWsWritten     int64
 	CheckpointsRun int64
 	LogBytes       int64
+	LosersAtCrash  int
 }
 
 // DirtyPct is the dirty fraction of the cache at the crash — Figure
@@ -147,6 +164,44 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		return nil, fmt.Errorf("harness: load: %w", err)
 	}
 
+	openTxns := cfg.OpenTxns
+	if openTxns == 0 && cfg.LeaveOpenTxn {
+		openTxns = 1
+	}
+	perLoser := cfg.OpenTxnUpdates
+	if perLoser == 0 {
+		perLoser = cfg.Workload.UpdatesPerTxn
+	}
+	// Losers take keys strided across the table; the committed traffic
+	// steers around them (they stay exclusively locked until the crash).
+	stride := uint64(cfg.Workload.Rows/(openTxns*perLoser+1)) + 1
+	nextLoserKey := uint64(0)
+	reserved := make(map[uint64]bool, openTxns*perLoser)
+	runLoser := func() error {
+		txn := eng.TC.Begin()
+		for u := 0; u < perLoser; u++ {
+			if nextLoserKey >= uint64(cfg.Workload.Rows) {
+				return fmt.Errorf("harness: %d losers × %d updates do not fit %d rows",
+					openTxns, perLoser, cfg.Workload.Rows)
+			}
+			k := nextLoserKey
+			nextLoserKey += stride
+			reserved[k] = true
+			if err := eng.TC.Update(txn, cfg.Engine.TableID, k, []byte(makeGarbage(cfg.Workload.ValueSize))); err != nil {
+				return fmt.Errorf("harness: loser update key %d: %w", k, err)
+			}
+		}
+		// The transaction stays open: recovery must undo it.
+		return nil
+	}
+	if cfg.EarlyLosers {
+		for i := 0; i < openTxns; i++ {
+			if err := runLoser(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var (
 		updates          int64
 		updatesSinceCkpt int
@@ -168,17 +223,22 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		staged := make(map[uint64][]byte, cfg.Workload.UpdatesPerTxn)
 		for u := 0; u < cfg.Workload.UpdatesPerTxn; u++ {
 			op := gen.NextOp()
+			// Steer off keys the early losers hold exclusively locked.
+			key := op.Key
+			for reserved[key] {
+				key = (key + 1) % uint64(cfg.Workload.Rows)
+			}
 			if op.Kind == workload.OpRead {
-				if _, _, err := eng.TC.Read(txn, cfg.Engine.TableID, op.Key); err != nil {
+				if _, _, err := eng.TC.Read(txn, cfg.Engine.TableID, key); err != nil {
 					return nil, fmt.Errorf("harness: read: %w", err)
 				}
 				continue
 			}
-			v := gen.UpdateValue(op.Key)
-			if err := eng.TC.Update(txn, cfg.Engine.TableID, op.Key, v); err != nil {
-				return nil, fmt.Errorf("harness: update key %d: %w", op.Key, err)
+			v := gen.UpdateValue(key)
+			if err := eng.TC.Update(txn, cfg.Engine.TableID, key, v); err != nil {
+				return nil, fmt.Errorf("harness: update key %d: %w", key, err)
 			}
-			staged[op.Key] = v
+			staged[key] = v
 			updates++
 			updatesSinceCkpt++
 			updatesSinceTail++
@@ -212,16 +272,16 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		}
 	}
 
-	if cfg.LeaveOpenTxn {
-		txn := eng.TC.Begin()
-		for u := 0; u < cfg.Workload.UpdatesPerTxn; u++ {
-			k := gen.NextKey()
-			if err := eng.TC.Update(txn, cfg.Engine.TableID, k, []byte(makeGarbage(cfg.Workload.ValueSize))); err != nil {
-				return nil, fmt.Errorf("harness: open-txn update: %w", err)
+	if !cfg.EarlyLosers {
+		for i := 0; i < openTxns; i++ {
+			if err := runLoser(); err != nil {
+				return nil, err
 			}
 		}
-		// Force the log so the loser's records survive; the txn never
-		// commits.
+	}
+	if openTxns > 0 {
+		// Force the log so the losers' records survive; the txns never
+		// commit.
 		eng.TC.SendEOSL()
 	}
 
@@ -236,6 +296,7 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		BWsWritten:     eng.Log.AppendCount(wal.TypeBW),
 		CheckpointsRun: int64(ckpts),
 		LogBytes:       int64(eng.Log.EndLSN()),
+		LosersAtCrash:  openTxns,
 	}
 	res.Crash = eng.Crash()
 	return res, nil

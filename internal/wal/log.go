@@ -204,8 +204,12 @@ func (l *Log) readAt(lsn LSN) (Record, LSN, error) {
 // one past its frame. Callers must hold l.mu.
 func (l *Log) decodeAt(lsn LSN) (Record, LSN, error) {
 	off := int(lsn)
-	if off < logHeaderSize || off+frameHeaderSize > len(l.buf) {
+	if off < logHeaderSize || off >= len(l.buf) {
 		return nil, NilLSN, fmt.Errorf("%w: %v (log end %d)", ErrOutOfRange, lsn, len(l.buf))
+	}
+	if off+frameHeaderSize > len(l.buf) {
+		// A frame header cut short is a torn tail, not a bad LSN.
+		return nil, NilLSN, fmt.Errorf("%w: frame header at %v crosses log end %d", ErrTruncated, lsn, len(l.buf))
 	}
 	bodyLen := int(binary.BigEndian.Uint32(l.buf[off:]))
 	t := Type(l.buf[off+4])

@@ -418,6 +418,17 @@ type SMORec struct {
 
 func (r *SMORec) Type() Type { return TypeSMO }
 
+// AffectedPIDs returns the set of pages this SMO rewrote — its images'
+// PIDs. Parallel redo uses it to scope the SMO barrier to the workers
+// owning those pages instead of pausing every shard.
+func (r *SMORec) AffectedPIDs() []storage.PageID {
+	out := make([]storage.PageID, len(r.Images))
+	for i, img := range r.Images {
+		out[i] = img.PageID
+	}
+	return out
+}
+
 func (r *SMORec) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(r.Meta.TableID))
 	dst = putU32(dst, uint32(r.Meta.Root))
