@@ -10,6 +10,11 @@ GO ?= go
 BENCH_DIR ?= $(if $(RUNNER_TEMP),$(RUNNER_TEMP),/tmp)/logrec-bench
 TOLERANCE ?= 0.30
 
+# The file-device benchmark needs a real directory to put its page file
+# and WAL in; tmpfs when the host has one (CI smoke: small log, no disk
+# wear, no noisy-neighbour IO), /tmp otherwise.
+FILEDEV_DIR ?= $(shell test -d /dev/shm && echo /dev/shm/logrec-filedev || echo /tmp/logrec-filedev)
+
 .PHONY: build test race fuzz-smoke examples doclint bench bench-smoke bench-gate bench-baseline staticcheck fmt fmt-check vet ci
 
 build:
@@ -43,30 +48,42 @@ doclint:
 $(BENCH_DIR):
 	mkdir -p $(BENCH_DIR)
 
-# Full write-path + recovery sweeps, then the Go bench cases once each.
+# Full write-path + recovery sweeps (simulated and file device), then
+# the Go bench cases once each.
 bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/walbench -out $(BENCH_DIR)/BENCH_wal.json
 	$(GO) run ./cmd/recoverybench -out $(BENCH_DIR)/BENCH_recovery.json
+	$(GO) run ./cmd/recoverybench -device=file -dir $(FILEDEV_DIR) \
+		-out $(BENCH_DIR)/BENCH_recovery_file.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
 
 # Short smoke sweeps for CI artifact upload and the regression gate.
+# The file-device leg runs the same pipeline against real files
+# (tmpfs-backed in CI, see FILEDEV_DIR).
 bench-smoke: | $(BENCH_DIR)
 	$(GO) run ./cmd/walbench -quick -out $(BENCH_DIR)/BENCH_wal.json
 	$(GO) run ./cmd/recoverybench -quick -out $(BENCH_DIR)/BENCH_recovery.json
+	$(GO) run ./cmd/recoverybench -device=file -quick -dir $(FILEDEV_DIR) \
+		-out $(BENCH_DIR)/BENCH_recovery_file.json
 
 # Regression gate: compare fresh smoke numbers against the checked-in
 # baselines. Fails on a >TOLERANCE walbench throughput drop, a parallel
-# redo speedup collapse, or a redo-window drift past TOLERANCE.
+# redo speedup collapse, a redo-window drift past TOLERANCE, or a
+# file-device run that silently stopped doing real work (see
+# cmd/benchdiff for what each kind checks).
 bench-gate: bench-smoke
 	$(GO) run ./cmd/benchdiff -kind wal -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_wal.json -current $(BENCH_DIR)/BENCH_wal.json
 	$(GO) run ./cmd/benchdiff -kind recovery -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_recovery.json -current $(BENCH_DIR)/BENCH_recovery.json
+	$(GO) run ./cmd/benchdiff -kind recovery-file -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_recovery_file.json -current $(BENCH_DIR)/BENCH_recovery_file.json
 
 # Refresh the checked-in baselines after an intentional perf change.
 bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_wal.json ci/baselines/BENCH_wal.json
 	cp $(BENCH_DIR)/BENCH_recovery.json ci/baselines/BENCH_recovery.json
+	cp $(BENCH_DIR)/BENCH_recovery_file.json ci/baselines/BENCH_recovery_file.json
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -5,18 +5,29 @@
 //
 // Two kinds of comparison:
 //
-//	-kind wal       compares walbench commits/sec per client count
-//	                against the baseline (fail on a >tolerance drop).
-//	-kind recovery  checks the machine-independent invariants of
-//	                recoverybench — parallel redo must beat 1 worker by
-//	                -min-speedup at the widest worker count AND must
-//	                still be improving there (no plateau: the widest
-//	                count's speedup strictly exceeds the previous
-//	                one's), parallel undo must beat 1 worker by
-//	                -min-undo-speedup, checkpointed recovery must
-//	                replay fewer records than cold — and compares the
-//	                deterministic record counts against the baseline
-//	                within the tolerance.
+//	-kind wal            compares walbench commits/sec per client count
+//	                     against the baseline (fail on a >tolerance
+//	                     drop).
+//	-kind recovery       checks the machine-independent invariants of
+//	                     recoverybench — parallel redo must beat 1
+//	                     worker by -min-speedup at the widest worker
+//	                     count AND must still be improving there (no
+//	                     plateau: the widest count's speedup strictly
+//	                     exceeds the previous one's), parallel undo
+//	                     must beat 1 worker by -min-undo-speedup,
+//	                     checkpointed recovery must replay fewer
+//	                     records than cold — and compares the
+//	                     deterministic record counts against the
+//	                     baseline within the tolerance.
+//	-kind recovery-file  gates recoverybench -device=file: every sweep
+//	                     entry must have completed (its wall time is a
+//	                     real measurement, so it must be positive),
+//	                     checkpointing must bound the redo scan, and
+//	                     the deterministic record counts must match the
+//	                     baseline within the tolerance. Speedup shapes
+//	                     are deliberately NOT gated here: the CI smoke
+//	                     runs on tmpfs, where page reads cost ~nothing
+//	                     and parallelism has nothing to overlap.
 //
 // Refresh baselines with `make bench-baseline` after an intentional
 // performance change.
@@ -77,8 +88,10 @@ func main() {
 		failures = diffWAL(*baseline, *current, *tolerance)
 	case "recovery":
 		failures = diffRecovery(*baseline, *current, *tolerance, *minSpeedup, *minUndoSpeedup)
+	case "recovery-file":
+		failures = diffRecoveryFile(*baseline, *current, *tolerance)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal or recovery)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, recovery or recovery-file)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -238,6 +251,68 @@ func diffRecovery(basePath, curPath string, tol, minSpeedup, minUndoSpeedup floa
 		// The CLR count is the same at every worker width (undo plans
 		// serially), so comparing the first entries suffices.
 		checkCount("undo CLR count", base.UndoWorkers[0].CLRsWritten, cur.UndoWorkers[0].CLRsWritten)
+	}
+	return fails
+}
+
+// diffRecoveryFile gates the file-device recovery report: completion
+// and determinism, not parallel shape (see the package comment).
+func diffRecoveryFile(basePath, curPath string, tol float64) []string {
+	var base, cur recoveryReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+
+	if len(cur.Workers) == 0 {
+		return []string{"current file run has no worker sweep"}
+	}
+	records := cur.Workers[0].RedoRecords
+	for _, w := range cur.Workers {
+		if w.WallRedoMS <= 0 {
+			fails = append(fails, fmt.Sprintf(
+				"file redo at %d workers reported %.3fms wall time; the run did not really happen", w.Workers, w.WallRedoMS))
+		}
+		// Every width replays the identical crash: the redo window must
+		// not depend on the worker count.
+		if w.RedoRecords != records {
+			fails = append(fails, fmt.Sprintf(
+				"file redo window varies with workers: %d records at %d workers vs %d at %d",
+				w.RedoRecords, w.Workers, records, cur.Workers[0].Workers))
+		}
+	}
+	for _, w := range cur.UndoWorkers {
+		if w.WallUndoMS <= 0 {
+			fails = append(fails, fmt.Sprintf(
+				"file undo at %d workers reported %.3fms wall time; the run did not really happen", w.Workers, w.WallUndoMS))
+		}
+	}
+	if len(base.UndoWorkers) > 0 && len(cur.UndoWorkers) == 0 {
+		fails = append(fails, "baseline has an undo worker sweep but the current file run has none")
+	}
+	if cur.Checkpoint.CkptRedoRecords >= cur.Checkpoint.ColdRedoRecords {
+		fails = append(fails, fmt.Sprintf(
+			"checkpointing did not bound the file redo scan: %d records with ckpt ≥ %d cold",
+			cur.Checkpoint.CkptRedoRecords, cur.Checkpoint.ColdRedoRecords))
+	}
+
+	checkCount := func(name string, baseN, curN int64) {
+		if baseN == 0 {
+			return
+		}
+		drift := float64(curN-baseN) / float64(baseN)
+		if drift > tol || drift < -tol {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %d records vs baseline %d (drift %.0f%% > %.0f%%)",
+				name, curN, baseN, drift*100, tol*100))
+		}
+	}
+	if len(base.Workers) > 0 {
+		checkCount("file redo window", base.Workers[0].RedoRecords, records)
+	}
+	checkCount("file cold redo window", base.Checkpoint.ColdRedoRecords, cur.Checkpoint.ColdRedoRecords)
+	checkCount("file checkpointed redo window", base.Checkpoint.CkptRedoRecords, cur.Checkpoint.CkptRedoRecords)
+	if len(base.UndoWorkers) > 0 && len(cur.UndoWorkers) > 0 {
+		checkCount("file undo CLR count", base.UndoWorkers[0].CLRsWritten, cur.UndoWorkers[0].CLRsWritten)
 	}
 	return fails
 }

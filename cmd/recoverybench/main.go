@@ -18,13 +18,21 @@
 // 16): the modeled SATA-era depth of 4 caps any replay parallelism at
 // 4x regardless of worker count, which is the plateau PR 2 measured.
 //
-// It emits BENCH_recovery.json for the CI bench-regression gate and
-// artifact upload.
+// With -device=file the whole pipeline runs against real files instead
+// of the simulation: pages in a storage.FileDisk, the WAL a real file
+// whose every group-commit force is an fsync, the crash a closed set of
+// file handles, and each recovery run a copy of those files reopened —
+// so the sweeps report end-to-end wall-clock recovery numbers
+// (-realscale is ignored; there is nothing to scale, the IO is real).
+//
+// It emits BENCH_recovery.json (sim) or BENCH_recovery_file.json (file)
+// for the CI bench-regression gate and artifact upload.
 //
 // Usage:
 //
 //	go run ./cmd/recoverybench                      # full settings
 //	go run ./cmd/recoverybench -quick               # CI smoke settings
+//	go run ./cmd/recoverybench -device=file -dir /dev/shm/rbench
 //	go run ./cmd/recoverybench -workers 1,2,4,8,16 -out /tmp/BENCH_recovery.json
 package main
 
@@ -34,11 +42,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"logrec/internal/core"
+	"logrec/internal/engine"
 	"logrec/internal/harness"
 )
 
@@ -62,13 +72,14 @@ type undoResult struct {
 type ckptResult struct {
 	ColdRedoRecords int64   `json:"cold_redo_records"`
 	CkptRedoRecords int64   `json:"ckpt_redo_records"`
-	ColdRedoMS      float64 `json:"cold_redo_ms"` // virtual time
-	CkptRedoMS      float64 `json:"ckpt_redo_ms"` // virtual time
+	ColdRedoMS      float64 `json:"cold_redo_ms"` // virtual time (sim) / wall redo time (file)
+	CkptRedoMS      float64 `json:"ckpt_redo_ms"` // virtual time (sim) / wall redo time (file)
 	RecordRatio     float64 `json:"record_ratio"` // ckpt/cold, lower is better
 }
 
 type report struct {
 	Benchmark   string         `json:"benchmark"`
+	Device      string         `json:"device"`
 	Method      string         `json:"method"`
 	GoMaxProcs  int            `json:"go_max_procs"`
 	Scale       int            `json:"scale"`
@@ -89,10 +100,42 @@ func main() {
 		losers      = flag.Int("losers", 8, "loser transactions left open for the undo sweep")
 		loserOps    = flag.Int("loserops", 25, "updates per loser transaction in the undo sweep")
 		methodFlag  = flag.String("method", "Log1", "recovery method for the worker sweeps (Log0..SQL2)")
+		deviceFlag  = flag.String("device", "sim", "storage backend: sim (modelled latencies scaled to wall-clock) or file (real files; end-to-end wall clock)")
+		dirFlag     = flag.String("dir", "", "working directory for -device=file (default: a fresh temp dir, removed on exit)")
 		out         = flag.String("out", "BENCH_recovery.json", "output JSON path")
 		quick       = flag.Bool("quick", false, "CI smoke settings (smaller workload)")
 	)
 	flag.Parse()
+	fileMode := *deviceFlag == "file"
+	if !fileMode && *deviceFlag != "sim" {
+		log.Fatalf("unknown -device %q (want sim or file)", *deviceFlag)
+	}
+	var workDir string
+	if fileMode {
+		if *dirFlag != "" {
+			// The caller owns an explicitly passed directory: create it
+			// if needed but never delete it (it may hold other data).
+			workDir = *dirFlag
+			if err := os.MkdirAll(workDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			tmp, err := os.MkdirTemp("", "recoverybench-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			workDir = tmp
+			defer os.RemoveAll(tmp)
+		}
+	}
+	// applyDevice points one crash build at its own file-mode directory
+	// (sim mode leaves the config untouched).
+	applyDevice := func(cfg *harness.Config, sub string) {
+		if fileMode {
+			cfg.Engine.Device = engine.DeviceFile
+			cfg.Engine.Dir = filepath.Join(workDir, sub)
+		}
+	}
 	if *quick {
 		// Smoke settings, without clobbering explicitly passed flags.
 		set := map[string]bool{}
@@ -133,11 +176,17 @@ func main() {
 
 	rep := report{
 		Benchmark:   "recovery",
+		Device:      *deviceFlag,
 		Method:      method.String(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Scale:       *scale,
 		RealIOScale: *realScale,
 		Channels:    *channels,
+	}
+	if fileMode {
+		// File IO is real; nothing is scaled.
+		rep.Benchmark = "recovery-file"
+		rep.RealIOScale = 0
 	}
 
 	// Cold crash: only the initial (post-load) checkpoint, then a long
@@ -147,6 +196,7 @@ func main() {
 	cold.Engine.Disk.Channels = *channels
 	cold.CrashAfterCheckpoints = 0
 	cold.UpdatesAfterLastCkpt = 8 * cold.CheckpointEveryUpdates
+	applyDevice(&cold, "cold")
 	fmt.Printf("recoverybench: building cold crash (rows=%d, redo window ≈%d updates, queue depth %d)\n",
 		cold.Workload.Rows, cold.UpdatesAfterLastCkpt, *channels)
 	coldRes, err := harness.BuildCrash(cold)
@@ -163,7 +213,9 @@ func main() {
 		}
 		opt := core.DefaultOptions(cold.Engine)
 		opt.RedoWorkers = w
-		opt.RealIOScale = *realScale
+		if !fileMode {
+			opt.RealIOScale = *realScale
+		}
 		met, err := harness.RunRecovery(coldRes, method, opt)
 		if err != nil {
 			log.Fatalf("workers=%d: %v", w, err)
@@ -203,6 +255,7 @@ func main() {
 	undoCfg.EarlyLosers = true
 	undoCfg.OpenTxns = *losers
 	undoCfg.OpenTxnUpdates = *loserOps
+	applyDevice(&undoCfg, "undo")
 	fmt.Printf("building undo crash (%d losers × %d updates)\n", *losers, *loserOps)
 	undoRes, err := harness.BuildCrash(undoCfg)
 	if err != nil {
@@ -212,7 +265,9 @@ func main() {
 		opt := core.DefaultOptions(undoCfg.Engine)
 		opt.RedoWorkers = maxRedoWorkers
 		opt.UndoWorkers = w
-		opt.RealIOScale = *realScale
+		if !fileMode {
+			opt.RealIOScale = *realScale
+		}
 		met, err := harness.RunRecovery(undoRes, method, opt)
 		if err != nil {
 			log.Fatalf("undo workers=%d: %v", w, err)
@@ -241,24 +296,27 @@ func main() {
 			r.Workers, r.WallUndoMS, r.CLRsWritten, r.Losers, r.Speedup)
 	}
 
-	// Checkpoint comparison in virtual time: same update volume, with
-	// periodic checkpoints vs cold. This leg keeps the default device
-	// model — it measures the scan bound, not parallelism.
+	// Checkpoint comparison: same update volume, with periodic
+	// checkpoints vs cold, on the selected device — it measures the
+	// scan bound (a record count, device-independent), not parallelism.
+	// Times are virtual on the sim device; on the file device the
+	// virtual clock never advances for IO, so wall redo time is
+	// reported instead.
 	ckpt := harness.DefaultConfig().Scaled(*scale)
 	ckpt.CrashAfterCheckpoints = 8
+	applyDevice(&ckpt, "ckpt")
 	fmt.Printf("building checkpointed crash (ckpt every %d updates)\n", ckpt.CheckpointEveryUpdates)
 	ckptRes, err := harness.BuildCrash(ckpt)
 	if err != nil {
 		log.Fatalf("building checkpointed crash: %v", err)
 	}
-	simOpt := core.DefaultOptions(cold.Engine)
-	coldMet, err := harness.RunRecovery(coldRes, method, simOpt)
+	coldMet, err := harness.RunRecovery(coldRes, method, core.DefaultOptions(cold.Engine))
 	if err != nil {
-		log.Fatalf("cold sim recovery: %v", err)
+		log.Fatalf("cold serial recovery: %v", err)
 	}
 	ckptMet, err := harness.RunRecovery(ckptRes, method, core.DefaultOptions(ckpt.Engine))
 	if err != nil {
-		log.Fatalf("ckpt sim recovery: %v", err)
+		log.Fatalf("ckpt serial recovery: %v", err)
 	}
 	rep.Checkpoint = ckptResult{
 		ColdRedoRecords: coldMet.RedoRecords,
@@ -266,12 +324,18 @@ func main() {
 		ColdRedoMS:      coldMet.RedoTotal.Milliseconds(),
 		CkptRedoMS:      ckptMet.RedoTotal.Milliseconds(),
 	}
+	timeLabel := "virtual"
+	if fileMode {
+		timeLabel = "wall"
+		rep.Checkpoint.ColdRedoMS = float64(coldMet.WallRedoTime.Microseconds()) / 1000
+		rep.Checkpoint.CkptRedoMS = float64(ckptMet.WallRedoTime.Microseconds()) / 1000
+	}
 	if coldMet.RedoRecords > 0 {
 		rep.Checkpoint.RecordRatio = float64(ckptMet.RedoRecords) / float64(coldMet.RedoRecords)
 	}
-	fmt.Printf("checkpointing: redo records %d → %d (%.1f%%), redo time %.2fms → %.2fms (virtual)\n",
+	fmt.Printf("checkpointing: redo records %d → %d (%.1f%%), redo time %.2fms → %.2fms (%s)\n",
 		rep.Checkpoint.ColdRedoRecords, rep.Checkpoint.CkptRedoRecords,
-		100*rep.Checkpoint.RecordRatio, rep.Checkpoint.ColdRedoMS, rep.Checkpoint.CkptRedoMS)
+		100*rep.Checkpoint.RecordRatio, rep.Checkpoint.ColdRedoMS, rep.Checkpoint.CkptRedoMS, timeLabel)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

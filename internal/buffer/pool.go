@@ -77,7 +77,7 @@ type Stats struct {
 // pages mid-interval — the background cleaning that keeps the dirty
 // page table below the full dirtied footprint (§3, Figure 2(b)).
 type Pool struct {
-	disk     *storage.Disk
+	disk     storage.Device
 	capacity int
 
 	// mu guards every field below. Internal helpers (ensureRoom,
@@ -138,7 +138,7 @@ type Pool struct {
 }
 
 // New creates a pool of capacity pages over disk.
-func New(disk *storage.Disk, capacity int) (*Pool, error) {
+func New(disk storage.Device, capacity int) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("buffer: capacity must be at least 1, got %d", capacity)
 	}
@@ -150,9 +150,9 @@ func New(disk *storage.Disk, capacity int) (*Pool, error) {
 	}, nil
 }
 
-// Disk returns the underlying simulated disk (for prefetch pacing and
+// Disk returns the underlying storage device (for prefetch pacing and
 // IO statistics).
-func (p *Pool) Disk() *storage.Disk { return p.disk }
+func (p *Pool) Disk() storage.Device { return p.disk }
 
 // SetFlushHook subscribes fn to flush completions.
 func (p *Pool) SetFlushHook(fn func(pid storage.PageID, done sim.Time)) {

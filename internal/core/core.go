@@ -259,9 +259,16 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		undoWorkers = 0
 	}
 
-	clock, disk, log := cs.Fork(cache)
+	clock, disk, log, err := cs.Fork(cache)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: forking crash state: %w", err)
+	}
 	if opt.RealIOScale > 0 {
-		disk.SetRealIOScale(opt.RealIOScale)
+		// Scaled wall-clock sleeps are a simulated-disk feature; a file
+		// device's IO is already wall-clock (RealTime reports so).
+		if sd, ok := disk.(*storage.Disk); ok {
+			sd.SetRealIOScale(opt.RealIOScale)
+		}
 	}
 	d, err := dc.Open(clock, disk, log, cache, opt.DCConfig)
 	if err != nil {

@@ -333,7 +333,10 @@ func TestDPTSafety(t *testing.T) {
 
 	// Build the logical DPT exactly as Log1 recovery would.
 	opt := DefaultOptions(cfg)
-	clock, _, log := cs.Fork(0)
+	clock, _, log, err := cs.Fork(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	_ = clock
 	rec, err := log.Get(cs.LastEndCkpt)
 	if err != nil {
@@ -349,7 +352,10 @@ func TestDPTSafety(t *testing.T) {
 	// Recompute the DPT standalone for the membership check.
 	r2 := &run{cs: cs, m: Log1, opt: opt, clock: &sim.Clock{}, log: cs.Log, met: &Metrics{}, txns: newTxnTable(), scanStart: scanStart}
 	// dcPass needs a DC; fork one.
-	clock3, disk3, log3 := cs.Fork(0)
+	clock3, disk3, log3, err3 := cs.Fork(0)
+	if err3 != nil {
+		t.Fatal(err3)
+	}
 	d3, err := dc.Open(clock3, disk3, log3, cfg.CachePages, cfg.DC)
 	if err != nil {
 		t.Fatal(err)

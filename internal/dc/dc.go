@@ -45,7 +45,7 @@ func DefaultConfig() Config {
 // DC is the data component.
 type DC struct {
 	clock *sim.Clock
-	disk  *storage.Disk
+	disk  storage.Device
 	pool  *buffer.Pool
 	log   *wal.Log
 	tree  *btree.Tree
@@ -65,7 +65,7 @@ func (l smoLogger) AppendSMO(r *wal.SMORec) wal.LSN { return l.log.MustAppend(r)
 // New creates a DC over an empty disk with a freshly created table.
 // The tree starts unlogged (bulk-load mode); call StartLogging once the
 // initial load is flushed.
-func New(clock *sim.Clock, disk *storage.Disk, log *wal.Log, cacheCapacity int, tableID wal.TableID, cfg Config) (*DC, error) {
+func New(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int, tableID wal.TableID, cfg Config) (*DC, error) {
 	pool, err := buffer.New(disk, cacheCapacity)
 	if err != nil {
 		return nil, err
@@ -88,7 +88,7 @@ func New(clock *sim.Clock, disk *storage.Disk, log *wal.Log, cacheCapacity int, 
 
 // Open attaches a DC to an existing disk using the boot metadata page
 // (the restart path; recovery follows).
-func Open(clock *sim.Clock, disk *storage.Disk, log *wal.Log, cacheCapacity int, cfg Config) (*DC, error) {
+func Open(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int, cfg Config) (*DC, error) {
 	pool, err := buffer.New(disk, cacheCapacity)
 	if err != nil {
 		return nil, err
@@ -138,7 +138,7 @@ func (d *DC) Pool() *buffer.Pool { return d.pool }
 func (d *DC) Tree() *btree.Tree { return d.tree }
 
 // Disk returns the stable store.
-func (d *DC) Disk() *storage.Disk { return d.disk }
+func (d *DC) Disk() storage.Device { return d.disk }
 
 // Clock returns the virtual clock.
 func (d *DC) Clock() *sim.Clock { return d.clock }
@@ -224,7 +224,17 @@ func (d *DC) RSSP(rsspLSN wal.LSN) error {
 		return fmt.Errorf("dc: checkpoint flush: %w", err)
 	}
 	d.rsspLSN = rsspLSN
-	return d.WriteBootPage()
+	if err := d.WriteBootPage(); err != nil {
+		return err
+	}
+	// Durability barrier: the checkpoint's page flushes and boot image
+	// must be on stable media before the end-checkpoint record can name
+	// this RSSP (a real fsync on a file device; accounting only on the
+	// simulated one).
+	if err := d.disk.Sync(); err != nil {
+		return fmt.Errorf("dc: checkpoint sync: %w", err)
+	}
+	return nil
 }
 
 // WriteBootPage persists the metadata page.
@@ -248,5 +258,8 @@ func (d *DC) BulkLoad(n int, valFn func(key uint64) []byte) error {
 	if err := d.pool.FlushAll(); err != nil {
 		return err
 	}
-	return d.WriteBootPage()
+	if err := d.WriteBootPage(); err != nil {
+		return err
+	}
+	return d.disk.Sync()
 }

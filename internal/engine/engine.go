@@ -1,11 +1,24 @@
 // Package engine wires the Deuteronomy components — virtual clock,
-// simulated disk, shared log, DC and TC — into a runnable database
+// storage device, shared log, DC and TC — into a runnable database
 // engine, and implements the controlled crash that recovery experiments
 // start from (§5.1-5.2 of the paper).
+//
+// Two device modes exist (Config.Device): the default simulated disk,
+// where IO costs are modeled on a virtual clock and a crash snapshots
+// in-memory structures copy-on-write; and file mode, where pages live
+// in a real file (storage.FileDisk), the WAL is a real file whose
+// forces fsync (wal.FileBackend), the master record is a boot file, and
+// a crash is process-kill-shaped — handles close with no flush, and
+// recovery reopens whatever the files hold.
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
 
 	"logrec/internal/dc"
 	"logrec/internal/sim"
@@ -14,9 +27,28 @@ import (
 	"logrec/internal/wal"
 )
 
+// DeviceKind selects the storage backend implementation.
+type DeviceKind string
+
+// Device modes.
+const (
+	// DeviceSim is the default: the discrete-event simulated disk.
+	DeviceSim DeviceKind = ""
+	// DeviceFile backs the engine with real files on a real disk.
+	DeviceFile DeviceKind = "file"
+)
+
+// Well-known file names inside a file-mode engine directory.
+const (
+	pagesFileName  = "pages.db"
+	walFileName    = "wal.log"
+	masterFileName = "master"
+)
+
 // Config parameterises an engine instance.
 type Config struct {
-	// Disk is the stable-storage latency model.
+	// Disk is the storage device configuration (page size; latency
+	// model for the simulated device; DirectIO for the file device).
 	Disk storage.Config
 	// DC configures the data component (CPU costs, ∆/BW tracking).
 	DC dc.Config
@@ -27,6 +59,12 @@ type Config struct {
 	CachePages int
 	// TableID names the single clustered table.
 	TableID wal.TableID
+	// Device selects the storage backend: DeviceSim (default) or
+	// DeviceFile.
+	Device DeviceKind
+	// Dir is the directory holding the page file, WAL and master record
+	// in file mode (created if missing; ignored for DeviceSim).
+	Dir string
 }
 
 // DefaultConfig returns the experiment defaults (see DESIGN.md for the
@@ -44,7 +82,7 @@ func DefaultConfig() Config {
 // Engine is a running TC+DC pair over one virtual clock.
 type Engine struct {
 	Clock *sim.Clock
-	Disk  *storage.Disk
+	Disk  storage.Device
 	Log   *wal.Log
 	DC    *dc.DC
 	TC    *tc.TC
@@ -57,17 +95,81 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: CachePages must be at least 8, got %d", cfg.CachePages)
 	}
 	clock := &sim.Clock{}
-	disk, err := storage.New(clock, cfg.Disk)
-	if err != nil {
-		return nil, err
+	var (
+		disk storage.Device
+		log  *wal.Log
+		err  error
+	)
+	switch cfg.Device {
+	case DeviceSim:
+		disk, err = storage.New(clock, cfg.Disk)
+		if err != nil {
+			return nil, err
+		}
+		log = wal.NewLog()
+	case DeviceFile:
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("engine: file device needs Config.Dir")
+		}
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: creating %s: %w", cfg.Dir, err)
+		}
+		disk, err = storage.NewFileDisk(clock, cfg.Disk, filepath.Join(cfg.Dir, pagesFileName))
+		if err != nil {
+			return nil, err
+		}
+		log = wal.NewLog()
+		be, err := wal.CreateFileBackend(filepath.Join(cfg.Dir, walFileName))
+		if err != nil {
+			return nil, err
+		}
+		if err := log.SetBackend(be); err != nil {
+			return nil, err
+		}
+		if err := writeMaster(cfg.Dir, wal.NilLSN); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown device kind %q", cfg.Device)
 	}
-	log := wal.NewLog()
 	d, err := dc.New(clock, disk, log, cfg.CachePages, cfg.TableID, cfg.DC)
 	if err != nil {
 		return nil, err
 	}
 	t := tc.New(log, d)
+	if cfg.Device == DeviceFile {
+		dir := cfg.Dir
+		t.SetMasterHook(func(lsn wal.LSN) error { return writeMaster(dir, lsn) })
+	}
 	return &Engine{Clock: clock, Disk: disk, Log: log, DC: d, TC: t, Cfg: cfg}, nil
+}
+
+// writeMaster persists the master record — the boot-block pointer to
+// the latest end-checkpoint record — and fsyncs it.
+func writeMaster(dir string, lsn wal.LSN) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(lsn))
+	f, err := os.OpenFile(filepath.Join(dir, masterFileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: opening master record: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(buf[:], 0); err != nil {
+		return fmt.Errorf("engine: writing master record: %w", err)
+	}
+	return f.Sync()
+}
+
+// readMaster reads the master record back.
+func readMaster(dir string) (wal.LSN, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, masterFileName))
+	if err != nil {
+		return wal.NilLSN, fmt.Errorf("engine: reading master record: %w", err)
+	}
+	if len(buf) < 8 {
+		return wal.NilLSN, fmt.Errorf("engine: master record is %d bytes, want 8", len(buf))
+	}
+	return wal.LSN(binary.BigEndian.Uint64(buf)), nil
 }
 
 // Load bulk-loads n sequential rows, flushes them, enables logging and
@@ -80,22 +182,54 @@ func (e *Engine) Load(n int, valFn func(key uint64) []byte) error {
 	return e.TC.Checkpoint()
 }
 
-// CrashState is everything that survives a crash: the frozen stable
-// disk, the stable prefix of the log, and the TC's master record. Each
-// recovery method forks the disk copy-on-write, so several methods can
-// replay the identical crash side by side (§5.1's controlled
-// comparison).
+// CrashState is everything that survives a crash. In simulated mode
+// that is the frozen stable disk, the stable prefix of the log, and the
+// TC's master record, forked copy-on-write per recovery run so several
+// methods can replay the identical crash side by side (§5.1's
+// controlled comparison). In file mode it is just the directory the
+// dead engine left behind: each Fork copies the files into a fresh
+// fork directory and reopens them, the on-disk analogue of the
+// copy-on-write fork.
 type CrashState struct {
-	Disk        *storage.Disk
+	Disk        storage.Device
 	Log         *wal.Log
 	LastEndCkpt wal.LSN
 	Cfg         Config
+
+	// Dir is the crashed engine's directory in file mode ("" for the
+	// simulated device).
+	Dir string
+
+	// mu guards forks; concurrent Forks of one crash state are allowed
+	// (side-by-side recovery), matching the mutex-guarded sim path.
+	mu    sync.Mutex
+	forks int
 }
 
 // Crash freezes the engine's stable state and returns it. The engine
 // must not be used afterwards: its volatile state (buffer pool, lock
-// table, trackers) is conceptually lost.
+// table, trackers) is conceptually lost. In file mode the crash is
+// process-kill-shaped — the page file and WAL are closed as-is, with no
+// flush, no final log force and no checkpoint; a failure to close is a
+// harness-environment error and panics.
 func (e *Engine) Crash() *CrashState {
+	if e.Cfg.Device == DeviceFile {
+		if err := e.Disk.(*storage.FileDisk).Close(); err != nil {
+			panic(fmt.Sprintf("engine: crash close of page file: %v", err))
+		}
+		if err := e.Log.CloseBackend(); err != nil {
+			panic(fmt.Sprintf("engine: crash close of log file: %v", err))
+		}
+		master, err := readMaster(e.Cfg.Dir)
+		if err != nil {
+			panic(fmt.Sprintf("engine: crash: %v", err))
+		}
+		return &CrashState{
+			LastEndCkpt: master,
+			Cfg:         e.Cfg,
+			Dir:         e.Cfg.Dir,
+		}
+	}
 	e.Disk.Freeze()
 	return &CrashState{
 		Disk:        e.Disk,
@@ -105,13 +239,66 @@ func (e *Engine) Crash() *CrashState {
 	}
 }
 
+// TearTail corrupts the crashed WAL with a partial record frame past
+// the last complete one — the crash interrupted a log force mid-frame.
+// Recovery must trim it (wal.OpenLogFile's ErrTruncated path). File
+// mode only; must be called before any Fork.
+func (cs *CrashState) TearTail(nBytes int) error {
+	if cs.Dir == "" {
+		return fmt.Errorf("engine: TearTail needs a file-mode crash state")
+	}
+	return wal.TearFile(filepath.Join(cs.Dir, walFileName), nBytes)
+}
+
 // Fork creates an independent replay environment over the crash state:
-// a fresh clock, a copy-on-write disk fork, and a writable continuation
-// of the stable log. cachePages ≤ 0 uses the crashed engine's capacity.
-func (cs *CrashState) Fork(cachePages int) (*sim.Clock, *storage.Disk, *wal.Log) {
+// a fresh clock, an independent device holding the crash-instant pages,
+// and a writable continuation of the stable log. Simulated mode forks
+// the disk copy-on-write and clones the log snapshot; file mode copies
+// the page and WAL files into a fork directory under the crash
+// directory and reopens them (trimming any torn WAL tail). cachePages
+// ≤ 0 uses the crashed engine's capacity.
+func (cs *CrashState) Fork(cachePages int) (*sim.Clock, storage.Device, *wal.Log, error) {
 	clock := &sim.Clock{}
-	disk := cs.Disk.Fork(clock)
-	log := cs.Log.Clone()
 	_ = cachePages
-	return clock, disk, log
+	if cs.Dir == "" {
+		return clock, cs.Disk.(*storage.Disk).Fork(clock), cs.Log.Clone(), nil
+	}
+	cs.mu.Lock()
+	cs.forks++
+	forkDir := filepath.Join(cs.Dir, fmt.Sprintf("fork-%d", cs.forks))
+	cs.mu.Unlock()
+	if err := os.MkdirAll(forkDir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: creating fork dir: %w", err)
+	}
+	for _, name := range []string{pagesFileName, walFileName} {
+		if err := copyFile(filepath.Join(cs.Dir, name), filepath.Join(forkDir, name)); err != nil {
+			return nil, nil, nil, fmt.Errorf("engine: forking crash state: %w", err)
+		}
+	}
+	disk, err := storage.OpenFileDisk(clock, cs.Cfg.Disk, filepath.Join(forkDir, pagesFileName))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	log, err := wal.OpenLogFile(filepath.Join(forkDir, walFileName))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return clock, disk, log, nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

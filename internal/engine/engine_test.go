@@ -88,8 +88,11 @@ func TestForkIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := eng.Crash()
-	clock1, disk1, log1 := cs.Fork(0)
-	clock2, disk2, log2 := cs.Fork(0)
+	clock1, disk1, log1, err1 := cs.Fork(0)
+	clock2, disk2, log2, err2 := cs.Fork(0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	// Forks share content but not state.
 	if disk1 == disk2 || log1 == log2 || clock1 == clock2 {
 		t.Fatal("forks share objects")

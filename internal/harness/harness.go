@@ -54,6 +54,12 @@ type Config struct {
 	// IO to do — the undo worker sweep's workload. The committed
 	// workload steers around the losers' keys (they stay X-locked).
 	EarlyLosers bool
+	// TornTailBytes, when positive (file device only), tears the
+	// crashed WAL with that many bytes of a partial record frame — the
+	// crash interrupted a log force mid-frame. Recovery must trim the
+	// torn tail via the codec's ErrTruncated path. 0 leaves the WAL
+	// ending on a record boundary.
+	TornTailBytes int
 }
 
 // DefaultConfig returns the paper-proportional experiment at the
@@ -299,6 +305,11 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		LosersAtCrash:  openTxns,
 	}
 	res.Crash = eng.Crash()
+	if cfg.TornTailBytes > 0 {
+		if err := res.Crash.TearTail(cfg.TornTailBytes); err != nil {
+			return nil, fmt.Errorf("harness: tearing WAL tail: %w", err)
+		}
+	}
 	return res, nil
 }
 

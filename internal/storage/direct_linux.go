@@ -1,0 +1,11 @@
+//go:build linux
+
+package storage
+
+import "syscall"
+
+// directIOFlag is the open(2) flag that bypasses the OS page cache on
+// this platform. Linux spells it O_DIRECT; platforms without an
+// equivalent build the !linux sibling, whose zero value makes FileDisk
+// fall back to plain buffered IO.
+const directIOFlag = syscall.O_DIRECT

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package storage
+
+// directIOFlag is zero on platforms without O_DIRECT support; FileDisk
+// then always uses plain buffered IO (see direct_linux.go).
+const directIOFlag = 0

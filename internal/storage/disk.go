@@ -63,6 +63,12 @@ type Config struct {
 	// genuinely overlap their IO waits, so wall-clock speedups are
 	// measurable. 0 keeps the pure virtual-time simulation.
 	RealIOScale int
+	// DirectIO asks FileDisk to open its backing file with O_DIRECT
+	// (bypassing the OS page cache) where the platform and filesystem
+	// support it; it falls back to buffered IO otherwise — tmpfs, for
+	// one, rejects O_DIRECT. Only meaningful when PageSize is a multiple
+	// of 4096. The simulated Disk ignores it.
+	DirectIO bool
 }
 
 // DefaultConfig returns the latency model used by the experiment
@@ -119,6 +125,9 @@ type Stats struct {
 	// PrefetchHits counts reads satisfied by an already-complete
 	// prefetch (no stall).
 	PrefetchHits int64
+	// Syncs counts durability barriers (Device.Sync calls — fsyncs on a
+	// real device).
+	Syncs int64
 }
 
 // Disk is the simulated stable store. A mutex makes it safe for
@@ -154,7 +163,12 @@ type Disk struct {
 	frozen bool
 
 	stats Stats
+	hook  IOHook
 }
+
+// Disk implements the Device abstraction (device.go); FileDisk is the
+// file-backed sibling.
+var _ Device = (*Disk)(nil)
 
 // New creates an empty disk governed by clock.
 func New(clock *sim.Clock, cfg Config) (*Disk, error) {
@@ -250,6 +264,33 @@ func (d *Disk) ResetStats() {
 	d.stats = Stats{}
 }
 
+// SetIOHook subscribes fn to every IO (see Device.SetIOHook). The hook
+// fires with the disk lock held; it must not call back into the disk.
+func (d *Disk) SetIOHook(fn IOHook) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook = fn
+}
+
+// fire reports an IO to the hook. Caller holds d.mu.
+func (d *Disk) fire(op IOOp, pages int) {
+	if d.hook != nil {
+		d.hook(op, pages)
+	}
+}
+
+// Sync is the durability barrier. Simulated writes are stable at their
+// completion time by construction, so Sync only counts — it exists so
+// checkpoint and log-force call sites are identical across device
+// implementations and their barrier cadence is observable.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Syncs++
+	d.fire(OpSync, 0)
+	return nil
+}
+
 // lookup finds the current content of pid, following the CoW chain.
 // Caller holds d.mu; ancestors are frozen (read-only), so walking them
 // without their locks is safe.
@@ -340,6 +381,7 @@ func (d *Disk) Read(pid PageID) ([]byte, error) {
 		d.stats.Reads++
 		d.stats.PagesRead++
 		d.stats.Stalls++
+		d.fire(OpRead, 1)
 		slots := d.realSlots
 		d.mu.Unlock()
 		start := time.Now()
@@ -370,6 +412,7 @@ func (d *Disk) Read(pid PageID) ([]byte, error) {
 	d.stats.Reads++
 	d.stats.PagesRead++
 	d.stats.Stalls++
+	d.fire(OpRead, 1)
 	d.stats.StallTime += done.Sub(now)
 	d.clock.AdvanceTo(done)
 	return cloneBytes(data), nil
@@ -431,6 +474,7 @@ func (d *Disk) Prefetch(pids []PageID) {
 		if n > 1 {
 			d.stats.BlockReads++
 		}
+		d.fire(OpPrefetch, n)
 		if real {
 			// The IO runs on its own goroutine: it takes a device
 			// channel slot (queue depth), sleeps the scaled latency and
@@ -530,6 +574,7 @@ func (d *Disk) Write(pid PageID, data []byte) (sim.Time, error) {
 	}
 	d.stats.Writes++
 	d.stats.PagesWritten++
+	d.fire(OpWrite, 1)
 	d.pages[pid] = cloneBytes(data)
 	if scale := d.cfg.RealIOScale; scale > 0 {
 		// Matching the virtual semantics, the write IO is asynchronous:

@@ -109,6 +109,11 @@ type TC struct {
 	// begin-checkpoint it names (§3.2's penultimate checkpoint). It is
 	// part of the crash-surviving state, like a boot block.
 	lastEndCkpt wal.LSN
+	// masterHook, when set, persists each master-record advance (the
+	// file-backed engine writes it to a well-known file, the real
+	// system's boot-block sector). The simulated engine leaves it nil:
+	// there the master record survives in CrashState directly.
+	masterHook func(wal.LSN) error
 
 	stats Stats
 }
@@ -460,9 +465,19 @@ func (tc *TC) Checkpoint() error {
 	eLSN = tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.lastEndCkpt = endLSN
+	if tc.masterHook != nil {
+		if err := tc.masterHook(endLSN); err != nil {
+			return fmt.Errorf("tc: persisting master record: %w", err)
+		}
+	}
 	tc.stats.Checkpoints++
 	return nil
 }
+
+// SetMasterHook subscribes fn to master-record advances (see the
+// masterHook field); the engine's file mode installs the boot-block
+// writer here.
+func (tc *TC) SetMasterHook(fn func(wal.LSN) error) { tc.masterHook = fn }
 
 // SendEOSL forces the log and pushes the new end of stable log to the
 // DC. The harness calls it on the paper's EOSL cadence; Commit also

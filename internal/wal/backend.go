@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"logrec/internal/storage"
+)
+
+// Backend is the log's persistent device: an append-mostly byte store
+// whose Sync is a durability barrier. When a Log has a backend, Flush
+// writes the not-yet-persisted suffix of the tail and then Syncs — a
+// genuine log force, so wal.GroupCommitter batches amortize real
+// fsyncs, one per batch rather than one per commit.
+//
+// The log is byte-oriented (a record frame may straddle any block
+// boundary) so the backend speaks bytes, not pages; it reuses the
+// storage.IOHook type so one observer can account log forces alongside
+// data-device IO. OpWrite events carry the byte count written, OpSync
+// events carry 0.
+type Backend interface {
+	// WriteAt persists p at byte offset off.
+	WriteAt(p []byte, off int64) error
+	// Sync is the durability barrier (fsync).
+	Sync() error
+	// Stats returns a copy of the accumulated counters.
+	Stats() BackendStats
+	// SetIOHook subscribes fn to writes and syncs (nil unsubscribes).
+	SetIOHook(fn storage.IOHook)
+	// Close releases the backend. A crash Closes without a final Sync.
+	Close() error
+}
+
+// BackendStats counts log-device activity. Syncs is the number of real
+// log forces — the denominator of the group-commit amortization story.
+type BackendStats struct {
+	Writes       int64
+	BytesWritten int64
+	Syncs        int64
+}
+
+// FileBackend is the file implementation of Backend.
+type FileBackend struct {
+	mu    sync.Mutex
+	f     *os.File
+	stats BackendStats
+	hook  storage.IOHook
+}
+
+var _ Backend = (*FileBackend)(nil)
+
+// CreateFileBackend creates (or truncates) the log file at path.
+func CreateFileBackend(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating log file: %w", err)
+	}
+	return &FileBackend{f: f}, nil
+}
+
+// WriteAt persists p at off.
+func (b *FileBackend) WriteAt(p []byte, off int64) error {
+	b.mu.Lock()
+	b.stats.Writes++
+	b.stats.BytesWritten += int64(len(p))
+	if b.hook != nil {
+		b.hook(storage.OpWrite, len(p))
+	}
+	b.mu.Unlock()
+	if _, err := b.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("wal: log write at %d: %w", off, err)
+	}
+	return nil
+}
+
+// Sync fsyncs the log file.
+func (b *FileBackend) Sync() error {
+	b.mu.Lock()
+	b.stats.Syncs++
+	if b.hook != nil {
+		b.hook(storage.OpSync, 0)
+	}
+	b.mu.Unlock()
+	if err := b.f.Sync(); err != nil {
+		return fmt.Errorf("wal: log fsync: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (b *FileBackend) Stats() BackendStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// SetIOHook subscribes fn to writes and syncs.
+func (b *FileBackend) SetIOHook(fn storage.IOHook) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hook = fn
+}
+
+// Close closes the log file without syncing.
+func (b *FileBackend) Close() error { return b.f.Close() }
+
+// OpenLogFile reads the log file at path back into a Log — the restart
+// path. It validates the header, scans every frame, and trims a torn
+// tail: a frame cut short by the crash (the codec reports ErrTruncated)
+// is discarded and the file truncated back to the last complete frame,
+// exactly the trim a real engine performs when the crash interrupted a
+// log force. The returned Log is writable and keeps path as its
+// backend, so recovery can append CLRs and the recovered engine can
+// continue logging durably.
+func OpenLogFile(path string) (*Log, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading log file: %w", err)
+	}
+	if len(buf) < logHeaderSize {
+		return nil, fmt.Errorf("wal: log file %s too short (%d bytes) for a log header", path, len(buf))
+	}
+	for i, m := range logMagic {
+		if buf[i] != m {
+			return nil, fmt.Errorf("wal: %s is not a log file (bad magic)", path)
+		}
+	}
+	if v := binary.BigEndian.Uint32(buf[8:]); v != 1 {
+		return nil, fmt.Errorf("wal: log file version %d not supported", v)
+	}
+	l := &Log{buf: buf, appendCount: make(map[Type]int64)}
+	end := FirstLSN()
+	var recs int64
+	for int(end) < len(buf) {
+		rec, next, err := l.decodeAt(end)
+		if errors.Is(err, ErrTruncated) {
+			break // torn tail: trim below
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wal: corrupt log record at %v: %w", end, err)
+		}
+		recs++
+		l.appendCount[rec.Type()]++
+		end = next
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopening log file: %w", err)
+	}
+	if int(end) < len(buf) {
+		l.buf = l.buf[:end]
+		if err := f.Truncate(int64(end)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: trimming torn tail at %v: %w", end, err)
+		}
+	}
+	l.flushedLSN = end
+	l.recCount = recs
+	l.stableRecs = recs
+	l.backend = &FileBackend{f: f}
+	l.persisted = int64(end)
+	return l, nil
+}
+
+// TearFile appends the first n bytes of a synthetic record frame to the
+// log file at path — a crash captured mid-log-force, with a torn frame
+// past the last complete one. OpenLogFile must trim it. Crash injection
+// only.
+func TearFile(path string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("wal: torn-tail size must be positive, got %d", n)
+	}
+	frame := make([]byte, frameHeaderSize+n)
+	binary.BigEndian.PutUint32(frame, uint32(1<<24)) // body length far past any real frame
+	frame[4] = byte(TypeUpdate)
+	for i := frameHeaderSize; i < len(frame); i++ {
+		frame[i] = 0xA5
+	}
+	if n < len(frame) {
+		frame = frame[:n]
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening log file to tear: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(frame, info.Size()); err != nil {
+		return fmt.Errorf("wal: tearing log tail: %w", err)
+	}
+	return f.Sync()
+}

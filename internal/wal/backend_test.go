@@ -1,0 +1,185 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logrec/internal/storage"
+)
+
+// fileLog creates a file-backed log in a test temp dir and returns it
+// with its backend and path.
+func fileLog(t *testing.T) (*Log, *FileBackend, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	be, err := CreateFileBackend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewLog()
+	if err := log.SetBackend(be); err != nil {
+		t.Fatal(err)
+	}
+	return log, be, path
+}
+
+// TestGroupCommitOneSyncPerBatch is the fsync-amortization oracle: many
+// concurrent committers over a file-backed log must produce one real
+// log force (backend fsync) per group-commit batch, not one per commit.
+// The device stats hook is the counter, cross-checked against the
+// backend's own stats.
+func TestGroupCommitOneSyncPerBatch(t *testing.T) {
+	const (
+		clients   = 8
+		perClient = 25
+	)
+	log, be, _ := fileLog(t)
+	attachSyncs := be.Stats().Syncs // SetBackend persists the header with one sync
+
+	var hookSyncs, hookWrites atomic.Int64
+	be.SetIOHook(func(op storage.IOOp, n int) {
+		switch op {
+		case storage.OpSync:
+			hookSyncs.Add(1)
+		case storage.OpWrite:
+			hookWrites.Add(1)
+		}
+	})
+
+	// A small linger window plus the real fsync latency makes followers
+	// pile into the leader's batch, as in production.
+	gc := NewGroupCommitter(log, nil, 200*time.Microsecond)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				lsn := gc.MustAppend(&CommitRec{TxnID: TxnID(c*perClient + i + 1)})
+				gc.WaitStable(lsn)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := gc.Stats()
+	syncs := be.Stats().Syncs - attachSyncs
+	if syncs != st.Flushes {
+		t.Fatalf("got %d fsyncs for %d batch flushes; every flush must force exactly once", syncs, st.Flushes)
+	}
+	if syncs >= st.Commits {
+		t.Fatalf("no amortization: %d fsyncs for %d commits", syncs, st.Commits)
+	}
+	if got := hookSyncs.Load(); got != syncs {
+		t.Fatalf("stats hook counted %d syncs, backend counted %d", got, syncs)
+	}
+	if hookWrites.Load() == 0 {
+		t.Fatal("stats hook never saw a log write")
+	}
+	t.Logf("%d commits → %d flushes/fsyncs (%.1f commits per force)",
+		st.Commits, syncs, float64(st.Commits)/float64(syncs))
+}
+
+// TestOpenLogFileRoundTrip checks that the on-disk log holds exactly
+// the stable prefix: flushed records survive a close/reopen, the
+// volatile tail does not.
+func TestOpenLogFileRoundTrip(t *testing.T) {
+	log, _, path := fileLog(t)
+	for i := 0; i < 10; i++ {
+		log.MustAppend(&UpdateRec{TxnID: 1, KeyVal: uint64(i), NewVal: []byte(fmt.Sprintf("v%d", i))})
+	}
+	stableEnd := log.Flush()
+	// Volatile tail: appended but never flushed — lost at the crash.
+	log.MustAppend(&CommitRec{TxnID: 1})
+	if err := log.CloseBackend(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseBackend()
+	if re.FlushedLSN() != stableEnd || re.EndLSN() != stableEnd {
+		t.Fatalf("reopened log ends at %v/%v, want stable end %v", re.FlushedLSN(), re.EndLSN(), stableEnd)
+	}
+	if got := re.Records(); got != 10 {
+		t.Fatalf("reopened log holds %d records, want 10", got)
+	}
+	if got := re.AppendCount(TypeCommit); got != 0 {
+		t.Fatalf("volatile commit record survived the crash (%d commit records)", got)
+	}
+	// The reopened log must be writable and durable: append, force,
+	// reopen again.
+	lsn := re.MustAppend(&CommitRec{TxnID: 2})
+	re.Flush()
+	re.CloseBackend()
+	re2, err := OpenLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.CloseBackend()
+	rec, err := re2.Get(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := rec.(*CommitRec); !ok || c.TxnID != 2 {
+		t.Fatalf("got %T %+v at %v, want commit of txn 2", rec, rec, lsn)
+	}
+}
+
+// TestOpenLogFileTornTail tears the file mid-frame — inside the frame
+// header and inside the body — and checks OpenLogFile trims back to the
+// last complete record and truncates the file to match.
+func TestOpenLogFileTornTail(t *testing.T) {
+	for _, tear := range []int{1, 3, 12, 40} {
+		t.Run(fmt.Sprintf("tear%d", tear), func(t *testing.T) {
+			log, _, path := fileLog(t)
+			for i := 0; i < 5; i++ {
+				log.MustAppend(&UpdateRec{TxnID: 1, KeyVal: uint64(i), NewVal: []byte("val")})
+			}
+			stableEnd := log.Flush()
+			if err := log.CloseBackend(); err != nil {
+				t.Fatal(err)
+			}
+			if err := TearFile(path, tear); err != nil {
+				t.Fatal(err)
+			}
+			if info, err := os.Stat(path); err != nil || info.Size() != int64(stableEnd)+int64(tear) {
+				t.Fatalf("tear not applied: size %d err %v", info.Size(), err)
+			}
+
+			re, err := OpenLogFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.CloseBackend()
+			if re.FlushedLSN() != stableEnd {
+				t.Fatalf("trimmed log ends at %v, want %v", re.FlushedLSN(), stableEnd)
+			}
+			if got := re.Records(); got != 5 {
+				t.Fatalf("trimmed log holds %d records, want 5", got)
+			}
+			if info, err := os.Stat(path); err != nil || info.Size() != int64(stableEnd) {
+				t.Fatalf("file not truncated back: size %d err %v", info.Size(), err)
+			}
+		})
+	}
+}
+
+// TestOpenLogFileRejectsGarbage checks that a non-log file is refused
+// rather than scanned.
+func TestOpenLogFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-log")
+	if err := os.WriteFile(path, []byte("definitely not a WAL header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLogFile(path); err == nil {
+		t.Fatal("OpenLogFile accepted garbage")
+	}
+}

@@ -59,6 +59,19 @@ type Log struct {
 
 	// appendCount tracks records appended, by type, for statistics.
 	appendCount map[Type]int64
+
+	// backend, when non-nil, is the log's persistent device: Flush
+	// writes the unpersisted suffix and fsyncs before moving the stable
+	// boundary, so "stable" means on-disk, not just in-memory.
+	// persisted is how many bytes of buf the backend already holds;
+	// flushMu serializes flushers so concurrent forces (group-commit
+	// leader, WAL-protocol page-flush force) never interleave their
+	// backend writes. Appends stay concurrent with an in-flight force:
+	// Flush captures the tail boundary under mu, performs the IO
+	// without it, and only then advances the stable boundary.
+	backend   Backend
+	persisted int64
+	flushMu   sync.Mutex
 }
 
 // NewLog creates an empty log.
@@ -102,13 +115,90 @@ func (l *Log) MustAppend(rec Record) LSN {
 }
 
 // Flush makes everything appended so far stable and returns the new end
-// of stable log (the eLSN of the EOSL protocol).
+// of stable log (the eLSN of the EOSL protocol). With a backend
+// attached this is a real log force — the unpersisted tail is written
+// and fsynced before the stable boundary moves; a backend failure is
+// unrecoverable (the engine cannot honour durability it already
+// promised) and panics.
 func (l *Log) Flush() LSN {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	end := len(l.buf)
+	recs := l.recCount
+	buf := l.buf
+	be := l.backend
+	from := l.persisted
+	l.mu.Unlock()
+
+	if be != nil && int64(end) > from {
+		// buf is append-only: [from:end) is immutable even while other
+		// goroutines extend the tail past end.
+		if err := be.WriteAt(buf[from:end], from); err != nil {
+			panic(fmt.Sprintf("wal: log force failed: %v", err))
+		}
+		if err := be.Sync(); err != nil {
+			panic(fmt.Sprintf("wal: log force failed: %v", err))
+		}
+	}
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.flushedLSN = LSN(len(l.buf))
-	l.stableRecs = l.recCount
+	if int64(end) > l.persisted {
+		l.persisted = int64(end)
+	}
+	if LSN(end) > l.flushedLSN {
+		l.flushedLSN = LSN(end)
+		l.stableRecs = recs
+	}
 	return l.flushedLSN
+}
+
+// SetBackend attaches the log's persistent device and persists the
+// current stable prefix through it (a fresh log persists its header).
+// Everything appended afterward becomes durable at the next Flush.
+func (l *Log) SetBackend(b Backend) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.backend != nil {
+		return fmt.Errorf("wal: log already has a backend")
+	}
+	if err := b.WriteAt(l.buf[:l.flushedLSN], 0); err != nil {
+		return err
+	}
+	if err := b.Sync(); err != nil {
+		return err
+	}
+	l.backend = b
+	l.persisted = int64(l.flushedLSN)
+	return nil
+}
+
+// Backend returns the attached persistent device (nil for the in-memory
+// log).
+func (l *Log) Backend() Backend {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.backend
+}
+
+// CloseBackend closes the persistent device without a final force and
+// freezes the log — the shape of a crash: the volatile tail is lost,
+// the file holds exactly the stable prefix.
+func (l *Log) CloseBackend() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.backend == nil {
+		return nil
+	}
+	err := l.backend.Close()
+	l.backend = nil
+	l.frozen = true
+	return err
 }
 
 // Records returns the total number of records appended.

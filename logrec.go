@@ -33,10 +33,13 @@
 //	SQL1 — physiological (ARIES/SQL Server) redo + analysis DPT (Algorithms 3, 1)
 //	SQL2 — SQL1 + log-driven read-ahead
 //
-// All engines run over a deterministic virtual clock and a simulated
-// disk, so recovery times are reproducible; see DESIGN.md for the
-// substitution rationale and EXPERIMENTS.md for paper-vs-measured
-// results.
+// By default engines run over a deterministic virtual clock and a
+// simulated disk, so recovery times are reproducible; see DESIGN.md for
+// the substitution rationale and EXPERIMENTS.md for paper-vs-measured
+// results. Set Config.Device = DeviceFile (plus Config.Dir) to back the
+// engine with real files instead — real page IO, fsync-backed log
+// forces and process-kill-shaped crashes (see README "Running on a
+// real disk").
 package logrec
 
 import (
@@ -58,6 +61,18 @@ type Config = engine.Config
 // CrashState is the stable state surviving a crash; fork it with
 // Recover as many times as you like.
 type CrashState = engine.CrashState
+
+// DeviceKind selects the storage backend implementation.
+type DeviceKind = engine.DeviceKind
+
+// Device modes for Config.Device.
+const (
+	// DeviceSim is the default simulated disk (deterministic virtual
+	// time).
+	DeviceSim = engine.DeviceSim
+	// DeviceFile backs the engine with real files under Config.Dir.
+	DeviceFile = engine.DeviceFile
+)
 
 // New creates an engine over an empty database.
 func New(cfg Config) (*Engine, error) { return engine.New(cfg) }
