@@ -48,13 +48,18 @@ doclint:
 $(BENCH_DIR):
 	mkdir -p $(BENCH_DIR)
 
-# Full write-path + recovery sweeps (simulated and file device), then
-# the Go bench cases once each.
+# Full write-path + recovery sweeps (simulated and file device), the
+# fsync-amortization curve on a real log device, the cross-shard
+# recovery sweep, then the Go bench cases once each.
 bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/walbench -out $(BENCH_DIR)/BENCH_wal.json
+	$(GO) run ./cmd/walbench -device=file -dir $(FILEDEV_DIR)-wal -flushdelay 0 \
+		-out $(BENCH_DIR)/BENCH_wal_file.json
 	$(GO) run ./cmd/recoverybench -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/recoverybench -device=file -dir $(FILEDEV_DIR) \
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
+	$(GO) run ./cmd/recoverybench -shards 1,2,4 \
+		-out $(BENCH_DIR)/BENCH_recovery_shards.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
 
 # Short smoke sweeps for CI artifact upload and the regression gate.
@@ -65,6 +70,8 @@ bench-smoke: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -quick -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/recoverybench -device=file -quick -dir $(FILEDEV_DIR) \
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
+	$(GO) run ./cmd/recoverybench -quick -shards 1,2,4 \
+		-out $(BENCH_DIR)/BENCH_recovery_shards.json
 
 # Regression gate: compare fresh smoke numbers against the checked-in
 # baselines. Fails on a >TOLERANCE walbench throughput drop, a parallel
@@ -78,12 +85,15 @@ bench-gate: bench-smoke
 		-baseline ci/baselines/BENCH_recovery.json -current $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/benchdiff -kind recovery-file -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_recovery_file.json -current $(BENCH_DIR)/BENCH_recovery_file.json
+	$(GO) run ./cmd/benchdiff -kind recovery-shards -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_recovery_shards.json -current $(BENCH_DIR)/BENCH_recovery_shards.json
 
 # Refresh the checked-in baselines after an intentional perf change.
 bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_wal.json ci/baselines/BENCH_wal.json
 	cp $(BENCH_DIR)/BENCH_recovery.json ci/baselines/BENCH_recovery.json
 	cp $(BENCH_DIR)/BENCH_recovery_file.json ci/baselines/BENCH_recovery_file.json
+	cp $(BENCH_DIR)/BENCH_recovery_shards.json ci/baselines/BENCH_recovery_shards.json
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

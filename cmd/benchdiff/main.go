@@ -19,6 +19,16 @@
 //	                     records than cold — and compares the
 //	                     deterministic record counts against the
 //	                     baseline within the tolerance.
+//	-kind recovery-shards gates the cross-shard recovery sweep: every
+//	                     shard count must have completed (positive wall
+//	                     time), the double-recovery determinism check at
+//	                     the widest count must hold (identical redo /
+//	                     applied / CLR counts across runs), and each
+//	                     count's redo window must match the baseline
+//	                     within the tolerance. The speedup curve is
+//	                     reported but not gated — like the file kind, CI
+//	                     smoke hardware is too variable to assert a
+//	                     shape; refresh the baseline to track it.
 //	-kind recovery-file  gates recoverybench -device=file: every sweep
 //	                     entry must have completed (its wall time is a
 //	                     real measurement, so it must be positive),
@@ -65,6 +75,20 @@ type recoveryReport struct {
 		ColdRedoRecords int64 `json:"cold_redo_records"`
 		CkptRedoRecords int64 `json:"ckpt_redo_records"`
 	} `json:"checkpoint"`
+	Shards []struct {
+		Shards      int     `json:"shards"`
+		WallTotalMS float64 `json:"wall_total_ms"`
+		RedoRecords int64   `json:"redo_records"`
+		Applied     int64   `json:"applied"`
+		Speedup     float64 `json:"speedup_vs_1"`
+	} `json:"shards"`
+	Determinism *struct {
+		Shards           int  `json:"shards"`
+		Runs             int  `json:"runs"`
+		RedoRecordsEqual bool `json:"redo_records_equal"`
+		AppliedEqual     bool `json:"applied_equal"`
+		CLRsEqual        bool `json:"clrs_equal"`
+	} `json:"determinism"`
 }
 
 func main() {
@@ -90,8 +114,10 @@ func main() {
 		failures = diffRecovery(*baseline, *current, *tolerance, *minSpeedup, *minUndoSpeedup)
 	case "recovery-file":
 		failures = diffRecoveryFile(*baseline, *current, *tolerance)
+	case "recovery-shards":
+		failures = diffRecoveryShards(*baseline, *current, *tolerance)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, recovery or recovery-file)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, recovery, recovery-file or recovery-shards)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -251,6 +277,77 @@ func diffRecovery(basePath, curPath string, tol, minSpeedup, minUndoSpeedup floa
 		// The CLR count is the same at every worker width (undo plans
 		// serially), so comparing the first entries suffices.
 		checkCount("undo CLR count", base.UndoWorkers[0].CLRsWritten, cur.UndoWorkers[0].CLRsWritten)
+	}
+	return fails
+}
+
+// diffRecoveryShards gates the cross-shard recovery sweep: completion
+// and cross-shard determinism, plus baseline drift on the deterministic
+// record counts (see the package comment).
+func diffRecoveryShards(basePath, curPath string, tol float64) []string {
+	var base, cur recoveryReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+
+	if len(cur.Shards) == 0 {
+		return []string{"current run has no shard sweep"}
+	}
+	haveOne, widest := false, 1
+	for _, s := range cur.Shards {
+		if s.Shards == 1 {
+			haveOne = true
+		}
+		if s.Shards > widest {
+			widest = s.Shards
+		}
+		if s.WallTotalMS <= 0 {
+			fails = append(fails, fmt.Sprintf(
+				"recovery at %d shards reported %.3fms wall time; the run did not really happen", s.Shards, s.WallTotalMS))
+		}
+		if s.Applied <= 0 {
+			fails = append(fails, fmt.Sprintf(
+				"recovery at %d shards applied nothing; the crash had a redo window", s.Shards))
+		}
+	}
+	if !haveOne {
+		fails = append(fails, "shard sweep has no 1-shard baseline; speedup_vs_1 is meaningless")
+	}
+	if widest <= 1 {
+		fails = append(fails, "shard sweep never ran more than 1 shard; cross-shard recovery went unexercised")
+	}
+
+	// Cross-shard determinism: two recoveries of the identical crash at
+	// the widest count must replay and apply the same record counts.
+	switch d := cur.Determinism; {
+	case d == nil:
+		if widest > 1 {
+			fails = append(fails, "no determinism check in the current run")
+		}
+	case d.Runs < 2:
+		fails = append(fails, fmt.Sprintf("determinism check ran only %d time(s)", d.Runs))
+	case !d.RedoRecordsEqual || !d.AppliedEqual || !d.CLRsEqual:
+		fails = append(fails, fmt.Sprintf(
+			"cross-shard recovery is nondeterministic at %d shards: redo=%v applied=%v clrs=%v",
+			d.Shards, d.RedoRecordsEqual, d.AppliedEqual, d.CLRsEqual))
+	}
+
+	// Per-count redo windows are deterministic for fixed flags.
+	baseBy := make(map[int]int64, len(base.Shards))
+	for _, s := range base.Shards {
+		baseBy[s.Shards] = s.RedoRecords
+	}
+	for _, s := range cur.Shards {
+		baseN, ok := baseBy[s.Shards]
+		if !ok || baseN == 0 {
+			continue
+		}
+		drift := float64(s.RedoRecords-baseN) / float64(baseN)
+		if drift > tol || drift < -tol {
+			fails = append(fails, fmt.Sprintf(
+				"shards=%d redo window: %d records vs baseline %d (drift %.0f%% > %.0f%%)",
+				s.Shards, s.RedoRecords, baseN, drift*100, tol*100))
+		}
 	}
 	return fails
 }

@@ -13,6 +13,12 @@
 //     once with live checkpoints and once cold, and recovered in the
 //     virtual-time simulation: checkpointing must bound the redo scan
 //     (fewer records replayed, less redo time).
+//  4. Cross-shard sweep (-shards, replaces the other sweeps) — one
+//     engine per shard count over the identical workload, recovered
+//     with serial per-shard passes, so the wall-clock comparison
+//     isolates the concurrency of the shards recovering in parallel;
+//     at the widest count the same crash is recovered twice and the
+//     record counts compared (the cross-shard determinism gate).
 //
 // The sweeps run against an NVMe-class device queue (-channels, default
 // 16): the modeled SATA-era depth of 4 caps any replay parallelism at
@@ -25,14 +31,16 @@
 // so the sweeps report end-to-end wall-clock recovery numbers
 // (-realscale is ignored; there is nothing to scale, the IO is real).
 //
-// It emits BENCH_recovery.json (sim) or BENCH_recovery_file.json (file)
-// for the CI bench-regression gate and artifact upload.
+// It emits BENCH_recovery.json (sim), BENCH_recovery_file.json (file)
+// or BENCH_recovery_shards.json (-shards) for the CI bench-regression
+// gate and artifact upload.
 //
 // Usage:
 //
 //	go run ./cmd/recoverybench                      # full settings
 //	go run ./cmd/recoverybench -quick               # CI smoke settings
 //	go run ./cmd/recoverybench -device=file -dir /dev/shm/rbench
+//	go run ./cmd/recoverybench -shards 1,2,4        # cross-shard recovery sweep
 //	go run ./cmd/recoverybench -workers 1,2,4,8,16 -out /tmp/BENCH_recovery.json
 package main
 
@@ -69,6 +77,28 @@ type undoResult struct {
 	Speedup     float64 `json:"speedup_vs_1"`
 }
 
+type shardResult struct {
+	Shards      int     `json:"shards"`
+	WallRedoMS  float64 `json:"wall_redo_ms"`
+	WallTotalMS float64 `json:"wall_total_ms"`
+	RedoRecords int64   `json:"redo_records"`
+	Applied     int64   `json:"applied"`
+	CLRsWritten int64   `json:"clrs_written"`
+	Speedup     float64 `json:"speedup_vs_1"`
+}
+
+// shardDeterminism reports the double-recovery check at the widest
+// shard count: the same crash recovered twice must replay and apply
+// identical record counts (cross-shard concurrency must not change
+// what recovery does, only how fast).
+type shardDeterminism struct {
+	Shards           int  `json:"shards"`
+	Runs             int  `json:"runs"`
+	RedoRecordsEqual bool `json:"redo_records_equal"`
+	AppliedEqual     bool `json:"applied_equal"`
+	CLRsEqual        bool `json:"clrs_equal"`
+}
+
 type ckptResult struct {
 	ColdRedoRecords int64   `json:"cold_redo_records"`
 	CkptRedoRecords int64   `json:"ckpt_redo_records"`
@@ -78,16 +108,18 @@ type ckptResult struct {
 }
 
 type report struct {
-	Benchmark   string         `json:"benchmark"`
-	Device      string         `json:"device"`
-	Method      string         `json:"method"`
-	GoMaxProcs  int            `json:"go_max_procs"`
-	Scale       int            `json:"scale"`
-	RealIOScale int            `json:"real_io_scale"`
-	Channels    int            `json:"channels"`
-	Workers     []workerResult `json:"workers"`
-	UndoWorkers []undoResult   `json:"undo_workers"`
-	Checkpoint  ckptResult     `json:"checkpoint"`
+	Benchmark   string            `json:"benchmark"`
+	Device      string            `json:"device"`
+	Method      string            `json:"method"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	Scale       int               `json:"scale"`
+	RealIOScale int               `json:"real_io_scale"`
+	Channels    int               `json:"channels"`
+	Workers     []workerResult    `json:"workers"`
+	UndoWorkers []undoResult      `json:"undo_workers"`
+	Checkpoint  ckptResult        `json:"checkpoint"`
+	Shards      []shardResult     `json:"shards,omitempty"`
+	Determinism *shardDeterminism `json:"determinism,omitempty"`
 }
 
 func main() {
@@ -100,6 +132,7 @@ func main() {
 		losers      = flag.Int("losers", 8, "loser transactions left open for the undo sweep")
 		loserOps    = flag.Int("loserops", 25, "updates per loser transaction in the undo sweep")
 		methodFlag  = flag.String("method", "Log1", "recovery method for the worker sweeps (Log0..SQL2)")
+		shardsFlag  = flag.String("shards", "", "comma-separated shard counts: run the cross-shard recovery sweep instead of the worker sweeps (one engine per count, same workload)")
 		deviceFlag  = flag.String("device", "sim", "storage backend: sim (modelled latencies scaled to wall-clock) or file (real files; end-to-end wall clock)")
 		dirFlag     = flag.String("dir", "", "working directory for -device=file (default: a fresh temp dir, removed on exit)")
 		out         = flag.String("out", "BENCH_recovery.json", "output JSON path")
@@ -187,6 +220,17 @@ func main() {
 		// File IO is real; nothing is scaled.
 		rep.Benchmark = "recovery-file"
 		rep.RealIOScale = 0
+	}
+
+	if *shardsFlag != "" {
+		// Cross-shard mode: one engine per shard count, same workload,
+		// serial per-shard passes — the measured parallelism is the
+		// concurrent recovery of the shards themselves.
+		counts := parseSweep("shards", *shardsFlag)
+		rep.Benchmark = "recovery-shards"
+		runShardSweep(&rep, counts, *scale, *channels, *realScale, fileMode, method, applyDevice)
+		writeReport(&rep, *out)
+		return
 	}
 
 	// Cold crash: only the initial (post-load) checkpoint, then a long
@@ -337,14 +381,98 @@ func main() {
 		rep.Checkpoint.ColdRedoRecords, rep.Checkpoint.CkptRedoRecords,
 		100*rep.Checkpoint.RecordRatio, rep.Checkpoint.ColdRedoMS, rep.Checkpoint.CkptRedoMS, timeLabel)
 
+	writeReport(&rep, *out)
+}
+
+func writeReport(rep *report, out string) {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runShardSweep builds one crash per shard count over the identical
+// workload and recovers each with serial per-shard passes, so the
+// wall-clock comparison isolates cross-shard recovery concurrency. At
+// the widest count the same crash is recovered twice and the record
+// counts compared — cross-shard scheduling must not change what
+// recovery replays (the determinism gate).
+func runShardSweep(rep *report, counts []int, scale, channels, realScale int, fileMode bool, method core.Method, applyDevice func(*harness.Config, string)) {
+	recoverOnce := func(res *harness.CrashResult, cfg harness.Config) *core.Metrics {
+		opt := core.DefaultOptions(cfg.Engine)
+		if !fileMode {
+			opt.RealIOScale = realScale
+		}
+		met, err := harness.RunRecovery(res, method, opt)
+		if err != nil {
+			log.Fatalf("shards=%d: %v", cfg.Engine.Shards, err)
+		}
+		return met
+	}
+
+	widest := 1
+	for _, n := range counts {
+		if n > widest {
+			widest = n
+		}
+	}
+	fmt.Printf("recoverybench: cross-shard sweep %v (serial per-shard passes, %s device)\n", counts, rep.Device)
+	for _, n := range counts {
+		cfg := harness.DefaultConfig().Scaled(scale)
+		cfg.Engine.Disk.Channels = channels
+		cfg.Engine.Shards = n
+		cfg.CrashAfterCheckpoints = 0
+		cfg.UpdatesAfterLastCkpt = 8 * cfg.CheckpointEveryUpdates
+		applyDevice(&cfg, fmt.Sprintf("shards-%d", n))
+		res, err := harness.BuildCrash(cfg)
+		if err != nil {
+			log.Fatalf("building shards=%d crash: %v", n, err)
+		}
+		met := recoverOnce(res, cfg)
+		rep.Shards = append(rep.Shards, shardResult{
+			Shards:      n,
+			WallRedoMS:  float64(met.WallRedoTime.Microseconds()) / 1000,
+			WallTotalMS: float64(met.WallTotalTime.Microseconds()) / 1000,
+			RedoRecords: met.RedoRecords,
+			Applied:     met.Applied,
+			CLRsWritten: met.CLRsWritten,
+		})
+		if n == widest && widest > 1 {
+			// Determinism: recover the identical crash again.
+			met2 := recoverOnce(res, cfg)
+			rep.Determinism = &shardDeterminism{
+				Shards:           n,
+				Runs:             2,
+				RedoRecordsEqual: met.RedoRecords == met2.RedoRecords,
+				AppliedEqual:     met.Applied == met2.Applied,
+				CLRsEqual:        met.CLRsWritten == met2.CLRsWritten,
+			}
+		}
+	}
+	var base float64
+	for _, r := range rep.Shards {
+		if r.Shards == 1 {
+			base = r.WallTotalMS
+			break
+		}
+	}
+	fmt.Printf("%8s %14s %14s %12s %10s\n", "shards", "wall redo ms", "wall total ms", "redo recs", "speedup")
+	for i := range rep.Shards {
+		r := &rep.Shards[i]
+		if r.WallTotalMS > 0 {
+			r.Speedup = base / r.WallTotalMS
+		}
+		fmt.Printf("%8d %14.2f %14.2f %12d %9.2fx\n",
+			r.Shards, r.WallRedoMS, r.WallTotalMS, r.RedoRecords, r.Speedup)
+	}
+	if d := rep.Determinism; d != nil {
+		fmt.Printf("determinism at %d shards over %d runs: redo=%v applied=%v clrs=%v\n",
+			d.Shards, d.Runs, d.RedoRecordsEqual, d.AppliedEqual, d.CLRsEqual)
+	}
 }
 
 func parseMethod(s string) (core.Method, error) {

@@ -11,10 +11,18 @@
 // commit curve (LogBase; §4 of the paper assumes the same batching for
 // EOSL).
 //
+// With -device=file the engine runs on real files and every
+// group-commit flush is a real fsync of the log file, so the curve is
+// the fsync-amortization curve measured on a real log device: commits
+// per force (= per fsync) versus client count, with the emulated flush
+// delay replaced by the device's own (set -flushdelay 0 to let the
+// fsync alone pace the batches).
+//
 // Usage:
 //
 //	go run ./cmd/walbench                         # default sweep 1,4,16
 //	go run ./cmd/walbench -clients 1,2,4,8,16,32 -txns 4000
+//	go run ./cmd/walbench -device=file -dir /dev/shm/walbench -flushdelay 0
 //	go run ./cmd/walbench -quick                  # CI smoke settings
 package main
 
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -46,6 +55,7 @@ type result struct {
 
 type report struct {
 	Benchmark     string   `json:"benchmark"`
+	Device        string   `json:"device"`
 	GoMaxProcs    int      `json:"go_max_procs"`
 	FlushDelayUS  float64  `json:"flush_delay_us"`
 	TxnsPerClient int      `json:"txns_per_client"`
@@ -61,7 +71,9 @@ func main() {
 		ops         = flag.Int("ops", 2, "updates per transaction")
 		rows        = flag.Int("rows", 10_000, "rows bulk-loaded before the run")
 		cache       = flag.Int("cache", 1024, "buffer pool capacity in pages")
-		flushDelay  = flag.Duration("flushdelay", 100*time.Microsecond, "emulated log-device write latency")
+		flushDelay  = flag.Duration("flushdelay", 100*time.Microsecond, "emulated log-device write latency (file mode: extra linger on top of the real fsync)")
+		deviceFlag  = flag.String("device", "sim", "storage backend: sim (emulated flush latency) or file (real files; every flush is a real fsync)")
+		dirFlag     = flag.String("dir", "", "working directory for -device=file (default: a fresh temp dir, removed on exit)")
 		out         = flag.String("out", "BENCH_wal.json", "output JSON path")
 		quick       = flag.Bool("quick", false, "CI smoke settings (fewer txns, fewer rows)")
 	)
@@ -69,6 +81,26 @@ func main() {
 	if *quick {
 		*txns = 300
 		*rows = 4000
+	}
+	fileMode := *deviceFlag == "file"
+	if !fileMode && *deviceFlag != "sim" {
+		log.Fatalf("unknown -device %q (want sim or file)", *deviceFlag)
+	}
+	var workDir string
+	if fileMode {
+		if *dirFlag != "" {
+			workDir = *dirFlag
+			if err := os.MkdirAll(workDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			tmp, err := os.MkdirTemp("", "walbench-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			workDir = tmp
+			defer os.RemoveAll(tmp)
+		}
 	}
 
 	var clients []int
@@ -82,6 +114,7 @@ func main() {
 
 	rep := report{
 		Benchmark:     "wal_group_commit",
+		Device:        *deviceFlag,
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		FlushDelayUS:  float64(*flushDelay) / float64(time.Microsecond),
 		TxnsPerClient: *txns,
@@ -95,7 +128,11 @@ func main() {
 		"clients", "commits", "commits/sec", "flushes", "recs/flush", "commits/flush")
 
 	for _, n := range clients {
-		r, err := runOne(n, *txns, *ops, *rows, *cache, *flushDelay)
+		dir := ""
+		if fileMode {
+			dir = filepath.Join(workDir, fmt.Sprintf("c%d", n))
+		}
+		r, err := runOne(n, *txns, *ops, *rows, *cache, *flushDelay, dir)
 		if err != nil {
 			log.Fatalf("clients=%d: %v", n, err)
 		}
@@ -114,9 +151,13 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-func runOne(clients, txns, ops, rows, cache int, flushDelay time.Duration) (result, error) {
+func runOne(clients, txns, ops, rows, cache int, flushDelay time.Duration, dir string) (result, error) {
 	cfg := engine.DefaultConfig()
 	cfg.CachePages = cache
+	if dir != "" {
+		cfg.Device = engine.DeviceFile
+		cfg.Dir = dir
+	}
 	eng, err := engine.New(cfg)
 	if err != nil {
 		return result{}, err

@@ -11,47 +11,46 @@ import (
 // analysis pass at under 2% of recovery time, §2.1).
 const analysisRecordCPU = 300 * sim.Nanosecond
 
-// sqlAnalysis is SQL Server's analysis pass (Algorithm 3): starting at
-// the penultimate begin-checkpoint, it builds the DPT from the PIDs in
-// update log records (every data operation and SMO page image) and
-// prunes it with BW records, while reconstructing the transaction
-// table. No data pages are read.
-func (r *run) sqlAnalysis() error {
-	r.table = dpt.New()
-	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+// sqlAnalysis is one shard's SQL Server analysis pass (Algorithm 3):
+// starting at the penultimate begin-checkpoint, it builds the shard's
+// DPT from the PIDs in its update log records (every data operation and
+// SMO page image) and prunes it with its BW records. No data pages are
+// read; transaction-table reconstruction is global and handled by the
+// record source / demultiplexer.
+func (sr *shardRun) sqlAnalysis(src recordSource) error {
+	sr.table = dpt.New()
 	for {
-		rec, lsn, ok, err := sc.Next()
+		rec, lsn, ok, err := src.next()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		r.clock.Advance(analysisRecordCPU)
-		r.txns.note(rec, lsn)
+		sr.r.clock.Advance(analysisRecordCPU)
 		switch t := rec.(type) {
 		case wal.DataOp:
 			// First mention fixes rLSN; later mentions advance lastLSN
 			// (Algorithm 3 lines 5-10).
-			r.table.Add(t.PID(), lsn)
+			sr.table.Add(t.PID(), lsn)
 		case *wal.SMORec:
 			// SQL Server logs SMOs as system-transaction page updates;
 			// their pages enter the DPT like any update (§2.1).
 			for _, img := range t.Images {
-				r.table.Add(img.PageID, lsn)
+				sr.table.Add(img.PageID, lsn)
 			}
 		case *wal.BWRec:
-			r.met.BWSeen++
+			sr.met.BWSeen++
 			// Algorithm 3 lines 11-18: remove entries whose last
 			// update preceded the flush (lastLSN ≤ FW-LSN), raise the
 			// rLSN of survivors.
-			r.table.PruneFlushed(t.WrittenSet, t.FWLSN, true)
+			sr.table.PruneFlushed(t.WrittenSet, t.FWLSN, true)
 		case *wal.DeltaRec:
 			// Present on the shared log for the logical family; the
 			// SQL analysis pass ignores them (counted for Figure 2c).
-			r.met.DeltaSeen++
+			sr.met.DeltaSeen++
 		}
 	}
-	r.met.LogPagesRead += sc.PagesRead()
+	sr.met.LogPagesRead += src.pagesRead()
 	return nil
 }

@@ -18,6 +18,16 @@
 //
 // All methods share the same undo pass (logical, with CLRs), the same
 // SMO recovery, and the same log — only redo differs, per §2.1.
+//
+// The engine may shard its data across N range-partitioned DCs behind
+// the one TC (engine.Config.Shards). Recovery then demultiplexes the
+// single log by each record's shard ID into per-shard pipelines that
+// run concurrently — each shard an independent instance of the same
+// prep/redo machinery over its own device, pool and B-tree, with SMO
+// barriers naturally shard-local — while undo stays a single merged
+// backward sweep whose compensations route to the owning shard. The
+// single-DC engine is the N=1 case of this code: one shard, fed
+// directly by the log scanner.
 package core
 
 import (
@@ -27,6 +37,7 @@ import (
 	"logrec/internal/dc"
 	"logrec/internal/dpt"
 	"logrec/internal/engine"
+	"logrec/internal/shard"
 	"logrec/internal/sim"
 	"logrec/internal/storage"
 	"logrec/internal/tc"
@@ -90,17 +101,18 @@ type Options struct {
 	// IndexPreload loads all internal index pages at the start of DC
 	// recovery for Log2, per Appendix A.1.
 	IndexPreload bool
-	// DCConfig configures the reopened DC (CPU costs; tracker settings
+	// DCConfig configures the reopened DCs (CPU costs; tracker settings
 	// for post-recovery operation).
 	DCConfig dc.Config
-	// CachePages overrides the recovery buffer pool capacity
-	// (0 = same as the crashed engine, the paper's setting).
+	// CachePages overrides the recovery buffer budget, divided evenly
+	// across shards (0 = same as the crashed engine, the paper's
+	// setting).
 	CachePages int
 	// PrefetchStrategy selects Log2's data-page prefetch source:
 	// PF-list (paper's choice) or DPT-rLSN order (Appendix A.2's
 	// alternative).
 	PrefetchStrategy PrefetchStrategy
-	// RedoWorkers ≥ 1 replays the redo pass with that many
+	// RedoWorkers ≥ 1 replays each shard's redo pass with that many
 	// page-partitioned worker goroutines (see parallel.go); 1 runs the
 	// parallel machinery single-shard, the apples-to-apples baseline
 	// for worker sweeps. 0 keeps the paper's deterministic serial pass.
@@ -109,7 +121,8 @@ type Options struct {
 	// durations are only meaningful serial: parallel workers interleave
 	// their clock charges nondeterministically and model no IO overlap.
 	// For timing parallel runs, set RealIOScale and read the Wall*
-	// metrics instead.
+	// metrics instead. Multi-shard recovery (engine.Config.Shards > 1)
+	// is wall-clock-measured for the same reason.
 	RedoWorkers int
 	// UndoWorkers ≥ 1 runs the undo pass with that many
 	// page-partitioned worker goroutines (see undo_parallel.go),
@@ -117,9 +130,10 @@ type Options struct {
 	// baseline. 0 keeps the serial undo pass. The CLR log sequence is
 	// identical in every mode.
 	UndoWorkers int
-	// ScanAheadRecords bounds the parallel redo pipeline's decode ring:
-	// how many decoded, DPT-screened records the scan stage may run
-	// ahead of dispatch (default 512). Serial passes ignore it.
+	// ScanAheadRecords bounds the parallel redo pipeline's decode ring
+	// and the multi-shard demultiplexer's per-shard channels: how many
+	// decoded, screened records the scan stage may run ahead of
+	// dispatch (default 512). Serial single-shard passes ignore it.
 	ScanAheadRecords int
 	// RealIOScale > 0 runs recovery against wall-clock IO: the forked
 	// disk sleeps its modelled latencies divided by this factor instead
@@ -164,10 +178,13 @@ func DefaultOptions(cfg engine.Config) Options {
 // time) each phase took. RedoTotal (prep + redo) is the quantity the
 // paper's Figures 2(a) and 3 plot as "redo time"; analysis/DC-pass time
 // is included since the paper reports it is under 2% of the total for
-// both families (§2.1).
+// both families (§2.1). Counters aggregate across shards.
 type Metrics struct {
 	Method Method
-	// RedoWorkers is the parallelism the redo pass ran with (1 = serial).
+	// Shards is how many data components recovered (concurrently when
+	// more than one).
+	Shards int
+	// RedoWorkers is the per-shard redo parallelism (1 = serial).
 	RedoWorkers int
 	// UndoWorkers is the parallelism the undo pass ran with (1 = serial).
 	UndoWorkers int
@@ -180,8 +197,9 @@ type Metrics struct {
 
 	// WallRedoTime, WallUndoTime and WallTotalTime are wall-clock
 	// measurements of the same phases — meaningful in real-IO mode
-	// (Options.RealIOScale), where virtual durations no longer
-	// accumulate.
+	// (Options.RealIOScale) and in file mode, where virtual durations
+	// no longer accumulate, and the only meaningful timings for
+	// multi-shard runs.
 	WallRedoTime  time.Duration
 	WallUndoTime  time.Duration
 	WallTotalTime time.Duration
@@ -223,12 +241,19 @@ type Metrics struct {
 	SMOBarriers          int64
 	UndoBarriers         int64
 	BarrierWorkersPaused int64
+
+	// RouteChanges counts committed range reassignments replayed into
+	// the recovered routing table.
+	RouteChanges int
 }
 
 // Recover replays the crash state under method m and returns a fully
 // recovered, usable engine plus the run's metrics. Each call forks the
 // crash state copy-on-write, so multiple methods can recover the same
 // crash independently — the paper's controlled side-by-side comparison.
+// All of the crashed engine's shards recover concurrently from the one
+// log; the recovered routing table is rebuilt from the checkpoint's
+// route snapshot plus any committed in-window reassignments.
 func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Metrics, error) {
 	if opt.ScanCost.PageSize == 0 {
 		opt.ScanCost = cs.Cfg.ScanCost
@@ -259,58 +284,87 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		undoWorkers = 0
 	}
 
-	clock, disk, log, err := cs.Fork(cache)
+	clock, disks, log, err := cs.Fork(cache)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: forking crash state: %w", err)
 	}
-	if opt.RealIOScale > 0 {
-		// Scaled wall-clock sleeps are a simulated-disk feature; a file
-		// device's IO is already wall-clock (RealTime reports so).
-		if sd, ok := disk.(*storage.Disk); ok {
-			sd.SetRealIOScale(opt.RealIOScale)
-		}
+	nShards := len(disks)
+	perShardCache := cache / nShards
+	if perShardCache < 8 {
+		perShardCache = 8
 	}
-	d, err := dc.Open(clock, disk, log, cache, opt.DCConfig)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: reopening DC: %w", err)
+	dcs := make([]*dc.DC, nShards)
+	for i, disk := range disks {
+		if opt.RealIOScale > 0 {
+			// Scaled wall-clock sleeps are a simulated-disk feature; a
+			// file device's IO is already wall-clock (RealTime reports
+			// so).
+			if sd, ok := disk.(*storage.Disk); ok {
+				sd.SetRealIOScale(opt.RealIOScale)
+			}
+		}
+		d, err := dc.Open(clock, disk, log, perShardCache, wal.ShardID(i), opt.DCConfig)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: reopening DC shard %d: %w", i, err)
+		}
+		dcs[i] = d
 	}
 
-	met := &Metrics{Method: m, RedoWorkers: max(workers, 1), UndoWorkers: max(undoWorkers, 1)}
-	r := &run{cs: cs, m: m, opt: opt, clock: clock, d: d, log: log, met: met, txns: newTxnTable()}
+	met := &Metrics{
+		Method:      m,
+		Shards:      nShards,
+		RedoWorkers: max(workers, 1),
+		UndoWorkers: max(undoWorkers, 1),
+	}
+	r := &run{
+		cs:      cs,
+		m:       m,
+		opt:     opt,
+		workers: workers,
+		clock:   clock,
+		log:     log,
+		met:     met,
+		txns:    newTxnTable(),
+		routes:  shard.DefaultRoutes(nShards, cs.Cfg.KeySpan),
+	}
+	r.shards = make([]*shardRun, nShards)
+	for i, d := range dcs {
+		r.shards[i] = &shardRun{r: r, id: wal.ShardID(i), d: d}
+	}
 
 	if err := r.findScanStart(); err != nil {
 		return nil, nil, err
 	}
 
-	// Phase 1: prep — DC recovery (logical) or analysis (SQL).
+	// Phase 1: prep — DC recovery (logical) or analysis (SQL), per
+	// shard. Route changes replay from this full-window pass.
 	w0 := time.Now()
 	t0 := clock.Now()
-	if m.IsLogical() {
-		if err := r.dcPass(); err != nil {
-			return nil, nil, fmt.Errorf("core: %v DC recovery: %w", m, err)
+	r.collectRoutes = true
+	err = r.runPhase(func(sr *shardRun, src recordSource) error {
+		if m.IsLogical() {
+			return sr.dcPass(src)
 		}
-	} else {
-		if err := r.sqlAnalysis(); err != nil {
-			return nil, nil, fmt.Errorf("core: %v analysis: %w", m, err)
-		}
+		return sr.sqlAnalysis(src)
+	})
+	r.collectRoutes = false
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %v prep: %w", m, err)
 	}
 	met.PrepTime = clock.Now().Sub(t0)
-	if r.table != nil {
-		met.DPTSize = r.table.Len()
+	for _, sr := range r.shards {
+		if sr.table != nil {
+			met.DPTSize += sr.table.Len()
+		}
 	}
 
 	// Phase 2: redo — serial (the paper's virtual-time experiments) or
-	// page-partitioned parallel (parallel.go).
+	// page-partitioned parallel (parallel.go), per shard.
 	w1 := time.Now()
 	t1 := clock.Now()
-	switch {
-	case workers >= 1:
-		err = r.parallelRedo(workers)
-	case m.IsLogical():
-		err = r.logicalRedo()
-	default:
-		err = r.physiologicalRedo()
-	}
+	err = r.runPhase(func(sr *shardRun, src recordSource) error {
+		return sr.redo(src)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %v redo: %w", m, err)
 	}
@@ -319,7 +373,9 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	met.WallRedoTime = time.Since(w1)
 
 	// Phase 3: undo of losers (logical in every method, §2.1) — serial,
-	// or page-partitioned parallel (undo_parallel.go).
+	// or page-partitioned parallel (undo_parallel.go). One merged
+	// backward sweep over all shards; compensations route by each
+	// record's shard.
 	w2 := time.Now()
 	t2 := clock.Now()
 	if undoWorkers >= 1 {
@@ -335,45 +391,237 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	met.WallUndoTime = time.Since(w2)
 	met.WallTotalTime = time.Since(w0)
 
+	r.mergeShardMetrics()
 	r.captureIOStats()
 
+	routes, err := r.finalRoutes()
+	if err != nil {
+		return nil, nil, err
+	}
+	met.RouteChanges = r.appliedRouteChanges
+
 	// Reopen for normal operation: tracking on, SMOs logged, TC wired.
-	d.StartLogging()
-	newTC := tc.New(log, d)
+	set, err := shard.NewSet(routes, dcs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rebuilding routing table: %w", err)
+	}
+	set.StartLogging()
+	newTC := tc.New(log, set)
 	newTC.RestoreMaster(cs.LastEndCkpt)
 	newTC.RestoreNextTxnID(r.txns.maxID)
 	newTC.SendEOSL()
 
-	eng := &engine.Engine{Clock: clock, Disk: disk, Log: log, DC: d, TC: newTC, Cfg: cs.Cfg}
+	eng := &engine.Engine{
+		Clock: clock,
+		Disk:  disks[0], Disks: disks,
+		Log: log,
+		DC:  dcs[0], DCs: dcs, Set: set,
+		TC: newTC, Cfg: cs.Cfg,
+	}
 	return eng, met, nil
 }
 
-// run carries one recovery invocation's state across phases.
+// run carries one recovery invocation's cross-shard state.
 type run struct {
-	cs    *engine.CrashState
-	m     Method
-	opt   Options
-	clock *sim.Clock
-	d     *dc.DC
-	log   *wal.Log
-	met   *Metrics
-	txns  *txnTable
+	cs      *engine.CrashState
+	m       Method
+	opt     Options
+	workers int
+	clock   *sim.Clock
+	log     *wal.Log
+	met     *Metrics
+	txns    *txnTable
+	shards  []*shardRun
 
 	// scanStart is the penultimate begin-checkpoint LSN — the redo
 	// scan start point (§3.2).
 	scanStart wal.LSN
-	// table is the DPT (nil for Log0).
+
+	// routes is the routing table at the penultimate checkpoint;
+	// routeChanges are the in-window ShardMapRecs (applied at the end
+	// for committed migrations only). collectRoutes gates collection to
+	// the prep pass so the redo pass does not double-collect.
+	routes              []wal.RouteEntry
+	routeChanges        []*wal.ShardMapRec
+	collectRoutes       bool
+	appliedRouteChanges int
+}
+
+// shardRun is one shard's recovery state: its reopened DC plus the
+// per-shard DPT, prefetch list and metrics the prep and redo passes
+// build. Each shard's passes run on their own goroutine when the
+// engine has more than one shard.
+type shardRun struct {
+	r  *run
+	id wal.ShardID
+	d  *dc.DC
+
+	// table is the shard's DPT (nil for Log0).
 	table *dpt.Table
 	// pfList is Log2's prefetch list: DPT-candidate PIDs in
 	// first-update order (Appendix A.2).
 	pfList []storage.PageID
-	// lastDeltaTCLSN is the TC-LSN of the last ∆ record; redo records
-	// at or beyond it are the "tail of the log" handled in basic mode
-	// (§4.3).
+	// lastDeltaTCLSN is the TC-LSN of the shard's last ∆ record; redo
+	// records at or beyond it are the "tail of the log" handled in
+	// basic mode (§4.3).
 	lastDeltaTCLSN wal.LSN
+
+	// met is this shard's private counters, merged into the run metrics
+	// after the phases complete.
+	met Metrics
 }
 
-// findScanStart resolves the master record to the redo scan start.
+// redo runs the shard's redo pass in the configured mode.
+func (sr *shardRun) redo(src recordSource) error {
+	switch {
+	case sr.r.workers >= 1:
+		return sr.parallelRedo(sr.r.workers, src)
+	case sr.r.m.IsLogical():
+		return sr.logicalRedo(src)
+	default:
+		return sr.physiologicalRedo(src)
+	}
+}
+
+// recordSource feeds one shard's pass with its log records. The N=1
+// engine reads the log scanner directly; multi-shard recovery consumes
+// a per-shard channel fed by the demultiplexer.
+type recordSource interface {
+	next() (wal.Record, wal.LSN, bool, error)
+	pagesRead() int64
+}
+
+// scanSource is the direct single-shard source: the log scanner, with
+// global bookkeeping (transaction table, route changes) done inline.
+type scanSource struct {
+	r  *run
+	sc *wal.Scanner
+}
+
+func (s *scanSource) next() (wal.Record, wal.LSN, bool, error) {
+	rec, lsn, ok, err := s.sc.Next()
+	if ok {
+		s.r.noteGlobal(rec, lsn)
+	}
+	return rec, lsn, ok, err
+}
+
+func (s *scanSource) pagesRead() int64 { return s.sc.PagesRead() }
+
+// demuxItem is one routed record.
+type demuxItem struct {
+	rec wal.Record
+	lsn wal.LSN
+}
+
+// chanSource consumes a demultiplexer channel. Log-page accounting is
+// done once by the demultiplexer, not per shard.
+type chanSource struct {
+	ch <-chan demuxItem
+}
+
+func (s *chanSource) next() (wal.Record, wal.LSN, bool, error) {
+	it, ok := <-s.ch
+	if !ok {
+		return nil, wal.NilLSN, false, nil
+	}
+	return it.rec, it.lsn, true, nil
+}
+
+func (s *chanSource) pagesRead() int64 { return 0 }
+
+// runPhase executes one recovery phase on every shard. A single-shard
+// engine runs the phase inline over the log scanner — execution is
+// byte-for-byte the serial path. With N shards the coordinator scans
+// and decodes the log exactly once, routing each shard-stamped record
+// to its shard's bounded channel, and the shards consume concurrently:
+// the demultiplexed per-shard pipelines of the scale-out design.
+func (r *run) runPhase(phase func(sr *shardRun, src recordSource) error) error {
+	if len(r.shards) == 1 {
+		// Inline over the log scanner: execution is the serial path,
+		// byte for byte (the passes account src.pagesRead themselves).
+		sr := r.shards[0]
+		src := &scanSource{r: r, sc: r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)}
+		return phase(sr, src)
+	}
+
+	chans := make([]chan demuxItem, len(r.shards))
+	results := make(chan error, len(r.shards))
+	for i, sr := range r.shards {
+		ch := make(chan demuxItem, r.opt.ScanAheadRecords)
+		chans[i] = ch
+		go func(sr *shardRun, ch chan demuxItem) {
+			err := phase(sr, &chanSource{ch: ch})
+			// A shard that stops early (error) must keep draining so the
+			// demultiplexer never blocks on its channel.
+			for range ch {
+			}
+			results <- err
+		}(sr, ch)
+	}
+
+	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+	var scanErr error
+	for {
+		rec, lsn, ok, err := sc.Next()
+		if err != nil {
+			scanErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		r.noteGlobal(rec, lsn)
+		sh, sharded := shardOf(rec)
+		if !sharded {
+			continue
+		}
+		if int(sh) >= len(chans) {
+			scanErr = fmt.Errorf("core: record at %v names shard %d, engine has %d", lsn, sh, len(chans))
+			break
+		}
+		chans[sh] <- demuxItem{rec: rec, lsn: lsn}
+	}
+	r.met.LogPagesRead += sc.PagesRead()
+	for _, ch := range chans {
+		close(ch)
+	}
+	var first error
+	for range chans {
+		if err := <-results; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first == nil {
+		first = scanErr
+	}
+	return first
+}
+
+// shardOf extracts a record's owning shard, if it has one.
+func shardOf(rec wal.Record) (wal.ShardID, bool) {
+	if s, ok := rec.(wal.Sharded); ok {
+		return s.Shard(), true
+	}
+	return 0, false
+}
+
+// noteGlobal performs the per-record bookkeeping that belongs to the
+// whole recovery, not one shard: transaction-table maintenance and
+// route-change collection. Called from exactly one goroutine per phase
+// (the single-shard consumer, or the demultiplexer).
+func (r *run) noteGlobal(rec wal.Record, lsn wal.LSN) {
+	r.txns.note(rec, lsn)
+	if r.collectRoutes {
+		if sm, ok := rec.(*wal.ShardMapRec); ok {
+			r.routeChanges = append(r.routeChanges, sm)
+		}
+	}
+}
+
+// findScanStart resolves the master record to the redo scan start and
+// seeds the transaction table and routing snapshot from the
+// end-checkpoint record.
 func (r *run) findScanStart() error {
 	if r.cs.LastEndCkpt == wal.NilLSN {
 		// Never checkpointed: scan the whole log.
@@ -390,15 +638,70 @@ func (r *run) findScanStart() error {
 	}
 	r.scanStart = end.BeginLSN
 	r.txns.seed(end.Active)
+	if len(end.Routes) > 0 {
+		r.routes = end.Routes
+	}
 	return nil
 }
 
-// captureIOStats folds disk/pool counters into the metrics.
+// finalRoutes rebuilds the routing table the crash had: the checkpoint
+// snapshot plus every in-window reassignment whose migration
+// transaction committed (a loser migration's rows were undone back, so
+// its routing change must not survive).
+func (r *run) finalRoutes() ([]wal.RouteEntry, error) {
+	router, err := shard.NewRouter(r.routes)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpointed routing table: %w", err)
+	}
+	for _, sm := range r.routeChanges {
+		if !r.txns.committed(sm.TxnID) {
+			continue
+		}
+		// A change already reflected in the checkpoint's route snapshot
+		// (migration committed before the end-checkpoint record) is a
+		// no-op here and is not counted as replayed.
+		start, _, owner := router.RangeOf(sm.SplitAt)
+		if start == sm.SplitAt && owner == sm.NewShard {
+			continue
+		}
+		router.Split(sm.SplitAt)
+		if err := router.Reassign(sm.SplitAt, sm.NewShard); err != nil {
+			return nil, fmt.Errorf("core: replaying route change at %d: %w", sm.SplitAt, err)
+		}
+		r.appliedRouteChanges++
+	}
+	return router.Routes(), nil
+}
+
+// mergeShardMetrics folds the per-shard counters into the run metrics.
+func (r *run) mergeShardMetrics() {
+	for _, sr := range r.shards {
+		m := &sr.met
+		r.met.DeltaSeen += m.DeltaSeen
+		r.met.BWSeen += m.BWSeen
+		r.met.RedoRecords += m.RedoRecords
+		r.met.TailRecords += m.TailRecords
+		r.met.Applied += m.Applied
+		r.met.SkippedDPT += m.SkippedDPT
+		r.met.SkippedRLSN += m.SkippedRLSN
+		r.met.SkippedPLSN += m.SkippedPLSN
+		r.met.DataPageFetches += m.DataPageFetches
+		r.met.IndexPageFetches += m.IndexPageFetches
+		r.met.SMOPageFetches += m.SMOPageFetches
+		r.met.LogPagesRead += m.LogPagesRead
+		r.met.SMOBarriers += m.SMOBarriers
+		r.met.BarrierWorkersPaused += m.BarrierWorkersPaused
+	}
+}
+
+// captureIOStats folds every shard device's counters into the metrics.
 func (r *run) captureIOStats() {
-	ds := r.d.Disk().Stats()
-	r.met.Stalls = ds.Stalls
-	r.met.StallTime = ds.StallTime
-	r.met.PrefetchIOs = ds.PrefetchIOs
-	r.met.PrefetchPages = ds.PrefetchPages
-	r.met.PrefetchHits = ds.PrefetchHits
+	for _, sr := range r.shards {
+		ds := sr.d.Disk().Stats()
+		r.met.Stalls += ds.Stalls
+		r.met.StallTime += ds.StallTime
+		r.met.PrefetchIOs += ds.PrefetchIOs
+		r.met.PrefetchPages += ds.PrefetchPages
+		r.met.PrefetchHits += ds.PrefetchHits
+	}
 }

@@ -352,28 +352,30 @@ func TestDPTSafety(t *testing.T) {
 	// Recompute the DPT standalone for the membership check.
 	r2 := &run{cs: cs, m: Log1, opt: opt, clock: &sim.Clock{}, log: cs.Log, met: &Metrics{}, txns: newTxnTable(), scanStart: scanStart}
 	// dcPass needs a DC; fork one.
-	clock3, disk3, log3, err3 := cs.Fork(0)
+	clock3, disks3, log3, err3 := cs.Fork(0)
 	if err3 != nil {
 		t.Fatal(err3)
 	}
-	d3, err := dc.Open(clock3, disk3, log3, cfg.CachePages, cfg.DC)
+	d3, err := dc.Open(clock3, disks3[0], log3, cfg.CachePages, 0, cfg.DC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2.d = d3
 	r2.log = log3
 	r2.clock = clock3
-	if err := r2.dcPass(); err != nil {
+	sr2 := &shardRun{r: r2, id: 0, d: d3}
+	r2.shards = []*shardRun{sr2}
+	src := &scanSource{r: r2, sc: log3.NewScanner(scanStart, clock3, opt.ScanCost)}
+	if err := sr2.dcPass(src); err != nil {
 		t.Fatal(err)
 	}
-	if r2.table.Len() != met.DPTSize {
-		t.Fatalf("standalone DPT size %d != recovery's %d", r2.table.Len(), met.DPTSize)
+	if sr2.table.Len() != met.DPTSize {
+		t.Fatalf("standalone DPT size %d != recovery's %d", sr2.table.Len(), met.DPTSize)
 	}
 	// Safety: every dirty page is in the DPT, or dirtied only by tail
 	// operations (whose redo never consults the DPT).
 	for _, pid := range dirty {
-		if r2.table.Find(pid) == nil {
-			if !coveredByTail(t, cs.Log, r2.lastDeltaTCLSN, pid) {
+		if sr2.table.Find(pid) == nil {
+			if !coveredByTail(t, cs.Log, sr2.lastDeltaTCLSN, pid) {
 				t.Fatalf("dirty page %d missing from DPT and not covered by the log tail", pid)
 			}
 		}

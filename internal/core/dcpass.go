@@ -8,48 +8,50 @@ import (
 	"logrec/internal/wal"
 )
 
-// dcPass is DC recovery for the logical family (§4.2): it scans the log
-// from the redo scan start point, replays SMO records so the B-tree is
-// well-formed before any logical redo re-traverses it (§1.2), and — for
-// the DPT-optimised methods — constructs the logical DPT from ∆-log
-// records per Algorithm 4, plus the PF-list for Log2's prefetch
-// (Appendix A.2). It takes the place of the SQL analysis pass (§5.1).
-func (r *run) dcPass() error {
-	if r.m.UsesDPT() {
-		r.table = dpt.New()
+// dcPass is one shard's DC recovery for the logical family (§4.2): it
+// consumes the shard's records from the redo scan start point, replays
+// SMO records so the B-tree is well-formed before any logical redo
+// re-traverses it (§1.2), and — for the DPT-optimised methods —
+// constructs the logical DPT from ∆-log records per Algorithm 4, plus
+// the PF-list for Log2's prefetch (Appendix A.2). It takes the place
+// of the SQL analysis pass (§5.1). The source delivers exactly this
+// shard's SMO/∆/BW records (plus shard-blind traffic on the
+// single-shard path, which the type switch ignores).
+func (sr *shardRun) dcPass(src recordSource) error {
+	if sr.r.m.UsesDPT() {
+		sr.table = dpt.New()
 	}
-	prevDelta := r.scanStart
-	r.lastDeltaTCLSN = r.scanStart
+	prevDelta := sr.r.scanStart
+	sr.lastDeltaTCLSN = sr.r.scanStart
 
-	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
 	for {
-		rec, lsn, ok, err := sc.Next()
+		rec, lsn, ok, err := src.next()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		r.clock.Advance(analysisRecordCPU)
+		sr.r.clock.Advance(analysisRecordCPU)
 		switch t := rec.(type) {
 		case *wal.SMORec:
-			if err := r.replaySMO(t, lsn); err != nil {
+			if err := sr.replaySMO(t, lsn); err != nil {
 				return err
 			}
 		case *wal.DeltaRec:
-			r.met.DeltaSeen++
-			if r.table != nil && t.TCLSN > r.scanStart {
-				r.applyDelta(t, prevDelta)
+			sr.met.DeltaSeen++
+			if sr.table != nil && t.TCLSN > sr.r.scanStart {
+				sr.applyDelta(t, prevDelta)
 				prevDelta = t.TCLSN
-				r.lastDeltaTCLSN = t.TCLSN
+				sr.lastDeltaTCLSN = t.TCLSN
 			}
 		case *wal.BWRec:
 			// BW records belong to the SQL family; the DC pass ignores
 			// them (counted for Figure 2c).
-			r.met.BWSeen++
+			sr.met.BWSeen++
 		}
 	}
-	r.met.LogPagesRead += sc.PagesRead()
+	sr.met.LogPagesRead += src.pagesRead()
 	return nil
 }
 
@@ -69,7 +71,7 @@ func (r *run) dcPass() error {
 // FirstDirty = len(DirtySet): every entry takes the previous record's
 // TC-LSN, and pruning can only trust flushes to cover updates before
 // the previous record.
-func (r *run) applyDelta(t *wal.DeltaRec, prevDelta wal.LSN) {
+func (sr *shardRun) applyDelta(t *wal.DeltaRec, prevDelta wal.LSN) {
 	perfect := len(t.DirtyLSNs) == len(t.DirtySet) && len(t.DirtySet) > 0
 	for i, pid := range t.DirtySet {
 		var rlsn wal.LSN
@@ -81,10 +83,10 @@ func (r *run) applyDelta(t *wal.DeltaRec, prevDelta wal.LSN) {
 		default:
 			rlsn = t.FWLSN
 		}
-		if r.table.Find(pid) == nil {
-			r.pfList = append(r.pfList, pid)
+		if sr.table.Find(pid) == nil {
+			sr.pfList = append(sr.pfList, pid)
 		}
-		r.table.Add(pid, rlsn)
+		sr.table.Add(pid, rlsn)
 	}
 	threshold := t.FWLSN
 	if threshold == wal.NilLSN {
@@ -93,23 +95,23 @@ func (r *run) applyDelta(t *wal.DeltaRec, prevDelta wal.LSN) {
 	// Perfect mode has real lastLSNs, so the inclusive (Algorithm 3)
 	// comparison is sound; the standard/reduced sentinel lastLSNs need
 	// the strict comparison of Algorithm 4 line 19.
-	r.table.PruneFlushed(t.WrittenSet, threshold, perfect)
+	sr.table.PruneFlushed(t.WrittenSet, threshold, perfect)
 }
 
 // replaySMO re-applies one structure-modification record: install each
 // page after-image whose target is older than the SMO, and advance the
 // tree metadata. Idempotent via the pLSN test, like all redo (§2.2).
-func (r *run) replaySMO(t *wal.SMORec, lsn wal.LSN) error {
-	tree := r.d.Tree()
+func (sr *shardRun) replaySMO(t *wal.SMORec, lsn wal.LSN) error {
+	tree := sr.d.Tree()
 	// Tree metadata advances monotonically with the allocator cursor;
 	// SMOs replayed below a newer boot image must not regress it.
 	if t.Meta.NextPID >= tree.Meta().NextPID {
 		tree.SetMeta(walMetaToTree(t.Meta))
 	}
-	pool := r.d.Pool()
+	pool := sr.d.Pool()
 	for _, img := range t.Images {
 		missBefore := pool.Stats().Misses
-		if pool.Contains(img.PageID) || r.d.Disk().Exists(img.PageID) {
+		if pool.Contains(img.PageID) || sr.d.Disk().Exists(img.PageID) {
 			f, err := pool.Get(img.PageID)
 			if err != nil {
 				return fmt.Errorf("SMO image for page %d: %w", img.PageID, err)
@@ -130,7 +132,7 @@ func (r *run) replaySMO(t *wal.SMORec, lsn wal.LSN) error {
 			pool.MarkDirty(f, lsn)
 			pool.Unpin(f)
 		}
-		r.met.SMOPageFetches += pool.Stats().Misses - missBefore
+		sr.met.SMOPageFetches += pool.Stats().Misses - missBefore
 	}
 	return nil
 }

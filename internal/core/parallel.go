@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"logrec/internal/buffer"
 	"logrec/internal/storage"
 	"logrec/internal/wal"
 )
@@ -24,14 +23,17 @@ import (
 //
 // The replay pipeline has three stages:
 //
-//	log scan ──► bounded ring ──► dispatcher ──► shard workers
-//	(decode, DPT screen,          (route, SMO     (fetch, pLSN test,
-//	 txn table, off-thread)        barriers)       apply)
+//	record source ──► bounded ring ──► dispatcher ──► shard workers
+//	(decode, DPT screen,              (route, SMO     (fetch, pLSN test,
+//	 off-thread)                       barriers)       apply)
 //
 // The scan stage decodes log records and runs the DPT/rLSN screen on
 // its own goroutine, feeding survivors into a bounded ring
 // (Options.ScanAheadRecords), so at high worker counts dispatch is a
-// channel send, not a decode loop.
+// channel send, not a decode loop. On a multi-shard engine each data
+// shard runs its own instance of this pipeline concurrently, fed by the
+// log demultiplexer; SMO barriers are then naturally local to the one
+// shard whose tree the SMO changed.
 //
 // Structure modifications are the one cross-page dependency: an SMO
 // moves keys between pages, so records before and after it may name the
@@ -48,22 +50,24 @@ import (
 //     hinted page (stamped at or past the SMO's LSN) screens it out.
 //   - SQL family: SMOs replay inline at their log position (SQL
 //     Server's system-transaction redo), under a barrier scoped to the
-//     shards owning the SMO's pages (SMORec.AffectedPIDs): those
+//     workers owning the SMO's pages (SMORec.AffectedPIDs): those
 //     workers drain and pause, the SMO replays, and they resume.
 //     Workers owning none of the SMO's pages run ahead — their queued
 //     tasks touch disjoint pages, so no ordering is lost (FIFO
 //     channels are the fence; the pool's barrier-epoch counter tracks
 //     how many fences have been raised).
 //
-// Parallel undo (undo_parallel.go) reuses the same worker pool: CLRs
-// are planned and appended serially, and their page applications are
-// sharded exactly like redo, with structure-changing undo operations
-// running under a global (all-shard) barrier.
+// Parallel undo (undo_parallel.go) reuses the same worker pool across
+// every data shard at once: CLRs are planned and appended serially, and
+// their page applications are sharded by (data shard, page), with
+// structure-changing undo operations running under a global barrier.
 
-// redoTask is one unit routed to a worker: either a page operation or a
-// barrier token. FIFO channel order is the fence: a task routed before
-// a barrier is applied before it, one routed after waits behind it.
+// redoTask is one unit routed to a worker: a page operation on one data
+// shard, or a barrier token. FIFO channel order is the fence: a task
+// routed before a barrier is applied before it, one routed after waits
+// behind it.
 type redoTask struct {
+	sr      *shardRun
 	op      wal.DataOp
 	lsn     wal.LSN
 	barrier *poolBarrier
@@ -77,11 +81,10 @@ type poolBarrier struct {
 	resume  chan struct{}
 }
 
-// shardWorker replays the page operations of its shard in arrival
+// shardWorker replays the page operations of its partition in arrival
 // (= dispatch) order. Metrics are worker-private and merged by
 // shardedPool.finish after the workers exit.
 type shardWorker struct {
-	r     *run
 	tasks chan redoTask
 	pf    *pacer
 	met   Metrics
@@ -90,7 +93,6 @@ type shardWorker struct {
 
 func (w *shardWorker) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
-	pool := w.r.d.Pool()
 	for t := range w.tasks {
 		if t.barrier != nil {
 			t.barrier.arrived.Done()
@@ -103,15 +105,17 @@ func (w *shardWorker) loop(wg *sync.WaitGroup) {
 		if w.pf != nil {
 			w.pf.topUp()
 		}
-		if err := w.apply(pool, t); err != nil {
+		if err := w.apply(t); err != nil {
 			w.err = err
 		}
 	}
 }
 
-// apply fetches the task's page and re-executes the operation behind the
-// pLSN idempotence test, exactly like the serial passes.
-func (w *shardWorker) apply(pool *buffer.Pool, t redoTask) error {
+// apply fetches the task's page from its data shard's pool and
+// re-executes the operation behind the pLSN idempotence test, exactly
+// like the serial passes.
+func (w *shardWorker) apply(t redoTask) error {
+	pool := t.sr.d.Pool()
 	pid := t.op.PID()
 	cached := pool.Contains(pid)
 	f, err := pool.Get(pid)
@@ -139,8 +143,9 @@ func (w *shardWorker) apply(pool *buffer.Pool, t redoTask) error {
 
 // shardedPool is the page-partitioned worker pool shared by parallel
 // redo and parallel undo: route sends a page operation to the worker
-// owning its page, pause drains a subset of workers for a structure
-// modification, finish joins the pool and merges worker metrics.
+// owning its (data shard, page), pause drains a subset of workers for a
+// structure modification, finish joins the pool and merges worker
+// metrics.
 type shardedPool struct {
 	workers []*shardWorker
 	wg      sync.WaitGroup
@@ -148,17 +153,11 @@ type shardedPool struct {
 	epoch uint64
 }
 
-// newShardedPool starts n workers. lists, when non-nil, gives each
-// worker its prefetch shard (see shardPIDs).
-func newShardedPool(r *run, n int, lists [][]storage.PageID) *shardedPool {
+// newShardedPool starts n workers.
+func newShardedPool(n int) *shardedPool {
 	p := &shardedPool{workers: make([]*shardWorker, n)}
-	pool := r.d.Pool()
 	for i := range p.workers {
-		w := &shardWorker{r: r, tasks: make(chan redoTask, 128)}
-		if lists != nil {
-			w.pf = newPacer(pool, r.table, lists[i], r.opt.MaxOutstanding)
-			w.pf.topUp()
-		}
+		w := &shardWorker{tasks: make(chan redoTask, 128)}
 		p.workers[i] = w
 		p.wg.Add(1)
 		go w.loop(&p.wg)
@@ -166,22 +165,31 @@ func newShardedPool(r *run, n int, lists [][]storage.PageID) *shardedPool {
 	return p
 }
 
-// shard maps a page to its owning worker index.
-func (p *shardedPool) shard(pid storage.PageID) int {
-	return int(uint32(pid) % uint32(len(p.workers)))
+// workerIndex maps a (data shard, page) pair to its owning worker. For
+// shard 0 — every single-shard engine — it reduces to pid mod n, the
+// PR 2 partition; other shards are offset by a Fibonacci-hash stride so
+// a cross-shard undo pool spreads shards over all workers.
+func workerIndex(id wal.ShardID, pid storage.PageID, n int) int {
+	return int((uint64(uint32(pid)) + uint64(id)*2654435761) % uint64(n))
+}
+
+// widx maps a task's coordinates to its worker.
+func (p *shardedPool) widx(sr *shardRun, pid storage.PageID) int {
+	return workerIndex(sr.id, pid, len(p.workers))
 }
 
 // route sends op to the worker owning its page, blocking when that
 // worker's queue is full (natural backpressure).
-func (p *shardedPool) route(op wal.DataOp, lsn wal.LSN) {
-	p.workers[p.shard(op.PID())].tasks <- redoTask{op: op, lsn: lsn}
+func (p *shardedPool) route(sr *shardRun, op wal.DataOp, lsn wal.LSN) {
+	p.workers[p.widx(sr, op.PID())].tasks <- redoTask{sr: sr, op: op, lsn: lsn}
 }
 
-// pause drains and parks the workers owning pids — or every worker when
-// pids is nil (a global barrier) — and returns a release function plus
-// the number of workers paused. The dispatcher may touch the paused
-// shards' pages until it calls release; unaffected shards keep running.
-func (p *shardedPool) pause(pids []storage.PageID) (release func(), paused int) {
+// pause drains and parks the workers owning pids on data shard sr — or
+// every worker when pids is nil (a global barrier; sr is then ignored)
+// — and returns a release function plus the number of workers paused.
+// The dispatcher may touch the paused partitions' pages until it calls
+// release; unaffected workers keep running.
+func (p *shardedPool) pause(sr *shardRun, pids []storage.PageID) (release func(), paused int) {
 	p.epoch++
 	var affected []int
 	if pids == nil {
@@ -192,7 +200,7 @@ func (p *shardedPool) pause(pids []storage.PageID) (release func(), paused int) 
 	} else {
 		seen := make(map[int]bool, len(pids))
 		for _, pid := range pids {
-			i := p.shard(pid)
+			i := p.widx(sr, pid)
 			if !seen[i] {
 				seen[i] = true
 				affected = append(affected, i)
@@ -228,12 +236,12 @@ func (p *shardedPool) finish() (Metrics, error) {
 	return met, err
 }
 
-// shardPIDs splits a prefetch list so that shard i holds exactly the
-// pages worker i will replay (same modulo routing as the dispatcher).
-func shardPIDs(src []storage.PageID, n int) [][]storage.PageID {
+// shardPIDs splits a prefetch list so that list i holds exactly the
+// pages worker i will replay (same routing as the dispatcher).
+func shardPIDs(id wal.ShardID, src []storage.PageID, n int) [][]storage.PageID {
 	out := make([][]storage.PageID, n)
 	for _, pid := range src {
-		i := int(uint32(pid) % uint32(n))
+		i := workerIndex(id, pid, n)
 		out[i] = append(out[i], pid)
 	}
 	return out
@@ -247,38 +255,43 @@ type scanItem struct {
 	smo *wal.SMORec
 }
 
-// parallelRedo is the pipelined page-partitioned redo pass. It serves
-// both families: decode and the DPT screen (when present) run in the
-// scan stage, application and the pLSN test run in the workers. Index
-// preloading is skipped — parallel redo locates pages by PID hint, not
-// by index traversal, so the index pages are not on its critical path.
-func (r *run) parallelRedo(workers int) error {
-	var lists [][]storage.PageID
-	if r.m.UsesPrefetch() && r.table != nil {
-		src := r.pfList
+// parallelRedo is one shard's pipelined page-partitioned redo pass. It
+// serves both families: decode and the DPT screen (when present) run in
+// the scan stage, application and the pLSN test run in the workers.
+// Index preloading is skipped — parallel redo locates pages by PID
+// hint, not by index traversal, so the index pages are not on its
+// critical path.
+func (sr *shardRun) parallelRedo(workers int, src recordSource) error {
+	r := sr.r
+	pool := newShardedPool(workers)
+	if r.m.UsesPrefetch() && sr.table != nil {
+		list := sr.pfList
 		if !r.m.IsLogical() || r.opt.PrefetchStrategy == PrefetchDPTOrder {
 			// SQL2's serial prefetch is log-driven lookahead; the
 			// parallel equivalent is the DPT in rLSN order, which
 			// approximates first-use order without a second log scan.
-			src = dptPrefetchList(r.table)
+			list = dptPrefetchList(sr.table)
 		}
-		lists = shardPIDs(src, workers)
+		lists := shardPIDs(sr.id, list, workers)
+		dpool := sr.d.Pool()
+		for i, w := range pool.workers {
+			w.pf = newPacer(dpool, sr.table, lists[i], r.opt.MaxOutstanding)
+			w.pf.topUp()
+		}
 	}
-	pool := newShardedPool(r, workers, lists)
 
-	// Scan stage: decode, transaction-table maintenance and the DPT/rLSN
-	// screen run off the dispatch goroutine, feeding the bounded ring.
-	// scanMet and scanErr are published by the ring close (happens-before
-	// the dispatcher's range loop ending).
+	// Scan stage: decode and the DPT/rLSN screen run off the dispatch
+	// goroutine, feeding the bounded ring. scanMet and scanErr are
+	// published by the ring close (happens-before the dispatcher's
+	// range loop ending).
 	ring := make(chan scanItem, r.opt.ScanAheadRecords)
 	var scanMet Metrics
 	var scanErr error
 	go func() {
 		defer close(ring)
-		sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
-		defer func() { scanMet.LogPagesRead = sc.PagesRead() }()
+		defer func() { scanMet.LogPagesRead = src.pagesRead() }()
 		for {
-			rec, lsn, ok, err := sc.Next()
+			rec, lsn, ok, err := src.next()
 			if err != nil {
 				scanErr = err
 				return
@@ -286,7 +299,6 @@ func (r *run) parallelRedo(workers int) error {
 			if !ok {
 				return
 			}
-			r.txns.note(rec, lsn)
 			switch t := rec.(type) {
 			case *wal.SMORec:
 				if r.m.IsLogical() {
@@ -298,14 +310,14 @@ func (r *run) parallelRedo(workers int) error {
 			case wal.DataOp:
 				scanMet.RedoRecords++
 				r.clock.Advance(r.opt.PerRecordCPU)
-				if r.table != nil {
-					if r.m.IsLogical() && lsn >= r.lastDeltaTCLSN {
+				if sr.table != nil {
+					if r.m.IsLogical() && lsn >= sr.lastDeltaTCLSN {
 						// Tail of the log: pages dirtied after the last ∆
 						// record are unknown to the DPT (§4.3); replay
 						// unscreened, as serial basic mode does.
 						scanMet.TailRecords++
 					} else {
-						e := r.table.Find(t.PID())
+						e := sr.table.Find(t.PID())
 						if e == nil {
 							scanMet.SkippedDPT++
 							continue
@@ -321,19 +333,19 @@ func (r *run) parallelRedo(workers int) error {
 		}
 	}()
 
-	// Dispatch stage: route survivors to their shard workers; barrier
-	// only the shards an SMO touches.
+	// Dispatch stage: route survivors to their partition workers;
+	// barrier only the workers an SMO touches.
 	var dispatchErr error
 	for it := range ring {
 		if it.smo == nil {
-			pool.route(it.op, it.lsn)
+			pool.route(sr, it.op, it.lsn)
 			continue
 		}
-		release, paused := pool.pause(it.smo.AffectedPIDs())
-		err := r.redoSMOPhysiological(it.smo, it.lsn)
+		release, paused := pool.pause(sr, it.smo.AffectedPIDs())
+		err := sr.redoSMOPhysiological(it.smo, it.lsn)
 		release()
-		r.met.SMOBarriers++
-		r.met.BarrierWorkersPaused += int64(paused)
+		sr.met.SMOBarriers++
+		sr.met.BarrierWorkersPaused += int64(paused)
 		if err != nil {
 			dispatchErr = err
 			break
@@ -347,14 +359,14 @@ func (r *run) parallelRedo(workers int) error {
 	}
 	wmet, werr := pool.finish()
 
-	r.met.RedoRecords += scanMet.RedoRecords
-	r.met.TailRecords += scanMet.TailRecords
-	r.met.SkippedDPT += scanMet.SkippedDPT
-	r.met.SkippedRLSN += scanMet.SkippedRLSN
-	r.met.LogPagesRead += scanMet.LogPagesRead
-	r.met.Applied += wmet.Applied
-	r.met.SkippedPLSN += wmet.SkippedPLSN
-	r.met.DataPageFetches += wmet.DataPageFetches
+	sr.met.RedoRecords += scanMet.RedoRecords
+	sr.met.TailRecords += scanMet.TailRecords
+	sr.met.SkippedDPT += scanMet.SkippedDPT
+	sr.met.SkippedRLSN += scanMet.SkippedRLSN
+	sr.met.LogPagesRead += scanMet.LogPagesRead
+	sr.met.Applied += wmet.Applied
+	sr.met.SkippedPLSN += wmet.SkippedPLSN
+	sr.met.DataPageFetches += wmet.DataPageFetches
 
 	switch {
 	case dispatchErr != nil:

@@ -145,21 +145,21 @@ func TestBarrierShardScope(t *testing.T) {
 	if err := eng.Load(100, func(k uint64) []byte { return val(k, 0) }); err != nil {
 		t.Fatal(err)
 	}
-	r := &run{d: eng.DC}
-	pool := newShardedPool(r, 4, nil)
+	sr := &shardRun{r: &run{}, id: 0, d: eng.DC}
+	pool := newShardedPool(4)
 
-	// Pages 8 and 12 both map to shard 0; 5 maps to shard 1.
-	release, paused := pool.pause([]storage.PageID{8, 12})
+	// On shard 0, pages 8 and 12 both map to worker 0; 5 maps to worker 1.
+	release, paused := pool.pause(sr, []storage.PageID{8, 12})
 	release()
 	if paused != 1 {
-		t.Errorf("pause({8,12}): paused %d workers, want 1 (one shard)", paused)
+		t.Errorf("pause({8,12}): paused %d workers, want 1 (one worker)", paused)
 	}
-	release, paused = pool.pause([]storage.PageID{8, 5})
+	release, paused = pool.pause(sr, []storage.PageID{8, 5})
 	release()
 	if paused != 2 {
 		t.Errorf("pause({8,5}): paused %d workers, want 2", paused)
 	}
-	release, paused = pool.pause(nil)
+	release, paused = pool.pause(nil, nil)
 	release()
 	if paused != 4 {
 		t.Errorf("pause(nil): paused %d workers, want 4 (global)", paused)

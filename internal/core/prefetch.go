@@ -77,7 +77,7 @@ func dptPrefetchList(table *dpt.Table) []storage.PageID {
 // read-ahead are charged when read, just as SQL Server's read-ahead
 // reads log pages early.
 type lookahead struct {
-	sc     *wal.Scanner
+	src    recordSource
 	pool   *buffer.Pool
 	table  *dpt.Table
 	window int
@@ -94,8 +94,8 @@ type laEntry struct {
 	lsn wal.LSN
 }
 
-func newLookahead(sc *wal.Scanner, pool *buffer.Pool, table *dpt.Table, window, maxOut int) *lookahead {
-	return &lookahead{sc: sc, pool: pool, table: table, window: window, maxOut: maxOut}
+func newLookahead(src recordSource, pool *buffer.Pool, table *dpt.Table, window, maxOut int) *lookahead {
+	return &lookahead{src: src, pool: pool, table: table, window: window, maxOut: maxOut}
 }
 
 // next returns the next record, keeping the read-ahead window full and
@@ -115,7 +115,7 @@ func (la *lookahead) next() (wal.Record, wal.LSN, bool, error) {
 
 func (la *lookahead) fill() error {
 	for !la.eof && len(la.buf) < la.window {
-		rec, lsn, ok, err := la.sc.Next()
+		rec, lsn, ok, err := la.src.next()
 		if err != nil {
 			return err
 		}
@@ -154,14 +154,14 @@ func (la *lookahead) issue() {
 	}
 }
 
-// preloadIndex loads every internal index page into the cache at the
-// start of DC recovery (Appendix A.1): logical redo needs them for
-// every operation, so paying for them up front — level by level, with
-// each level prefetched as a batch — removes per-operation index
-// stalls.
-func (r *run) preloadIndex() error {
-	tree := r.d.Tree()
-	pool := r.d.Pool()
+// preloadIndex loads every internal index page of one shard's tree
+// into its cache at the start of DC recovery (Appendix A.1): logical
+// redo needs them for every operation, so paying for them up front —
+// level by level, with each level prefetched as a batch — removes
+// per-operation index stalls.
+func (sr *shardRun) preloadIndex() error {
+	tree := sr.d.Tree()
+	pool := sr.d.Pool()
 	if tree.Meta().Height <= 1 {
 		return nil
 	}
@@ -185,7 +185,7 @@ func (r *run) preloadIndex() error {
 		}
 		frontier = next
 	}
-	r.met.IndexPageFetches += pool.Stats().Misses - missBefore
+	sr.met.IndexPageFetches += pool.Stats().Misses - missBefore
 	return nil
 }
 

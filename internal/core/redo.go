@@ -45,47 +45,46 @@ func applyOp(pool *buffer.Pool, f *buffer.Frame, op wal.DataOp, lsn wal.LSN) err
 	return nil
 }
 
-// logicalRedo is the TC redo pass for Log0/Log1/Log2: the TC re-submits
-// its logical operations in log order; the DC locates each record's
-// page by key through the B-tree (no PIDs are consulted), screens with
-// the DPT when available (Algorithm 5), falls back to basic logical
-// redo (Algorithm 2) for the tail of the log, and applies the pLSN
-// idempotence test before re-executing.
-func (r *run) logicalRedo() error {
-	pool := r.d.Pool()
-	tree := r.d.Tree()
+// logicalRedo is one shard's TC redo pass for Log0/Log1/Log2: the TC
+// re-submits its logical operations in log order; the DC locates each
+// record's page by key through its B-tree (no PIDs are consulted),
+// screens with the DPT when available (Algorithm 5), falls back to
+// basic logical redo (Algorithm 2) for the tail of the log, and applies
+// the pLSN idempotence test before re-executing.
+func (sr *shardRun) logicalRedo(src recordSource) error {
+	pool := sr.d.Pool()
+	tree := sr.d.Tree()
+	opt := &sr.r.opt
 
 	var pf *pacer
-	if r.m.UsesPrefetch() {
-		if r.opt.IndexPreload {
-			if err := r.preloadIndex(); err != nil {
+	if sr.r.m.UsesPrefetch() {
+		if opt.IndexPreload {
+			if err := sr.preloadIndex(); err != nil {
 				return fmt.Errorf("index preload: %w", err)
 			}
 		}
-		list := r.pfList
-		if r.opt.PrefetchStrategy == PrefetchDPTOrder {
-			list = dptPrefetchList(r.table)
+		list := sr.pfList
+		if opt.PrefetchStrategy == PrefetchDPTOrder {
+			list = dptPrefetchList(sr.table)
 		}
-		pf = newPacer(pool, r.table, list, r.opt.MaxOutstanding)
+		pf = newPacer(pool, sr.table, list, opt.MaxOutstanding)
 		pf.topUp()
 	}
 
-	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
 	for {
-		rec, lsn, ok, err := sc.Next()
+		rec, lsn, ok, err := src.next()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		r.txns.note(rec, lsn)
 		op, isOp := rec.(wal.DataOp)
 		if !isOp {
 			continue
 		}
-		r.met.RedoRecords++
-		r.clock.Advance(r.opt.PerRecordCPU)
+		sr.met.RedoRecords++
+		sr.r.clock.Advance(opt.PerRecordCPU)
 		if pf != nil {
 			pf.topUp()
 		}
@@ -94,39 +93,39 @@ func (r *run) logicalRedo() error {
 		// Algorithm 5 line 4). Index page misses are charged here.
 		missBefore := pool.Stats().Misses
 		pid, err := tree.FindLeaf(op.Key())
-		r.met.IndexPageFetches += pool.Stats().Misses - missBefore
+		sr.met.IndexPageFetches += pool.Stats().Misses - missBefore
 		if err != nil {
 			return fmt.Errorf("index search for key %d: %w", op.Key(), err)
 		}
 
-		if r.table != nil {
-			if lsn < r.lastDeltaTCLSN {
+		if sr.table != nil {
+			if lsn < sr.lastDeltaTCLSN {
 				// Algorithm 5 lines 5-8: the optimised redo test.
-				e := r.table.Find(pid)
+				e := sr.table.Find(pid)
 				if e == nil {
-					r.met.SkippedDPT++
+					sr.met.SkippedDPT++
 					continue
 				}
 				if lsn < e.RLSN {
-					r.met.SkippedRLSN++
+					sr.met.SkippedRLSN++
 					continue
 				}
 			} else {
 				// Tail of the log: pages dirtied after the last ∆
 				// record are unknown to the DPT; fall back to basic
 				// logical redo (§4.3).
-				r.met.TailRecords++
+				sr.met.TailRecords++
 			}
 		}
 
 		missBefore = pool.Stats().Misses
 		f, err := pool.Get(pid)
-		r.met.DataPageFetches += pool.Stats().Misses - missBefore
+		sr.met.DataPageFetches += pool.Stats().Misses - missBefore
 		if err != nil {
 			return fmt.Errorf("fetching page %d: %w", pid, err)
 		}
 		if uint64(lsn) <= f.Page.LSN() {
-			r.met.SkippedPLSN++
+			sr.met.SkippedPLSN++
 			pool.Unpin(f)
 			continue
 		}
@@ -135,24 +134,23 @@ func (r *run) logicalRedo() error {
 		if err != nil {
 			return err
 		}
-		r.met.Applied++
+		sr.met.Applied++
 	}
-	r.met.LogPagesRead += sc.PagesRead()
+	sr.met.LogPagesRead += src.pagesRead()
 	return nil
 }
 
-// physiologicalRedo is ARIES/SQL-Server redo (Algorithm 1) for
-// SQL1/SQL2: log records name their page directly; the DPT and rLSN
+// physiologicalRedo is one shard's ARIES/SQL-Server redo (Algorithm 1)
+// for SQL1/SQL2: log records name their page directly; the DPT and rLSN
 // screen avoids fetching pages that cannot need redo; SMO records are
 // replayed inline in LSN order (SQL Server's system-transaction redo).
-func (r *run) physiologicalRedo() error {
-	pool := r.d.Pool()
+func (sr *shardRun) physiologicalRedo(src recordSource) error {
+	pool := sr.d.Pool()
+	opt := &sr.r.opt
 
-	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
-	var la *lookahead
-	nextRec := sc.Next
-	if r.m.UsesPrefetch() {
-		la = newLookahead(sc, pool, r.table, r.opt.LookaheadRecords, r.opt.MaxOutstanding)
+	nextRec := src.next
+	if sr.r.m.UsesPrefetch() {
+		la := newLookahead(src, pool, sr.table, opt.LookaheadRecords, opt.MaxOutstanding)
 		nextRec = la.next
 	}
 
@@ -164,33 +162,32 @@ func (r *run) physiologicalRedo() error {
 		if !ok {
 			break
 		}
-		r.txns.note(rec, lsn)
 		switch t := rec.(type) {
 		case *wal.SMORec:
-			if err := r.redoSMOPhysiological(t, lsn); err != nil {
+			if err := sr.redoSMOPhysiological(t, lsn); err != nil {
 				return err
 			}
 		case wal.DataOp:
-			r.met.RedoRecords++
-			r.clock.Advance(r.opt.PerRecordCPU)
+			sr.met.RedoRecords++
+			sr.r.clock.Advance(opt.PerRecordCPU)
 			// Algorithm 1 lines 4-8: DPT screen before any page fetch.
-			e := r.table.Find(t.PID())
+			e := sr.table.Find(t.PID())
 			if e == nil {
-				r.met.SkippedDPT++
+				sr.met.SkippedDPT++
 				continue
 			}
 			if lsn < e.RLSN {
-				r.met.SkippedRLSN++
+				sr.met.SkippedRLSN++
 				continue
 			}
 			missBefore := pool.Stats().Misses
 			f, err := pool.Get(t.PID())
-			r.met.DataPageFetches += pool.Stats().Misses - missBefore
+			sr.met.DataPageFetches += pool.Stats().Misses - missBefore
 			if err != nil {
 				return fmt.Errorf("fetching page %d: %w", t.PID(), err)
 			}
 			if uint64(lsn) <= f.Page.LSN() {
-				r.met.SkippedPLSN++
+				sr.met.SkippedPLSN++
 				pool.Unpin(f)
 				continue
 			}
@@ -199,25 +196,25 @@ func (r *run) physiologicalRedo() error {
 			if err != nil {
 				return err
 			}
-			r.met.Applied++
+			sr.met.Applied++
 		case *wal.DeltaRec:
 			// Logical-family records; ignored by physiological redo.
 		}
 	}
-	r.met.LogPagesRead += sc.PagesRead()
+	sr.met.LogPagesRead += src.pagesRead()
 	return nil
 }
 
 // redoSMOPhysiological replays an SMO record inside the integrated redo
 // pass, screening each page image with the DPT like any other update.
-func (r *run) redoSMOPhysiological(t *wal.SMORec, lsn wal.LSN) error {
-	tree := r.d.Tree()
+func (sr *shardRun) redoSMOPhysiological(t *wal.SMORec, lsn wal.LSN) error {
+	tree := sr.d.Tree()
 	if t.Meta.NextPID >= tree.Meta().NextPID {
 		tree.SetMeta(walMetaToTree(t.Meta))
 	}
-	pool := r.d.Pool()
+	pool := sr.d.Pool()
 	for _, img := range t.Images {
-		if e := r.table.Find(img.PageID); e == nil || lsn < e.RLSN {
+		if e := sr.table.Find(img.PageID); e == nil || lsn < e.RLSN {
 			continue
 		}
 		// Miss attribution is per-image, not a pool-counter diff: under
@@ -230,9 +227,9 @@ func (r *run) redoSMOPhysiological(t *wal.SMORec, lsn wal.LSN) error {
 		switch {
 		case pool.Contains(img.PageID):
 			f, err = pool.Get(img.PageID)
-		case r.d.Disk().Exists(img.PageID):
+		case sr.d.Disk().Exists(img.PageID):
 			f, err = pool.Get(img.PageID)
-			r.met.SMOPageFetches++
+			sr.met.SMOPageFetches++
 		default:
 			f, err = pool.NewPage(img.PageID, page.TypeInvalid)
 		}

@@ -13,6 +13,9 @@ import (
 type txnTable struct {
 	last  map[wal.TxnID]wal.LSN
 	ended map[wal.TxnID]bool
+	// won marks transactions that ended with a commit record —
+	// route-change replay applies only committed migrations.
+	won   map[wal.TxnID]bool
 	maxID wal.TxnID
 }
 
@@ -20,8 +23,12 @@ func newTxnTable() *txnTable {
 	return &txnTable{
 		last:  make(map[wal.TxnID]wal.LSN),
 		ended: make(map[wal.TxnID]bool),
+		won:   make(map[wal.TxnID]bool),
 	}
 }
+
+// committed reports whether id's commit record is in the scanned log.
+func (t *txnTable) committed(id wal.TxnID) bool { return t.won[id] }
 
 // seed installs the active-transaction table from an end-checkpoint
 // record.
@@ -53,7 +60,10 @@ func (t *txnTable) note(rec wal.Record, lsn wal.LSN) {
 		t.last[id] = lsn
 	}
 	switch rec.Type() {
-	case wal.TypeCommit, wal.TypeAbort:
+	case wal.TypeCommit:
+		t.ended[id] = true
+		t.won[id] = true
+	case wal.TypeAbort:
 		t.ended[id] = true
 	}
 }

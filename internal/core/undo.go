@@ -38,10 +38,30 @@ func nextLoser(losers map[wal.TxnID]*undoState) wal.TxnID {
 	return pick
 }
 
+// shardFor resolves the data shard a record ran on. Undo routes by the
+// record, not the routing table: mid-migration the table may already
+// (or no longer) point elsewhere.
+func (r *run) shardFor(sh wal.ShardID) (*shardRun, error) {
+	if int(sh) >= len(r.shards) {
+		return nil, fmt.Errorf("record names shard %d, engine has %d", sh, len(r.shards))
+	}
+	return r.shards[sh], nil
+}
+
+// eoslAll forces the log and broadcasts the new end of stable log to
+// every shard, releasing the WAL constraint for post-recovery flushing.
+func (r *run) eoslAll() {
+	eLSN := r.log.Flush()
+	for _, sr := range r.shards {
+		sr.d.EOSL(eLSN)
+	}
+}
+
 // undo rolls back every loser transaction — logical undo, the final
 // pass in every recovery method (§2.1). Losers' update records are
 // compensated in a single merged backward sweep over the log, highest
-// LSN first, exactly as ARIES does; CLRs already on the log skip
+// LSN first, exactly as ARIES does, with each compensation routed to
+// the data shard the record ran on; CLRs already on the log skip
 // directly to their UndoNextLSN so undo work lost in a crash-during-
 // recovery is never repeated.
 func (r *run) undo() error {
@@ -70,19 +90,19 @@ func (r *run) undo() error {
 
 	// Make the undo work durable and release the WAL constraint for
 	// post-recovery flushing.
-	r.d.EOSL(r.log.Flush())
+	r.eoslAll()
 	return nil
 }
 
-// undoRecord compensates one record, returning the next LSN in the
-// transaction's backchain to undo. onCLR reports the appended CLR's LSN
-// so the caller can maintain the backchain head.
+// undoRecord compensates one record on its owning shard, returning the
+// next LSN in the transaction's backchain to undo. onCLR reports the
+// appended CLR's LSN so the caller can maintain the backchain head.
 func (r *run) undoRecord(txn wal.TxnID, prev wal.LSN, rec wal.Record, onCLR func(wal.LSN)) (wal.LSN, error) {
-	clrLog := func(kind wal.CLRKind, table wal.TableID, key uint64, restore []byte, undoNext wal.LSN) func(pid storage.PageID) wal.LSN {
+	clrLog := func(sh wal.ShardID, kind wal.CLRKind, table wal.TableID, key uint64, restore []byte, undoNext wal.LSN) func(pid storage.PageID) wal.LSN {
 		return func(pid storage.PageID) wal.LSN {
 			lsn := r.log.MustAppend(&wal.CLRRec{
 				TxnID: txn, TableID: table, KeyVal: key,
-				Kind: kind, RestoreVal: restore, PageID: pid,
+				Kind: kind, RestoreVal: restore, PageID: pid, ShardID: sh,
 				UndoNextLSN: undoNext, PrevLSN: prev,
 			})
 			r.met.CLRsWritten++
@@ -92,20 +112,36 @@ func (r *run) undoRecord(txn wal.TxnID, prev wal.LSN, rec wal.Record, onCLR func
 	}
 	switch t := rec.(type) {
 	case *wal.UpdateRec:
-		err := r.d.Update(t.TableID, t.KeyVal, t.OldVal,
-			clrLog(wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
+		sr, err := r.shardFor(t.ShardID)
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		err = sr.d.Update(t.TableID, t.KeyVal, t.OldVal,
+			clrLog(t.ShardID, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
 		return t.PrevLSN, err
 	case *wal.InsertRec:
-		err := r.d.Delete(t.TableID, t.KeyVal,
-			clrLog(wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN))
+		sr, err := r.shardFor(t.ShardID)
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		err = sr.d.Delete(t.TableID, t.KeyVal,
+			clrLog(t.ShardID, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN))
 		return t.PrevLSN, err
 	case *wal.DeleteRec:
-		err := r.d.Insert(t.TableID, t.KeyVal, t.OldVal,
-			clrLog(wal.CLRUndoDelete, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
+		sr, err := r.shardFor(t.ShardID)
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		err = sr.d.Insert(t.TableID, t.KeyVal, t.OldVal,
+			clrLog(t.ShardID, wal.CLRUndoDelete, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
 		return t.PrevLSN, err
 	case *wal.CLRRec:
 		// Redo-only: skip over already-compensated work.
 		return t.UndoNextLSN, nil
+	case *wal.ShardMapRec:
+		// The routing change of a loser migration never takes effect;
+		// nothing to compensate.
+		return t.PrevLSN, nil
 	default:
 		return wal.NilLSN, fmt.Errorf("unexpected %v record in backchain", rec.Type())
 	}

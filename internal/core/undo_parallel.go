@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"logrec/internal/btree"
 	"logrec/internal/wal"
 )
 
@@ -14,23 +13,24 @@ import (
 // the crash — so their compensations commute logically and only
 // page-level coordination is needed. Parallel undo therefore splits
 // each undo step into a serial *plan* and a sharded *apply*, reusing
-// the redo worker pool:
+// the redo worker pool (one pool spanning every data shard, tasks
+// partitioned by (shard, page)):
 //
 //   - the dispatcher runs the same merged backward sweep as serial undo
 //     (highest LSN first), appending each CLR itself — the log sequence
 //     and every per-transaction backchain are byte-identical to a
 //     serial run;
-//   - for each CLR it resolves the key's current page through the index
-//     (internal pages only; the tree's structure is frozen between
-//     barriers) and routes the page application to the worker owning
-//     that page, exactly like a redo task — workers fetch their leaf
-//     pages concurrently, which is where undo's IO parallelism comes
-//     from;
-//   - an undo operation that can change the tree's structure (restoring
+//   - for each CLR it resolves the key's current page through the
+//     owning shard's index (internal pages only; that tree's structure
+//     is frozen between barriers) and routes the page application to
+//     the worker owning that (shard, page), exactly like a redo task —
+//     workers fetch their leaf pages concurrently, which is where
+//     undo's IO parallelism comes from;
+//   - an undo operation that can change a tree's structure (restoring
 //     a deleted row, or restoring a value larger than the one it
 //     replaces, either of which can split a full leaf) runs under a
-//     global barrier: every shard drains, the operation goes through
-//     the full logical path of serial undo, and the shards resume.
+//     global barrier: every worker drains, the operation goes through
+//     the full logical path of serial undo, and the workers resume.
 //     The FIFO task channels double as the ordering fence: everything
 //     routed before the barrier is applied before the structure moves,
 //     and everything planned after it is resolved against the new
@@ -39,7 +39,7 @@ func (r *run) parallelUndo(workers int) error {
 	losers := r.buildLosers()
 	r.met.LosersUndone = len(losers)
 
-	pool := newShardedPool(r, workers, nil)
+	pool := newShardedPool(workers)
 	loopErr := r.parallelUndoSweep(pool, losers)
 	wmet, werr := pool.finish()
 	r.met.UndoApplied += wmet.Applied
@@ -53,14 +53,13 @@ func (r *run) parallelUndo(workers int) error {
 
 	// Make the undo work durable and release the WAL constraint for
 	// post-recovery flushing.
-	r.d.EOSL(r.log.Flush())
+	r.eoslAll()
 	return nil
 }
 
 // parallelUndoSweep is the dispatcher side: the serial merged backward
 // sweep with the page applications farmed out.
 func (r *run) parallelUndoSweep(pool *shardedPool, losers map[wal.TxnID]*undoState) error {
-	tree := r.d.Tree()
 	for len(losers) > 0 {
 		pick := nextLoser(losers)
 		st := losers[pick]
@@ -74,7 +73,7 @@ func (r *run) parallelUndoSweep(pool *shardedPool, losers map[wal.TxnID]*undoSta
 		if err != nil {
 			return fmt.Errorf("undo of txn %d at %v: %w", pick, st.next, err)
 		}
-		next, err := r.undoOneParallel(pool, tree, pick, st, rec)
+		next, err := r.undoOneParallel(pool, pick, st, rec)
 		if err != nil {
 			return fmt.Errorf("undo of txn %d at %v: %w", pick, st.next, err)
 		}
@@ -84,9 +83,9 @@ func (r *run) parallelUndoSweep(pool *shardedPool, losers map[wal.TxnID]*undoSta
 }
 
 // undoOneParallel compensates one record: non-structural inverses are
-// planned and routed to the page's shard worker; structural ones run
-// serially under a global barrier.
-func (r *run) undoOneParallel(pool *shardedPool, tree *btree.Tree, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
+// planned and routed to the owning (shard, page) worker; structural
+// ones run serially under a global barrier.
+func (r *run) undoOneParallel(pool *shardedPool, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
 	switch t := rec.(type) {
 	case *wal.UpdateRec:
 		if len(t.OldVal) > len(t.NewVal) {
@@ -94,17 +93,20 @@ func (r *run) undoOneParallel(pool *shardedPool, tree *btree.Tree, txn wal.TxnID
 			// a split.
 			return r.undoStructural(pool, txn, st, rec)
 		}
-		return t.PrevLSN, r.routeUndoCLR(pool, tree, txn, st, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN)
+		return t.PrevLSN, r.routeUndoCLR(pool, txn, st, t.ShardID, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN)
 	case *wal.InsertRec:
 		// The inverse is a page delete; leaves never merge, so this
 		// cannot change the tree's structure.
-		return t.PrevLSN, r.routeUndoCLR(pool, tree, txn, st, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN)
+		return t.PrevLSN, r.routeUndoCLR(pool, txn, st, t.ShardID, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN)
 	case *wal.DeleteRec:
 		// The inverse re-inserts the row, which can split a full leaf.
 		return r.undoStructural(pool, txn, st, rec)
 	case *wal.CLRRec:
 		// Redo-only: skip over already-compensated work.
 		return t.UndoNextLSN, nil
+	case *wal.ShardMapRec:
+		// A loser migration's routing change never took effect.
+		return t.PrevLSN, nil
 	default:
 		return wal.NilLSN, fmt.Errorf("unexpected %v record in backchain", rec.Type())
 	}
@@ -113,34 +115,38 @@ func (r *run) undoOneParallel(pool *shardedPool, tree *btree.Tree, txn wal.TxnID
 // routeUndoCLR plans one non-structural undo operation: the CLR is
 // appended here, on the dispatch goroutine (keeping the log sequence
 // identical to serial undo and the per-transaction backchain intact),
-// the key's current leaf is resolved through the index, and the page
-// application is routed to the owning shard worker. WAL ordering holds:
-// the CLR is on the (volatile) log before any worker can dirty the
-// page, and the pool's log-force hook covers eviction flushes.
-func (r *run) routeUndoCLR(pool *shardedPool, tree *btree.Tree, txn wal.TxnID, st *undoState, kind wal.CLRKind, table wal.TableID, key uint64, restore []byte, undoNext wal.LSN) error {
-	pid, err := tree.FindLeaf(key)
+// the key's current leaf is resolved through the owning shard's index,
+// and the page application is routed to the owning worker. WAL ordering
+// holds: the CLR is on the (volatile) log before any worker can dirty
+// the page, and each pool's log-force hook covers eviction flushes.
+func (r *run) routeUndoCLR(pool *shardedPool, txn wal.TxnID, st *undoState, sh wal.ShardID, kind wal.CLRKind, table wal.TableID, key uint64, restore []byte, undoNext wal.LSN) error {
+	sr, err := r.shardFor(sh)
+	if err != nil {
+		return err
+	}
+	pid, err := sr.d.Tree().FindLeaf(key)
 	if err != nil {
 		return fmt.Errorf("index search for key %d: %w", key, err)
 	}
 	clr := &wal.CLRRec{
 		TxnID: txn, TableID: table, KeyVal: key,
-		Kind: kind, RestoreVal: restore, PageID: pid,
+		Kind: kind, RestoreVal: restore, PageID: pid, ShardID: sh,
 		UndoNextLSN: undoNext, PrevLSN: st.last,
 	}
 	lsn := r.log.MustAppend(clr)
 	r.met.CLRsWritten++
 	st.last = lsn
-	pool.route(clr, lsn)
+	pool.route(sr, clr, lsn)
 	return nil
 }
 
-// undoStructural runs one undo step that may modify the tree's
-// structure. Every shard drains and pauses (a split can touch any
-// page: the leaf, its new sibling, parents up to the root), the record
-// is compensated through the full logical path — exactly the serial
-// undo step, CLR included — and the shards resume.
+// undoStructural runs one undo step that may modify a tree's
+// structure. Every worker drains and pauses (a split can touch any
+// page of that shard: the leaf, its new sibling, parents up to the
+// root), the record is compensated through the full logical path —
+// exactly the serial undo step, CLR included — and the workers resume.
 func (r *run) undoStructural(pool *shardedPool, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
-	release, paused := pool.pause(nil)
+	release, paused := pool.pause(nil, nil)
 	defer release()
 	r.met.UndoBarriers++
 	r.met.BarrierWorkersPaused += int64(paused)

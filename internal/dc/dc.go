@@ -51,28 +51,41 @@ type DC struct {
 	tree  *btree.Tree
 	rec   *tracker.Recorder
 
+	// shard is this DC's identity on the shared log: every record it
+	// originates (SMO, ∆, BW, RSSP) carries it, so recovery can
+	// demultiplex the log into per-shard pipelines. A single-DC engine
+	// is shard 0.
+	shard wal.ShardID
+
 	// rsspLSN is the last redo-scan-start-point received (persisted in
 	// the metadata page).
 	rsspLSN wal.LSN
 }
 
-// smoLogger adapts the shared log for the tree's SMO records.
-type smoLogger struct{ log *wal.Log }
+// smoLogger adapts the shared log for the tree's SMO records, stamping
+// each with the originating shard.
+type smoLogger struct {
+	log   *wal.Log
+	shard wal.ShardID
+}
 
-func (l smoLogger) NextLSN() wal.LSN                { return l.log.EndLSN() }
-func (l smoLogger) AppendSMO(r *wal.SMORec) wal.LSN { return l.log.MustAppend(r) }
+func (l smoLogger) NextLSN() wal.LSN { return l.log.EndLSN() }
+func (l smoLogger) AppendSMO(r *wal.SMORec) wal.LSN {
+	r.ShardID = l.shard
+	return l.log.MustAppend(r)
+}
 
-// New creates a DC over an empty disk with a freshly created table.
-// The tree starts unlogged (bulk-load mode); call StartLogging once the
-// initial load is flushed.
-func New(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int, tableID wal.TableID, cfg Config) (*DC, error) {
+// New creates a DC over an empty disk with a freshly created table,
+// logging as shard sh. The tree starts unlogged (bulk-load mode); call
+// StartLogging once the initial load is flushed.
+func New(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int, tableID wal.TableID, sh wal.ShardID, cfg Config) (*DC, error) {
 	pool, err := buffer.New(disk, cacheCapacity)
 	if err != nil {
 		return nil, err
 	}
 	pool.SetCleanerTarget(cfg.CleanerTarget)
 	pool.SetCleanerRate(cfg.CleanerEvery)
-	rec, err := tracker.New(log, cfg.Tracker)
+	rec, err := tracker.New(log, sh, cfg.Tracker)
 	if err != nil {
 		return nil, err
 	}
@@ -80,22 +93,22 @@ func New(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int,
 	if err != nil {
 		return nil, err
 	}
-	d := &DC{clock: clock, disk: disk, pool: pool, log: log, tree: tree, rec: rec}
+	d := &DC{clock: clock, disk: disk, pool: pool, log: log, tree: tree, rec: rec, shard: sh}
 	d.wire()
 	d.rec.SetEnabled(false) // bulk-load mode: no tracking yet
 	return d, nil
 }
 
 // Open attaches a DC to an existing disk using the boot metadata page
-// (the restart path; recovery follows).
-func Open(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int, cfg Config) (*DC, error) {
+// (the restart path; recovery follows), logging as shard sh.
+func Open(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int, sh wal.ShardID, cfg Config) (*DC, error) {
 	pool, err := buffer.New(disk, cacheCapacity)
 	if err != nil {
 		return nil, err
 	}
 	pool.SetCleanerTarget(cfg.CleanerTarget)
 	pool.SetCleanerRate(cfg.CleanerEvery)
-	rec, err := tracker.New(log, cfg.Tracker)
+	rec, err := tracker.New(log, sh, cfg.Tracker)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +121,7 @@ func Open(clock *sim.Clock, disk storage.Device, log *wal.Log, cacheCapacity int
 		return nil, err
 	}
 	tree := btree.Open(pool, clock, st.tree, cfg.CPUCosts)
-	d := &DC{clock: clock, disk: disk, pool: pool, log: log, tree: tree, rec: rec, rsspLSN: st.rsspLSN}
+	d := &DC{clock: clock, disk: disk, pool: pool, log: log, tree: tree, rec: rec, shard: sh, rsspLSN: st.rsspLSN}
 	d.wire()
 	d.rec.SetEnabled(false) // recovery enables tracking when done
 	return d, nil
@@ -127,9 +140,12 @@ func (d *DC) wire() {
 // StartLogging ends bulk-load mode: the tree's SMOs are logged from now
 // on and the ∆/BW trackers run.
 func (d *DC) StartLogging() {
-	d.tree.SetSMOLogger(smoLogger{d.log})
+	d.tree.SetSMOLogger(smoLogger{log: d.log, shard: d.shard})
 	d.rec.SetEnabled(true)
 }
+
+// ShardID returns this DC's identity on the shared log.
+func (d *DC) ShardID() wal.ShardID { return d.shard }
 
 // Pool returns the buffer pool (recovery and harness access).
 func (d *DC) Pool() *buffer.Pool { return d.pool }
@@ -219,7 +235,7 @@ func (d *DC) EOSL(eLSN wal.LSN) {
 func (d *DC) RSSP(rsspLSN wal.LSN) error {
 	d.rec.ForceEmit()
 	d.pool.BeginCheckpointFlip()
-	d.log.MustAppend(&wal.RSSPRec{RsspLSN: rsspLSN})
+	d.log.MustAppend(&wal.RSSPRec{RsspLSN: rsspLSN, ShardID: d.shard})
 	if err := d.pool.FlushForCheckpoint(); err != nil {
 		return fmt.Errorf("dc: checkpoint flush: %w", err)
 	}
@@ -251,10 +267,25 @@ func (d *DC) WriteBootPage() error {
 // page. It must run before StartLogging.
 func (d *DC) BulkLoad(n int, valFn func(key uint64) []byte) error {
 	for k := uint64(0); k < uint64(n); k++ {
-		if err := d.tree.Insert(k, valFn(k), wal.NilLSN); err != nil {
-			return fmt.Errorf("dc: bulk load key %d: %w", k, err)
+		if err := d.LoadRow(k, valFn(k)); err != nil {
+			return err
 		}
 	}
+	return d.FinishLoad()
+}
+
+// LoadRow inserts one row unlogged (bulk-load mode). The sharded engine
+// routes rows here key by key; call FinishLoad when every row is in.
+func (d *DC) LoadRow(key uint64, val []byte) error {
+	if err := d.tree.Insert(key, val, wal.NilLSN); err != nil {
+		return fmt.Errorf("dc: bulk load key %d: %w", key, err)
+	}
+	return nil
+}
+
+// FinishLoad completes a bulk load: flush every page, persist the boot
+// page and sync the device.
+func (d *DC) FinishLoad() error {
 	if err := d.pool.FlushAll(); err != nil {
 		return err
 	}

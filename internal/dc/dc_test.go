@@ -18,7 +18,7 @@ func newDC(t *testing.T, rows, cache int) (*DC, *wal.Log, *storage.Disk, *sim.Cl
 		t.Fatal(err)
 	}
 	log := wal.NewLog()
-	d, err := New(clock, disk, log, cache, 1, DefaultConfig())
+	d, err := New(clock, disk, log, cache, 1, 0, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestOpenAttachesToBootPage(t *testing.T) {
 	wantMeta := d.Tree().Meta()
 	clock2 := &sim.Clock{}
 	fork := disk.Fork(clock2)
-	d2, err := Open(clock2, fork, log, 128, DefaultConfig())
+	d2, err := Open(clock2, fork, log, 128, 0, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestOpenWithoutBootPageFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(clock, disk, wal.NewLog(), 64, DefaultConfig()); err == nil {
+	if _, err := Open(clock, disk, wal.NewLog(), 64, 0, DefaultConfig()); err == nil {
 		t.Fatal("Open succeeded without a boot page")
 	}
 }
@@ -234,7 +234,7 @@ func TestBulkLoadLogsNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	log := wal.NewLog()
-	d, err := New(clock, disk, log, 128, 1, DefaultConfig())
+	d, err := New(clock, disk, log, 128, 1, 0, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

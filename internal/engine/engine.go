@@ -1,12 +1,19 @@
 // Package engine wires the Deuteronomy components — virtual clock,
-// storage device, shared log, DC and TC — into a runnable database
-// engine, and implements the controlled crash that recovery experiments
-// start from (§5.1-5.2 of the paper).
+// storage devices, shared log, data components and TC — into a runnable
+// database engine, and implements the controlled crash that recovery
+// experiments start from (§5.1-5.2 of the paper).
+//
+// Config.Shards = N stands up N range-partitioned data components
+// behind one TC and one logical WAL: each shard owns its own device,
+// buffer pool and B-tree (in file mode, its own pages.db under a
+// per-shard directory), operations route by key through the shard.Set,
+// and recovery replays all shards concurrently from the single log.
+// The default N=1 engine is the same code with one shard.
 //
 // Two device modes exist (Config.Device): the default simulated disk,
 // where IO costs are modeled on a virtual clock and a crash snapshots
 // in-memory structures copy-on-write; and file mode, where pages live
-// in a real file (storage.FileDisk), the WAL is a real file whose
+// in real files (storage.FileDisk), the WAL is a real file whose
 // forces fsync (wal.FileBackend), the master record is a boot file, and
 // a crash is process-kill-shaped — handles close with no flush, and
 // recovery reopens whatever the files hold.
@@ -21,6 +28,7 @@ import (
 	"sync"
 
 	"logrec/internal/dc"
+	"logrec/internal/shard"
 	"logrec/internal/sim"
 	"logrec/internal/storage"
 	"logrec/internal/tc"
@@ -62,9 +70,32 @@ type Config struct {
 	// Device selects the storage backend: DeviceSim (default) or
 	// DeviceFile.
 	Device DeviceKind
-	// Dir is the directory holding the page file, WAL and master record
-	// in file mode (created if missing; ignored for DeviceSim).
+	// Dir is the directory holding the WAL, master record and per-shard
+	// page files in file mode (created if missing; ignored for
+	// DeviceSim).
 	Dir string
+	// Shards is the number of range-partitioned data components behind
+	// the TC (0 and 1 both mean one DC). Each shard owns an independent
+	// device, pool and B-tree; the buffer budget CachePages is divided
+	// evenly across shards.
+	Shards int
+	// KeySpan is the key-domain upper bound partitioned evenly across
+	// shards (0 = the full uint64 domain). Set it to the expected row
+	// count so the initial ranges balance the bulk-loaded table.
+	KeySpan uint64
+}
+
+// NumShards returns the effective shard count (at least 1).
+func (c Config) NumShards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// shardDir names shard i's directory under the engine dir (file mode).
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
 }
 
 // DefaultConfig returns the experiment defaults (see DESIGN.md for the
@@ -79,46 +110,36 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine is a running TC+DC pair over one virtual clock.
+// Engine is a running TC plus N data components over one virtual clock
+// and one shared log. Disk and DC alias shard 0 for single-shard tools;
+// Disks, DCs and Set are the general N-shard surface.
 type Engine struct {
 	Clock *sim.Clock
 	Disk  storage.Device
+	Disks []storage.Device
 	Log   *wal.Log
 	DC    *dc.DC
+	DCs   []*dc.DC
+	Set   *shard.Set
 	TC    *tc.TC
 	Cfg   Config
 }
 
 // New creates an engine over an empty database.
 func New(cfg Config) (*Engine, error) {
-	if cfg.CachePages < 8 {
-		return nil, fmt.Errorf("engine: CachePages must be at least 8, got %d", cfg.CachePages)
+	n := cfg.NumShards()
+	if cfg.CachePages < 8*n {
+		return nil, fmt.Errorf("engine: CachePages must be at least 8 per shard, got %d for %d shards", cfg.CachePages, n)
 	}
 	clock := &sim.Clock{}
-	var (
-		disk storage.Device
-		log  *wal.Log
-		err  error
-	)
-	switch cfg.Device {
-	case DeviceSim:
-		disk, err = storage.New(clock, cfg.Disk)
-		if err != nil {
-			return nil, err
-		}
-		log = wal.NewLog()
-	case DeviceFile:
+	log := wal.NewLog()
+	if cfg.Device == DeviceFile {
 		if cfg.Dir == "" {
 			return nil, fmt.Errorf("engine: file device needs Config.Dir")
 		}
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("engine: creating %s: %w", cfg.Dir, err)
 		}
-		disk, err = storage.NewFileDisk(clock, cfg.Disk, filepath.Join(cfg.Dir, pagesFileName))
-		if err != nil {
-			return nil, err
-		}
-		log = wal.NewLog()
 		be, err := wal.CreateFileBackend(filepath.Join(cfg.Dir, walFileName))
 		if err != nil {
 			return nil, err
@@ -129,19 +150,52 @@ func New(cfg Config) (*Engine, error) {
 		if err := writeMaster(cfg.Dir, wal.NilLSN); err != nil {
 			return nil, err
 		}
-	default:
+	} else if cfg.Device != DeviceSim {
 		return nil, fmt.Errorf("engine: unknown device kind %q", cfg.Device)
 	}
-	d, err := dc.New(clock, disk, log, cfg.CachePages, cfg.TableID, cfg.DC)
+
+	disks := make([]storage.Device, n)
+	dcs := make([]*dc.DC, n)
+	for i := 0; i < n; i++ {
+		var (
+			disk storage.Device
+			err  error
+		)
+		if cfg.Device == DeviceFile {
+			sd := shardDir(cfg.Dir, i)
+			if err := os.MkdirAll(sd, 0o755); err != nil {
+				return nil, fmt.Errorf("engine: creating %s: %w", sd, err)
+			}
+			disk, err = storage.NewFileDisk(clock, cfg.Disk, filepath.Join(sd, pagesFileName))
+		} else {
+			disk, err = storage.New(clock, cfg.Disk)
+		}
+		if err != nil {
+			return nil, err
+		}
+		d, err := dc.New(clock, disk, log, cfg.CachePages/n, cfg.TableID, wal.ShardID(i), cfg.DC)
+		if err != nil {
+			return nil, err
+		}
+		disks[i] = disk
+		dcs[i] = d
+	}
+	set, err := shard.NewSet(shard.DefaultRoutes(n, cfg.KeySpan), dcs)
 	if err != nil {
 		return nil, err
 	}
-	t := tc.New(log, d)
+	t := tc.New(log, set)
 	if cfg.Device == DeviceFile {
 		dir := cfg.Dir
 		t.SetMasterHook(func(lsn wal.LSN) error { return writeMaster(dir, lsn) })
 	}
-	return &Engine{Clock: clock, Disk: disk, Log: log, DC: d, TC: t, Cfg: cfg}, nil
+	return &Engine{
+		Clock: clock,
+		Disk:  disks[0], Disks: disks,
+		Log: log,
+		DC:  dcs[0], DCs: dcs, Set: set,
+		TC: t, Cfg: cfg,
+	}, nil
 }
 
 // writeMaster persists the master record — the boot-block pointer to
@@ -172,26 +226,32 @@ func readMaster(dir string) (wal.LSN, error) {
 	return wal.LSN(binary.BigEndian.Uint64(buf)), nil
 }
 
-// Load bulk-loads n sequential rows, flushes them, enables logging and
-// takes the initial checkpoint so the engine is in steady operation.
+// Load bulk-loads n sequential rows (routed to their shards), flushes
+// them, enables logging and takes the initial checkpoint so the engine
+// is in steady operation.
 func (e *Engine) Load(n int, valFn func(key uint64) []byte) error {
-	if err := e.DC.BulkLoad(n, valFn); err != nil {
+	for k := uint64(0); k < uint64(n); k++ {
+		if err := e.Set.LoadRow(k, valFn(k)); err != nil {
+			return err
+		}
+	}
+	if err := e.Set.FinishLoad(); err != nil {
 		return err
 	}
-	e.DC.StartLogging()
+	e.Set.StartLogging()
 	return e.TC.Checkpoint()
 }
 
 // CrashState is everything that survives a crash. In simulated mode
-// that is the frozen stable disk, the stable prefix of the log, and the
-// TC's master record, forked copy-on-write per recovery run so several
-// methods can replay the identical crash side by side (§5.1's
-// controlled comparison). In file mode it is just the directory the
-// dead engine left behind: each Fork copies the files into a fresh
-// fork directory and reopens them, the on-disk analogue of the
-// copy-on-write fork.
+// that is the frozen stable disks (one per shard), the stable prefix of
+// the log, and the TC's master record, forked copy-on-write per
+// recovery run so several methods can replay the identical crash side
+// by side (§5.1's controlled comparison). In file mode it is just the
+// directory tree the dead engine left behind: each Fork copies the
+// files into a fresh fork directory and reopens them, the on-disk
+// analogue of the copy-on-write fork.
 type CrashState struct {
-	Disk        storage.Device
+	Disks       []storage.Device
 	Log         *wal.Log
 	LastEndCkpt wal.LSN
 	Cfg         Config
@@ -207,15 +267,17 @@ type CrashState struct {
 }
 
 // Crash freezes the engine's stable state and returns it. The engine
-// must not be used afterwards: its volatile state (buffer pool, lock
+// must not be used afterwards: its volatile state (buffer pools, lock
 // table, trackers) is conceptually lost. In file mode the crash is
-// process-kill-shaped — the page file and WAL are closed as-is, with no
-// flush, no final log force and no checkpoint; a failure to close is a
-// harness-environment error and panics.
+// process-kill-shaped — every shard's page file and the WAL are closed
+// as-is, with no flush, no final log force and no checkpoint; a failure
+// to close is a harness-environment error and panics.
 func (e *Engine) Crash() *CrashState {
 	if e.Cfg.Device == DeviceFile {
-		if err := e.Disk.(*storage.FileDisk).Close(); err != nil {
-			panic(fmt.Sprintf("engine: crash close of page file: %v", err))
+		for i, disk := range e.Disks {
+			if err := disk.(*storage.FileDisk).Close(); err != nil {
+				panic(fmt.Sprintf("engine: crash close of shard %d page file: %v", i, err))
+			}
 		}
 		if err := e.Log.CloseBackend(); err != nil {
 			panic(fmt.Sprintf("engine: crash close of log file: %v", err))
@@ -230,9 +292,11 @@ func (e *Engine) Crash() *CrashState {
 			Dir:         e.Cfg.Dir,
 		}
 	}
-	e.Disk.Freeze()
+	for _, disk := range e.Disks {
+		disk.Freeze()
+	}
 	return &CrashState{
-		Disk:        e.Disk,
+		Disks:       e.Disks,
 		Log:         e.Log.Snapshot(),
 		LastEndCkpt: e.TC.LastEndCkptLSN(),
 		Cfg:         e.Cfg,
@@ -241,27 +305,34 @@ func (e *Engine) Crash() *CrashState {
 
 // TearTail corrupts the crashed WAL with a partial record frame past
 // the last complete one — the crash interrupted a log force mid-frame.
-// Recovery must trim it (wal.OpenLogFile's ErrTruncated path). File
-// mode only; must be called before any Fork.
+// Recovery must trim it: wal.OpenLogFile's ErrTruncated path in file
+// mode, Log.CloneTrimmed's identical trim for the simulated snapshot.
+// Must be called before any Fork.
 func (cs *CrashState) TearTail(nBytes int) error {
 	if cs.Dir == "" {
-		return fmt.Errorf("engine: TearTail needs a file-mode crash state")
+		return cs.Log.TearTail(nBytes)
 	}
 	return wal.TearFile(filepath.Join(cs.Dir, walFileName), nBytes)
 }
 
 // Fork creates an independent replay environment over the crash state:
-// a fresh clock, an independent device holding the crash-instant pages,
-// and a writable continuation of the stable log. Simulated mode forks
-// the disk copy-on-write and clones the log snapshot; file mode copies
-// the page and WAL files into a fork directory under the crash
+// a fresh clock, independent per-shard devices holding the
+// crash-instant pages, and a writable continuation of the stable log.
+// Simulated mode forks each disk copy-on-write and clones the log
+// snapshot (trimming any injected torn tail); file mode copies the
+// shard page files and the WAL into a fork directory under the crash
 // directory and reopens them (trimming any torn WAL tail). cachePages
 // ≤ 0 uses the crashed engine's capacity.
-func (cs *CrashState) Fork(cachePages int) (*sim.Clock, storage.Device, *wal.Log, error) {
+func (cs *CrashState) Fork(cachePages int) (*sim.Clock, []storage.Device, *wal.Log, error) {
 	clock := &sim.Clock{}
 	_ = cachePages
+	n := cs.Cfg.NumShards()
 	if cs.Dir == "" {
-		return clock, cs.Disk.(*storage.Disk).Fork(clock), cs.Log.Clone(), nil
+		disks := make([]storage.Device, n)
+		for i, d := range cs.Disks {
+			disks[i] = d.(*storage.Disk).Fork(clock)
+		}
+		return clock, disks, cs.Log.CloneTrimmed(), nil
 	}
 	cs.mu.Lock()
 	cs.forks++
@@ -270,20 +341,31 @@ func (cs *CrashState) Fork(cachePages int) (*sim.Clock, storage.Device, *wal.Log
 	if err := os.MkdirAll(forkDir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("engine: creating fork dir: %w", err)
 	}
-	for _, name := range []string{pagesFileName, walFileName} {
-		if err := copyFile(filepath.Join(cs.Dir, name), filepath.Join(forkDir, name)); err != nil {
-			return nil, nil, nil, fmt.Errorf("engine: forking crash state: %w", err)
-		}
+	if err := copyFile(filepath.Join(cs.Dir, walFileName), filepath.Join(forkDir, walFileName)); err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: forking crash state: %w", err)
 	}
-	disk, err := storage.OpenFileDisk(clock, cs.Cfg.Disk, filepath.Join(forkDir, pagesFileName))
-	if err != nil {
-		return nil, nil, nil, err
+	disks := make([]storage.Device, n)
+	for i := 0; i < n; i++ {
+		sd := shardDir(forkDir, i)
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return nil, nil, nil, fmt.Errorf("engine: creating fork shard dir: %w", err)
+		}
+		src := filepath.Join(shardDir(cs.Dir, i), pagesFileName)
+		dst := filepath.Join(sd, pagesFileName)
+		if err := copyFile(src, dst); err != nil {
+			return nil, nil, nil, fmt.Errorf("engine: forking shard %d: %w", i, err)
+		}
+		disk, err := storage.OpenFileDisk(clock, cs.Cfg.Disk, dst)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		disks[i] = disk
 	}
 	log, err := wal.OpenLogFile(filepath.Join(forkDir, walFileName))
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return clock, disk, log, nil
+	return clock, disks, log, nil
 }
 
 func copyFile(src, dst string) error {

@@ -69,8 +69,8 @@ func TestCrashFreezesState(t *testing.T) {
 	if cs.LastEndCkpt == wal.NilLSN {
 		t.Fatal("master record lost")
 	}
-	// The frozen disk rejects writes.
-	if _, err := cs.Disk.Write(5, make([]byte, cfg.Disk.PageSize)); err == nil {
+	// The frozen disks reject writes.
+	if _, err := cs.Disks[0].Write(5, make([]byte, cfg.Disk.PageSize)); err == nil {
 		t.Fatal("frozen disk accepted a write")
 	}
 }
@@ -88,11 +88,12 @@ func TestForkIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := eng.Crash()
-	clock1, disk1, log1, err1 := cs.Fork(0)
-	clock2, disk2, log2, err2 := cs.Fork(0)
+	clock1, disks1, log1, err1 := cs.Fork(0)
+	clock2, disks2, log2, err2 := cs.Fork(0)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
+	disk1, disk2 := disks1[0], disks2[0]
 	// Forks share content but not state.
 	if disk1 == disk2 || log1 == log2 || clock1 == clock2 {
 		t.Fatal("forks share objects")

@@ -22,6 +22,6 @@ import (
 // for the recovery experiments; once a session manager exists, drive
 // all transactions through it.
 func (e *Engine) NewSessionManager(flushDelay time.Duration) *tc.SessionManager {
-	gc := wal.NewGroupCommitter(e.Log, func(eLSN wal.LSN) { e.DC.EOSL(eLSN) }, flushDelay)
+	gc := wal.NewGroupCommitter(e.Log, func(eLSN wal.LSN) { e.Set.EOSL(eLSN) }, flushDelay)
 	return tc.NewSessionManager(e.TC, gc)
 }

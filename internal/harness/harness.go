@@ -54,11 +54,12 @@ type Config struct {
 	// IO to do — the undo worker sweep's workload. The committed
 	// workload steers around the losers' keys (they stay X-locked).
 	EarlyLosers bool
-	// TornTailBytes, when positive (file device only), tears the
-	// crashed WAL with that many bytes of a partial record frame — the
-	// crash interrupted a log force mid-frame. Recovery must trim the
-	// torn tail via the codec's ErrTruncated path. 0 leaves the WAL
-	// ending on a record boundary.
+	// TornTailBytes, when positive, tears the crashed WAL with that
+	// many bytes of a partial record frame — the crash interrupted a
+	// log force mid-frame. Recovery must trim the torn tail via the
+	// codec's ErrTruncated path (wal.OpenLogFile on the file device,
+	// Log.CloneTrimmed on the simulated one). 0 leaves the WAL ending
+	// on a record boundary.
 	TornTailBytes int
 }
 
@@ -156,6 +157,10 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 	gen, err := workload.NewGenerator(cfg.Workload)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Engine.NumShards() > 1 && cfg.Engine.KeySpan == 0 {
+		// Balance the initial ranges over the loaded table.
+		cfg.Engine.KeySpan = uint64(cfg.Workload.Rows)
 	}
 	eng, err := engine.New(cfg.Engine)
 	if err != nil {
@@ -293,7 +298,7 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 
 	res := &CrashResult{
 		Oracle:         oracle,
-		DirtyAtCrash:   eng.DC.Pool().DirtyCount(),
+		DirtyAtCrash:   eng.Set.DirtyCount(),
 		CachePages:     cfg.Engine.CachePages,
 		DataPages:      cfg.DataPages(),
 		UpdatesRun:     updates,
@@ -334,10 +339,11 @@ func RunRecovery(res *CrashResult, m core.Method, opt core.Options) (*core.Metri
 	return met, nil
 }
 
-// Verify checks that the engine's table contents equal the oracle.
+// Verify checks that the engine's table contents — across every shard,
+// in global key order — equal the oracle.
 func Verify(eng *engine.Engine, oracle map[uint64][]byte) error {
 	count := 0
-	err := eng.DC.Tree().Scan(func(k uint64, v []byte) error {
+	err := eng.Set.ScanAll(func(k uint64, v []byte) error {
 		want, ok := oracle[k]
 		if !ok {
 			return fmt.Errorf("unexpected key %d", k)

@@ -1,0 +1,350 @@
+// Package shard implements the TC's data-component plane for a
+// range-sharded engine: a routing table mapping key ranges to data
+// components, and a Set that stands N independent DCs (each with its
+// own device, buffer pool and B-tree) behind the TC's single logical
+// interface. This is the paper's unbundling claim made concrete — the
+// same TC, the same logical log and the same recovery protocol drive
+// any number of DCs; a single-DC engine is simply the N=1 case.
+//
+// Routing is by contiguous key range (LogBase-style range partitioning):
+// the table is a sorted list of wal.RouteEntry boundaries, each naming
+// the shard owning keys from its Start up to the next entry's Start.
+// Ranges can be split at a key and reassigned to another shard; the
+// table is checkpointed in EndCkptRec and reassignments are logged as
+// ShardMapRec, so recovery always rebuilds the routing the crash had.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"logrec/internal/dc"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// DefaultRoutes partitions the key domain [0, keySpan) evenly across n
+// shards (the last shard also owns keys at or above keySpan). keySpan 0
+// means the full uint64 domain. n < 1 is treated as 1.
+func DefaultRoutes(n int, keySpan uint64) []wal.RouteEntry {
+	if n < 1 {
+		n = 1
+	}
+	var step uint64
+	if keySpan == 0 {
+		step = (^uint64(0))/uint64(n) + 1 // full domain; wraps to 0 for n=1
+	} else {
+		step = keySpan / uint64(n)
+		if step == 0 {
+			step = 1
+		}
+	}
+	routes := make([]wal.RouteEntry, 0, n)
+	for i := 0; i < n; i++ {
+		routes = append(routes, wal.RouteEntry{Start: uint64(i) * step, Shard: wal.ShardID(i)})
+	}
+	// Guard against degenerate spans (keySpan < n): dedupe equal starts,
+	// keeping the first owner.
+	out := routes[:1]
+	for _, r := range routes[1:] {
+		if r.Start > out[len(out)-1].Start {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Router is the key→shard routing table: a sorted list of range starts.
+// It is safe for concurrent use (readers on the session fast path,
+// writers only during range splits).
+type Router struct {
+	mu     sync.RWMutex
+	routes []wal.RouteEntry
+}
+
+// NewRouter builds a router over the given routing table. Entries are
+// sorted by Start; the first entry must cover key 0.
+func NewRouter(routes []wal.RouteEntry) (*Router, error) {
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("shard: empty routing table")
+	}
+	rs := append([]wal.RouteEntry(nil), routes...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	if rs[0].Start != 0 {
+		return nil, fmt.Errorf("shard: routing table does not cover key 0 (first start %d)", rs[0].Start)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Start == rs[i-1].Start {
+			return nil, fmt.Errorf("shard: duplicate range start %d", rs[i].Start)
+		}
+	}
+	return &Router{routes: rs}, nil
+}
+
+// Locate returns the shard owning key.
+func (r *Router) Locate(key uint64) wal.ShardID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.routes[r.find(key)].Shard
+}
+
+// find returns the index of the range containing key. Callers hold mu.
+func (r *Router) find(key uint64) int {
+	// First entry with Start > key, minus one.
+	i := sort.Search(len(r.routes), func(i int) bool { return r.routes[i].Start > key })
+	return i - 1
+}
+
+// RangeOf returns the bounds of the range containing key: its start,
+// its inclusive end (MaxUint64 for the last range) and its owner.
+func (r *Router) RangeOf(key uint64) (start, end uint64, owner wal.ShardID) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i := r.find(key)
+	start, owner = r.routes[i].Start, r.routes[i].Shard
+	end = ^uint64(0)
+	if i+1 < len(r.routes) {
+		end = r.routes[i+1].Start - 1
+	}
+	return start, end, owner
+}
+
+// Routes returns a copy of the routing table in key order.
+func (r *Router) Routes() []wal.RouteEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]wal.RouteEntry(nil), r.routes...)
+}
+
+// Split introduces a boundary at key `at`: the range containing it is
+// cut in two, both halves keeping their owner. Splitting on an existing
+// boundary is a no-op. Routing is unchanged until Reassign moves the
+// new upper range elsewhere.
+func (r *Router) Split(at uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.find(at)
+	if r.routes[i].Start == at {
+		return
+	}
+	entry := wal.RouteEntry{Start: at, Shard: r.routes[i].Shard}
+	r.routes = append(r.routes, wal.RouteEntry{})
+	copy(r.routes[i+2:], r.routes[i+1:])
+	r.routes[i+1] = entry
+}
+
+// Reassign hands the range starting exactly at `at` to a new owner.
+func (r *Router) Reassign(at uint64, to wal.ShardID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.find(at)
+	if r.routes[i].Start != at {
+		return fmt.Errorf("shard: no range starts at %d (use Split first)", at)
+	}
+	r.routes[i].Shard = to
+	return nil
+}
+
+// Set is the routing plane the TC drives: a router plus the DCs it
+// routes to, indexed by shard ID. It implements the TC's data-component
+// contract — key-routed data operations, shard-targeted operations for
+// undo and range migration, and broadcast EOSL/RSSP control operations.
+type Set struct {
+	router *Router
+	dcs    []*dc.DC
+}
+
+// NewSet builds the plane over the routing table and the DCs it names.
+// Every route owner must be a valid index into dcs.
+func NewSet(routes []wal.RouteEntry, dcs []*dc.DC) (*Set, error) {
+	if len(dcs) == 0 {
+		return nil, fmt.Errorf("shard: set needs at least one DC")
+	}
+	router, err := NewRouter(routes)
+	if err != nil {
+		return nil, err
+	}
+	for _, rt := range router.Routes() {
+		if int(rt.Shard) >= len(dcs) {
+			return nil, fmt.Errorf("shard: route at %d names shard %d, have %d DCs", rt.Start, rt.Shard, len(dcs))
+		}
+	}
+	return &Set{router: router, dcs: dcs}, nil
+}
+
+// Single wraps one DC as a one-shard set — the N=1 engine.
+func Single(d *dc.DC) *Set {
+	s, err := NewSet(DefaultRoutes(1, 0), []*dc.DC{d})
+	if err != nil {
+		panic(err) // one DC and the trivial route cannot fail validation
+	}
+	return s
+}
+
+// Router returns the routing table.
+func (s *Set) Router() *Router { return s.router }
+
+// NumShards returns the number of DCs behind the set.
+func (s *Set) NumShards() int { return len(s.dcs) }
+
+// At returns the DC owning shard id.
+func (s *Set) At(id wal.ShardID) *dc.DC { return s.dcs[id] }
+
+// DCs returns the underlying data components, indexed by shard ID.
+func (s *Set) DCs() []*dc.DC { return s.dcs }
+
+// Locate returns the shard owning key.
+func (s *Set) Locate(key uint64) wal.ShardID { return s.router.Locate(key) }
+
+// Routes returns a copy of the routing table (checkpointing).
+func (s *Set) Routes() []wal.RouteEntry { return s.router.Routes() }
+
+// RangeOf returns the bounds and owner of the range containing key.
+func (s *Set) RangeOf(key uint64) (start, end uint64, owner wal.ShardID) {
+	return s.router.RangeOf(key)
+}
+
+// Split introduces a routing boundary at `at` (same owner both sides).
+func (s *Set) Split(at uint64) { s.router.Split(at) }
+
+// Reassign moves the range starting at `at` to shard `to`. The caller
+// (the TC's range migration) is responsible for having moved the rows.
+func (s *Set) Reassign(at uint64, to wal.ShardID) error {
+	if int(to) >= len(s.dcs) {
+		return fmt.Errorf("shard: reassign to unknown shard %d (have %d)", to, len(s.dcs))
+	}
+	return s.router.Reassign(at, to)
+}
+
+// Read returns the value stored under (table, key).
+func (s *Set) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
+	return s.dcs[s.router.Locate(key)].Read(table, key)
+}
+
+// ReadRange invokes fn for every row with lo ≤ key ≤ hi in key order,
+// crossing shard boundaries as the scan range does.
+func (s *Set) ReadRange(table wal.TableID, lo, hi uint64, fn func(key uint64, val []byte) error) error {
+	for _, pr := range s.rangesIn(lo, hi) {
+		if err := s.dcs[pr.owner].ReadRange(table, pr.lo, pr.hi, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partRange is one per-shard piece of a cross-shard scan.
+type partRange struct {
+	lo, hi uint64
+	owner  wal.ShardID
+}
+
+// rangesIn clips [lo, hi] against one consistent snapshot of the
+// routing table, in key order (each range's end comes from the next
+// snapshot entry, never from a re-query that could see a concurrent
+// split).
+func (s *Set) rangesIn(lo, hi uint64) []partRange {
+	routes := s.router.Routes()
+	var out []partRange
+	for i, rt := range routes {
+		end := ^uint64(0)
+		if i+1 < len(routes) {
+			end = routes[i+1].Start - 1
+		}
+		if end < lo || rt.Start > hi {
+			continue
+		}
+		out = append(out, partRange{lo: max(rt.Start, lo), hi: min(end, hi), owner: rt.Shard})
+	}
+	return out
+}
+
+// ScanAll invokes fn for every row in global key order.
+func (s *Set) ScanAll(fn func(key uint64, val []byte) error) error {
+	tid := s.dcs[0].Tree().Meta().TableID
+	return s.ReadRange(tid, 0, ^uint64(0), fn)
+}
+
+// Update routes a logical update by key; logFn receives the shard it
+// landed on plus the owning page, and must append the log record.
+func (s *Set) Update(table wal.TableID, key uint64, val []byte, logFn func(sh wal.ShardID, pid storage.PageID) wal.LSN) error {
+	return s.UpdateAt(s.router.Locate(key), table, key, val, logFn)
+}
+
+// Insert routes a logical insert by key; see Update.
+func (s *Set) Insert(table wal.TableID, key uint64, val []byte, logFn func(sh wal.ShardID, pid storage.PageID) wal.LSN) error {
+	return s.InsertAt(s.router.Locate(key), table, key, val, logFn)
+}
+
+// Delete routes a logical delete by key; see Update.
+func (s *Set) Delete(table wal.TableID, key uint64, logFn func(sh wal.ShardID, pid storage.PageID) wal.LSN) error {
+	return s.DeleteAt(s.router.Locate(key), table, key, logFn)
+}
+
+// UpdateAt applies an update on an explicit shard — undo and range
+// migration, where the record's shard, not the routing table, is
+// authoritative.
+func (s *Set) UpdateAt(sh wal.ShardID, table wal.TableID, key uint64, val []byte, logFn func(sh wal.ShardID, pid storage.PageID) wal.LSN) error {
+	return s.dcs[sh].Update(table, key, val, func(pid storage.PageID) wal.LSN { return logFn(sh, pid) })
+}
+
+// InsertAt applies an insert on an explicit shard; see UpdateAt.
+func (s *Set) InsertAt(sh wal.ShardID, table wal.TableID, key uint64, val []byte, logFn func(sh wal.ShardID, pid storage.PageID) wal.LSN) error {
+	return s.dcs[sh].Insert(table, key, val, func(pid storage.PageID) wal.LSN { return logFn(sh, pid) })
+}
+
+// DeleteAt applies a delete on an explicit shard; see UpdateAt.
+func (s *Set) DeleteAt(sh wal.ShardID, table wal.TableID, key uint64, logFn func(sh wal.ShardID, pid storage.PageID) wal.LSN) error {
+	return s.dcs[sh].Delete(table, key, func(pid storage.PageID) wal.LSN { return logFn(sh, pid) })
+}
+
+// EOSL broadcasts a new end-of-stable-log to every shard (§4.1): one
+// log force covers all DCs, which is what sharing the TC's log buys.
+func (s *Set) EOSL(eLSN wal.LSN) {
+	for _, d := range s.dcs {
+		d.EOSL(eLSN)
+	}
+}
+
+// RSSP performs the DC side of a checkpoint on every shard (§4.2):
+// each flushes the pages dirtied before the redo scan start point and
+// logs its own shard-stamped RSSP record.
+func (s *Set) RSSP(rsspLSN wal.LSN) error {
+	for i, d := range s.dcs {
+		if err := d.RSSP(rsspLSN); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadRow routes one unlogged bulk-load row to its shard.
+func (s *Set) LoadRow(key uint64, val []byte) error {
+	return s.dcs[s.router.Locate(key)].LoadRow(key, val)
+}
+
+// FinishLoad flushes and boots every shard after a bulk load.
+func (s *Set) FinishLoad() error {
+	for i, d := range s.dcs {
+		if err := d.FinishLoad(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StartLogging ends bulk-load mode on every shard.
+func (s *Set) StartLogging() {
+	for _, d := range s.dcs {
+		d.StartLogging()
+	}
+}
+
+// DirtyCount sums the dirty pages across every shard's pool.
+func (s *Set) DirtyCount() int {
+	n := 0
+	for _, d := range s.dcs {
+		n += d.Pool().DirtyCount()
+	}
+	return n
+}

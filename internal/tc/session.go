@@ -60,6 +60,17 @@ func (m *SessionManager) Checkpoint() error {
 	return m.tc.Checkpoint()
 }
 
+// SplitRange runs the TC's range migration under the engine mutex, so
+// no session operation can slip between the migration's range scan and
+// its per-row locks (a row inserted in that window would be stranded on
+// the old shard after the re-route). Sessions stall for the duration of
+// the move; the moved range is small by design.
+func (m *SessionManager) SplitRange(table wal.TableID, at uint64, to wal.ShardID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tc.SplitRange(table, at, to)
+}
+
 // Session is one client's handle: a single goroutine drives a session,
 // one transaction at a time. Different sessions are independent.
 type Session struct {

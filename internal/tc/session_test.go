@@ -238,3 +238,91 @@ func TestSessionLockConflictIsImmediate(t *testing.T) {
 		t.Fatalf("key 7 = %q, want %q", v, "b2")
 	}
 }
+
+// TestSessionSplitRangeUnderTraffic races the engine-mutex-serialized
+// range migration against committing sessions on a 2-shard engine:
+// every committed write must survive the crash, including writes to
+// the migrated range, and the re-route must be in force afterwards.
+func TestSessionSplitRangeUnderTraffic(t *testing.T) {
+	const rows = 2048
+	cfg := engine.DefaultConfig()
+	cfg.CachePages = 256
+	cfg.Shards = 2
+	cfg.KeySpan = rows
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(rows, func(k uint64) []byte {
+		return []byte(fmt.Sprintf("init-%06d", k))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := eng.NewSessionManager(0)
+
+	// Shard 0 owns [0, 1024); migrate [700, 1024) to shard 1 while
+	// clients keep updating keys on both sides of the moving boundary.
+	const splitAt = 700
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		oracle   = map[uint64][]byte{}
+		firstErr error
+		errOnce  sync.Once
+	)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := mgr.NewSession()
+			for i := 0; i < 20; i++ {
+				// Keys straddle the split point, disjoint per client.
+				k := uint64(splitAt - 80 + c*20 + i%20)
+				v := []byte(fmt.Sprintf("c%d-i%d", c, i))
+				if err := sess.Begin(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if err := sess.Update(cfg.TableID, k, v); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if err := sess.Commit(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				mu.Lock()
+				oracle[k] = v
+				mu.Unlock()
+			}
+		}(c)
+	}
+	if err := mgr.SplitRange(cfg.TableID, splitAt, 1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if got := eng.Set.Locate(splitAt); got != 1 {
+		t.Fatalf("post-split owner of %d = %d, want 1", splitAt, got)
+	}
+
+	cs := eng.Crash()
+	rec, _, err := core.Recover(cs, core.Log1, core.DefaultOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Set.Locate(splitAt); got != 1 {
+		t.Fatalf("recovered owner of %d = %d, want 1", splitAt, got)
+	}
+	for k, want := range oracle {
+		v, found, err := rec.Set.Read(cfg.TableID, k)
+		if err != nil || !found {
+			t.Fatalf("committed key %d lost (found=%v err=%v)", k, found, err)
+		}
+		if string(v) != string(want) {
+			t.Fatalf("key %d: got %q, want %q", k, v, want)
+		}
+	}
+}

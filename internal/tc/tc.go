@@ -1,47 +1,31 @@
 // Package tc implements Deuteronomy's transactional component: it owns
 // transactions, logical locking and logical logging, and drives the
-// data component (DC) through the narrow interface of [10,12] — data
+// data components through the narrow interface of [10,12] — data
 // operations identified by table and key (never page IDs), plus the two
 // recovery-preparation control operations of §4.1:
 //
-//	EOSL: the TC regularly tells the DC its end of stable log (eLSN);
+//	EOSL: the TC regularly tells each DC its end of stable log (eLSN);
 //	      the DC uses it for the write-ahead-log protocol and as the
 //	      TC-LSN of its ∆-log records.
 //	RSSP: the TC's checkpoint: it names a redo-scan-start-point LSN and
-//	      the DC must flush every page dirtied by operations at or
+//	      every DC must flush every page dirtied by operations at or
 //	      before it, so the TC can start its redo scan there.
+//
+// The TC drives N range-partitioned DCs behind one shard.Set: data
+// operations route by key, every log record is stamped with the shard
+// it landed on (so undo and recovery can target that DC directly), and
+// EOSL/RSSP broadcast to all shards. A single-DC engine is the N=1
+// case of the same code path.
 package tc
 
 import (
 	"errors"
 	"fmt"
 
+	"logrec/internal/shard"
 	"logrec/internal/storage"
 	"logrec/internal/wal"
 )
-
-// DataComponent is what the TC requires of a DC. All data operations
-// are logical; the returned PIDs are opaque hints the TC embeds in log
-// records solely so the same log can drive physiological recovery
-// (§5.1) — the TC never interprets them.
-type DataComponent interface {
-	// Read returns the value stored under (table, key).
-	Read(table wal.TableID, key uint64) (val []byte, found bool, err error)
-	// ReadRange invokes fn for every row with lo ≤ key ≤ hi in order.
-	ReadRange(table wal.TableID, lo, hi uint64, fn func(key uint64, val []byte) error) error
-	// Update/Insert/Delete apply an operation. logFn is called with the
-	// owning page's PID once known (after any splits) and must append
-	// the operation's log record, returning its LSN for the page stamp.
-	Update(table wal.TableID, key uint64, val []byte, logFn func(pid storage.PageID) wal.LSN) error
-	Insert(table wal.TableID, key uint64, val []byte, logFn func(pid storage.PageID) wal.LSN) error
-	Delete(table wal.TableID, key uint64, logFn func(pid storage.PageID) wal.LSN) error
-	// EOSL delivers a new end-of-stable-log LSN.
-	EOSL(eLSN wal.LSN)
-	// RSSP performs the DC side of a checkpoint for redo scan start
-	// point rsspLSN; on return all pages dirtied by operations with
-	// LSN ≤ rsspLSN are stable.
-	RSSP(rsspLSN wal.LSN) error
-}
 
 // Errors returned by transaction operations.
 var (
@@ -83,6 +67,7 @@ type Stats struct {
 	Inserts     int64
 	Deletes     int64
 	Checkpoints int64
+	RangeSplits int64
 }
 
 // Appender abstracts log appends and forces so the concurrent session
@@ -98,7 +83,7 @@ type Appender interface {
 type TC struct {
 	log   *wal.Log
 	app   Appender
-	dc    DataComponent
+	dc    *shard.Set
 	locks *LockTable
 
 	nextTxn wal.TxnID
@@ -118,17 +103,20 @@ type TC struct {
 	stats Stats
 }
 
-// New creates a TC over the shared log and a DC.
-func New(log *wal.Log, dc DataComponent) *TC {
+// New creates a TC over the shared log and the shard set it drives.
+func New(log *wal.Log, set *shard.Set) *TC {
 	return &TC{
 		log:     log,
 		app:     log,
-		dc:      dc,
+		dc:      set,
 		locks:   NewLockTable(),
 		nextTxn: 1,
 		active:  make(map[wal.TxnID]*Txn),
 	}
 }
+
+// Shards returns the data-component plane the TC drives.
+func (tc *TC) Shards() *shard.Set { return tc.dc }
 
 // SetAppender reroutes the TC's log appends (see Appender). The session
 // layer installs the group committer here.
@@ -230,7 +218,7 @@ func (tc *TC) applyUpdate(t *Txn, table wal.TableID, key uint64, newVal []byte) 
 	if !found {
 		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
 	}
-	err = tc.dc.Update(table, key, newVal, func(pid storage.PageID) wal.LSN {
+	err = tc.dc.Update(table, key, newVal, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 		lsn := tc.app.MustAppend(&wal.UpdateRec{
 			TxnID:   t.ID,
 			TableID: table,
@@ -238,6 +226,7 @@ func (tc *TC) applyUpdate(t *Txn, table wal.TableID, key uint64, newVal []byte) 
 			OldVal:  oldVal,
 			NewVal:  newVal,
 			PageID:  pid,
+			ShardID: sh,
 			PrevLSN: t.lastLSN,
 		})
 		t.lastLSN = lsn
@@ -265,13 +254,14 @@ func (tc *TC) Insert(t *Txn, table wal.TableID, key uint64, val []byte) error {
 // applyInsert performs the locked portion of Insert (X lock already
 // held by the caller).
 func (tc *TC) applyInsert(t *Txn, table wal.TableID, key uint64, val []byte) error {
-	err := tc.dc.Insert(table, key, val, func(pid storage.PageID) wal.LSN {
+	err := tc.dc.Insert(table, key, val, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 		lsn := tc.app.MustAppend(&wal.InsertRec{
 			TxnID:   t.ID,
 			TableID: table,
 			KeyVal:  key,
 			Val:     val,
 			PageID:  pid,
+			ShardID: sh,
 			PrevLSN: t.lastLSN,
 		})
 		t.lastLSN = lsn
@@ -306,13 +296,14 @@ func (tc *TC) applyDelete(t *Txn, table wal.TableID, key uint64) error {
 	if !found {
 		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
 	}
-	err = tc.dc.Delete(table, key, func(pid storage.PageID) wal.LSN {
+	err = tc.dc.Delete(table, key, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 		lsn := tc.app.MustAppend(&wal.DeleteRec{
 			TxnID:   t.ID,
 			TableID: table,
 			KeyVal:  key,
 			OldVal:  oldVal,
 			PageID:  pid,
+			ShardID: sh,
 			PrevLSN: t.lastLSN,
 		})
 		t.lastLSN = lsn
@@ -396,13 +387,16 @@ func (tc *TC) rollback(t *Txn) error {
 }
 
 // undoOne compensates a single record, returning the next LSN to undo.
+// Compensations target the record's shard directly — the record, not
+// the routing table, says where the operation ran, which keeps undo
+// correct even mid-range-migration.
 func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 	switch r := rec.(type) {
 	case *wal.UpdateRec:
-		err := tc.dc.Update(r.TableID, r.KeyVal, r.OldVal, func(pid storage.PageID) wal.LSN {
+		err := tc.dc.UpdateAt(r.ShardID, r.TableID, r.KeyVal, r.OldVal, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
-				Kind: wal.CLRUndoUpdate, RestoreVal: r.OldVal, PageID: pid,
+				Kind: wal.CLRUndoUpdate, RestoreVal: r.OldVal, PageID: pid, ShardID: sh,
 				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
 			})
 			t.lastLSN = lsn
@@ -410,10 +404,10 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 		})
 		return r.PrevLSN, err
 	case *wal.InsertRec:
-		err := tc.dc.Delete(r.TableID, r.KeyVal, func(pid storage.PageID) wal.LSN {
+		err := tc.dc.DeleteAt(r.ShardID, r.TableID, r.KeyVal, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
-				Kind: wal.CLRUndoInsert, PageID: pid,
+				Kind: wal.CLRUndoInsert, PageID: pid, ShardID: sh,
 				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
 			})
 			t.lastLSN = lsn
@@ -421,10 +415,10 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 		})
 		return r.PrevLSN, err
 	case *wal.DeleteRec:
-		err := tc.dc.Insert(r.TableID, r.KeyVal, r.OldVal, func(pid storage.PageID) wal.LSN {
+		err := tc.dc.InsertAt(r.ShardID, r.TableID, r.KeyVal, r.OldVal, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
-				Kind: wal.CLRUndoDelete, RestoreVal: r.OldVal, PageID: pid,
+				Kind: wal.CLRUndoDelete, RestoreVal: r.OldVal, PageID: pid, ShardID: sh,
 				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
 			})
 			t.lastLSN = lsn
@@ -434,6 +428,10 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 	case *wal.CLRRec:
 		// CLRs are redo-only: skip to what the CLR says is next.
 		return r.UndoNextLSN, nil
+	case *wal.ShardMapRec:
+		// The routing change never took effect (the migration is being
+		// rolled back); nothing to compensate.
+		return r.PrevLSN, nil
 	default:
 		return wal.NilLSN, fmt.Errorf("tc: unexpected %v record in txn %d backchain", rec.Type(), t.ID)
 	}
@@ -457,7 +455,7 @@ func (tc *TC) Checkpoint() error {
 		return fmt.Errorf("tc: checkpoint RSSP: %w", err)
 	}
 
-	end := &wal.EndCkptRec{BeginLSN: bLSN}
+	end := &wal.EndCkptRec{BeginLSN: bLSN, Routes: tc.dc.Routes()}
 	for id, t := range tc.active {
 		end.Active = append(end.Active, wal.ActiveTxn{TxnID: id, LastLSN: t.lastLSN})
 	}
@@ -486,6 +484,96 @@ func (tc *TC) SendEOSL() wal.LSN {
 	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	return eLSN
+}
+
+// SplitRange splits the routing range containing key `at` at that key
+// and migrates the rows of the upper half to shard `to` — the TC-level
+// scale-out operation behind range re-balancing. The migration is one
+// system transaction: every moved row is deleted from the old shard and
+// inserted on the new one through ordinary logged operations, then a
+// ShardMapRec records the routing change, and the commit force makes
+// the whole move durable. Only after that does the in-memory routing
+// table flip, so a crash at any point leaves a consistent engine: an
+// incomplete migration is a loser transaction whose undo puts every row
+// back, and recovery applies the ShardMapRec exactly when the migration
+// committed. If `to` already owns the range the call only adds the
+// routing boundary.
+//
+// Like every direct TC method, SplitRange belongs to the
+// single-threaded path: the scan, the per-row locks and the row moves
+// assume no other goroutine mutates the range meanwhile. Under
+// concurrent sessions call SessionManager.SplitRange instead, which
+// holds the engine mutex across the whole migration.
+func (tc *TC) SplitRange(table wal.TableID, at uint64, to wal.ShardID) error {
+	if int(to) >= tc.dc.NumShards() {
+		return fmt.Errorf("tc: split target shard %d out of range (have %d)", to, tc.dc.NumShards())
+	}
+	_, end, from := tc.dc.RangeOf(at)
+	tc.dc.Split(at)
+	if from == to {
+		return nil
+	}
+
+	type row struct {
+		k uint64
+		v []byte
+	}
+	var rows []row
+	err := tc.dc.ReadRange(table, at, end, func(k uint64, v []byte) error {
+		rows = append(rows, row{k: k, v: append([]byte(nil), v...)})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("tc: split scan [%d, %d]: %w", at, end, err)
+	}
+
+	t := tc.Begin()
+	fail := func(cause error) error {
+		if err := tc.Abort(t); err != nil {
+			return fmt.Errorf("tc: aborting failed range split: %v (split failed: %w)", err, cause)
+		}
+		return fmt.Errorf("tc: range split at %d: %w", at, cause)
+	}
+	for _, r := range rows {
+		if err := tc.locks.Acquire(t.ID, table, r.k, LockExclusive); err != nil {
+			return fail(err)
+		}
+	}
+	for _, r := range rows {
+		err := tc.dc.DeleteAt(from, table, r.k, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
+			lsn := tc.app.MustAppend(&wal.DeleteRec{
+				TxnID: t.ID, TableID: table, KeyVal: r.k, OldVal: r.v,
+				PageID: pid, ShardID: sh, PrevLSN: t.lastLSN,
+			})
+			t.lastLSN = lsn
+			return lsn
+		})
+		if err != nil {
+			return fail(err)
+		}
+		err = tc.dc.InsertAt(to, table, r.k, r.v, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
+			lsn := tc.app.MustAppend(&wal.InsertRec{
+				TxnID: t.ID, TableID: table, KeyVal: r.k, Val: r.v,
+				PageID: pid, ShardID: sh, PrevLSN: t.lastLSN,
+			})
+			t.lastLSN = lsn
+			return lsn
+		})
+		if err != nil {
+			return fail(err)
+		}
+	}
+	t.lastLSN = tc.app.MustAppend(&wal.ShardMapRec{
+		TxnID: t.ID, SplitAt: at, NewShard: to, PrevLSN: t.lastLSN,
+	})
+	if err := tc.Commit(t); err != nil {
+		return fmt.Errorf("tc: committing range split at %d: %w", at, err)
+	}
+	if err := tc.dc.Reassign(at, to); err != nil {
+		return fmt.Errorf("tc: re-routing after split at %d: %w", at, err)
+	}
+	tc.stats.RangeSplits++
+	return nil
 }
 
 // RestoreNextTxnID moves the transaction-ID allocator past IDs observed

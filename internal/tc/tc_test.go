@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"logrec/internal/dc"
+	"logrec/internal/shard"
 	"logrec/internal/sim"
 	"logrec/internal/storage"
 	"logrec/internal/wal"
@@ -21,7 +22,7 @@ func newPair(t *testing.T, rows int) (*TC, *dc.DC, *wal.Log) {
 		t.Fatal(err)
 	}
 	log := wal.NewLog()
-	d, err := dc.New(clock, disk, log, 256, 1, dc.DefaultConfig())
+	d, err := dc.New(clock, disk, log, 256, 1, 0, dc.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func newPair(t *testing.T, rows int) (*TC, *dc.DC, *wal.Log) {
 		t.Fatal(err)
 	}
 	d.StartLogging()
-	return New(log, d), d, log
+	return New(log, shard.Single(d)), d, log
 }
 
 func TestUpdateCommitVisible(t *testing.T) {

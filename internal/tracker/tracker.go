@@ -88,6 +88,10 @@ type Recorder struct {
 	log *wal.Log
 	cfg Config
 
+	// shard stamps every emitted ∆/BW record with the owning DC, so
+	// recovery can demultiplex the shared log into per-shard pipelines.
+	shard wal.ShardID
+
 	// eLSN is the TC's end of stable log per the latest EOSL; it
 	// becomes the ∆ record's TC-LSN (§4.1).
 	eLSN wal.LSN
@@ -116,8 +120,8 @@ type Recorder struct {
 	stats Stats
 }
 
-// New creates a recorder appending to log.
-func New(log *wal.Log, cfg Config) (*Recorder, error) {
+// New creates a recorder appending to log on behalf of shard sh.
+func New(log *wal.Log, sh wal.ShardID, cfg Config) (*Recorder, error) {
 	if cfg.FlushBatch < 1 {
 		return nil, fmt.Errorf("tracker: FlushBatch must be ≥ 1, got %d", cfg.FlushBatch)
 	}
@@ -127,6 +131,7 @@ func New(log *wal.Log, cfg Config) (*Recorder, error) {
 	return &Recorder{
 		log:     log,
 		cfg:     cfg,
+		shard:   sh,
 		seg:     make(map[storage.PageID]uint8),
 		enabled: true,
 	}, nil
@@ -233,6 +238,7 @@ func (r *Recorder) emitDelta() {
 		DirtySet:   r.dirtySet,
 		WrittenSet: r.deltaWritten,
 		TCLSN:      r.eLSN,
+		ShardID:    r.shard,
 	}
 	// With no flush in the interval there is no FW-LSN: every entry
 	// was dirtied "before the first write", so FirstDirty covers the
@@ -272,7 +278,7 @@ func (r *Recorder) emitBW() {
 	if len(r.bwWritten) == 0 {
 		return
 	}
-	r.log.MustAppend(&wal.BWRec{WrittenSet: r.bwWritten, FWLSN: r.bwFW})
+	r.log.MustAppend(&wal.BWRec{WrittenSet: r.bwWritten, FWLSN: r.bwFW, ShardID: r.shard})
 	r.stats.BWRecords++
 	r.bwWritten = nil
 	r.bwFW = wal.NilLSN

@@ -10,7 +10,7 @@ import (
 func newRecorder(t *testing.T, cfg Config) (*Recorder, *wal.Log) {
 	t.Helper()
 	log := wal.NewLog()
-	r, err := New(log, cfg)
+	r, err := New(log, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,10 +39,10 @@ func lastDelta(t *testing.T, log *wal.Log) *wal.DeltaRec {
 
 func TestConfigValidation(t *testing.T) {
 	log := wal.NewLog()
-	if _, err := New(log, Config{FlushBatch: 0, MaxDirty: 1}); err == nil {
+	if _, err := New(log, 0, Config{FlushBatch: 0, MaxDirty: 1}); err == nil {
 		t.Fatal("accepted zero FlushBatch")
 	}
-	if _, err := New(log, Config{FlushBatch: 1, MaxDirty: 0}); err == nil {
+	if _, err := New(log, 0, Config{FlushBatch: 1, MaxDirty: 0}); err == nil {
 		t.Fatal("accepted zero MaxDirty")
 	}
 }

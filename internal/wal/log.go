@@ -60,6 +60,10 @@ type Log struct {
 	// appendCount tracks records appended, by type, for statistics.
 	appendCount map[Type]int64
 
+	// torn marks a snapshot whose tail TearTail corrupted; CloneTrimmed
+	// only pays its frame walk when set.
+	torn bool
+
 	// backend, when non-nil, is the log's persistent device: Flush
 	// writes the unpersisted suffix and fsyncs before moving the stable
 	// boundary, so "stable" means on-disk, not just in-memory.
@@ -251,6 +255,65 @@ func (l *Log) Snapshot() *Log {
 		stableRecs:  l.stableRecs,
 		appendCount: make(map[Type]int64),
 	}
+}
+
+// TearTail corrupts the log with the first nBytes of a synthetic record
+// frame past its stable end — the in-memory analogue of wal.TearFile: a
+// crash captured mid-log-force, the torn frame never completed. Meant
+// for crash snapshots (it ignores the frozen flag); CloneTrimmed must
+// discard the tear via the codec's ErrTruncated path, exactly as
+// OpenLogFile does for a real file.
+func (l *Log) TearTail(nBytes int) error {
+	if nBytes <= 0 {
+		return fmt.Errorf("wal: torn-tail size must be positive, got %d", nBytes)
+	}
+	frame := make([]byte, frameHeaderSize+nBytes)
+	binary.BigEndian.PutUint32(frame, uint32(1<<24)) // body length far past any real frame
+	frame[4] = byte(TypeUpdate)
+	for i := frameHeaderSize; i < len(frame); i++ {
+		frame[i] = 0xA5
+	}
+	frame = frame[:nBytes]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Snapshot returns a capacity-clipped slice, so this append cannot
+	// scribble over the parent log's tail.
+	l.buf = append(l.buf[:l.flushedLSN], frame...)
+	l.flushedLSN = LSN(len(l.buf))
+	l.torn = true
+	return nil
+}
+
+// CloneTrimmed is Clone with the restart-path trim: the copy's frames
+// are walked from the start and the log is cut back to the last
+// complete record, discarding a torn tail (ErrTruncated) the way
+// OpenLogFile trims a real log file. With no injected tear it is
+// exactly Clone — and skips the walk.
+func (l *Log) CloneTrimmed() *Log {
+	l.mu.Lock()
+	torn := l.torn
+	l.mu.Unlock()
+	if !torn {
+		return l.Clone()
+	}
+	c := l.Clone()
+	end := FirstLSN()
+	var recs int64
+	for int(end) < len(c.buf) {
+		_, next, err := c.decodeAt(end)
+		if err != nil {
+			break // torn or corrupt tail: trim back to the last good frame
+		}
+		recs++
+		end = next
+	}
+	if int(end) < len(c.buf) {
+		c.buf = c.buf[:end]
+		c.flushedLSN = end
+		c.recCount = recs
+		c.stableRecs = recs
+	}
+	return c
 }
 
 // Clone returns a writable copy of the log's stable prefix. Recovery

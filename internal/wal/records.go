@@ -20,6 +20,7 @@ type UpdateRec struct {
 	OldVal  []byte
 	NewVal  []byte
 	PageID  storage.PageID
+	ShardID ShardID
 	PrevLSN LSN
 }
 
@@ -29,6 +30,7 @@ func (r *UpdateRec) Prev() LSN           { return r.PrevLSN }
 func (r *UpdateRec) Table() TableID      { return r.TableID }
 func (r *UpdateRec) Key() uint64         { return r.KeyVal }
 func (r *UpdateRec) PID() storage.PageID { return r.PageID }
+func (r *UpdateRec) Shard() ShardID      { return r.ShardID }
 
 func (r *UpdateRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, uint64(r.TxnID))
@@ -37,6 +39,7 @@ func (r *UpdateRec) encodeBody(dst []byte) []byte {
 	dst = putBytes(dst, r.OldVal)
 	dst = putBytes(dst, r.NewVal)
 	dst = putU32(dst, uint32(r.PageID))
+	dst = putU32(dst, uint32(r.ShardID))
 	dst = putU64(dst, uint64(r.PrevLSN))
 	return dst
 }
@@ -49,6 +52,7 @@ func (r *UpdateRec) decodeBody(src []byte) error {
 	r.OldVal = d.bytes("old")
 	r.NewVal = d.bytes("new")
 	r.PageID = storage.PageID(d.u32("pid"))
+	r.ShardID = ShardID(d.u32("shard"))
 	r.PrevLSN = LSN(d.u64("prev"))
 	return d.finish(TypeUpdate)
 }
@@ -60,6 +64,7 @@ type InsertRec struct {
 	KeyVal  uint64
 	Val     []byte
 	PageID  storage.PageID
+	ShardID ShardID
 	PrevLSN LSN
 }
 
@@ -69,6 +74,7 @@ func (r *InsertRec) Prev() LSN           { return r.PrevLSN }
 func (r *InsertRec) Table() TableID      { return r.TableID }
 func (r *InsertRec) Key() uint64         { return r.KeyVal }
 func (r *InsertRec) PID() storage.PageID { return r.PageID }
+func (r *InsertRec) Shard() ShardID      { return r.ShardID }
 
 func (r *InsertRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, uint64(r.TxnID))
@@ -76,6 +82,7 @@ func (r *InsertRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, r.KeyVal)
 	dst = putBytes(dst, r.Val)
 	dst = putU32(dst, uint32(r.PageID))
+	dst = putU32(dst, uint32(r.ShardID))
 	dst = putU64(dst, uint64(r.PrevLSN))
 	return dst
 }
@@ -87,6 +94,7 @@ func (r *InsertRec) decodeBody(src []byte) error {
 	r.KeyVal = d.u64("key")
 	r.Val = d.bytes("val")
 	r.PageID = storage.PageID(d.u32("pid"))
+	r.ShardID = ShardID(d.u32("shard"))
 	r.PrevLSN = LSN(d.u64("prev"))
 	return d.finish(TypeInsert)
 }
@@ -98,6 +106,7 @@ type DeleteRec struct {
 	KeyVal  uint64
 	OldVal  []byte
 	PageID  storage.PageID
+	ShardID ShardID
 	PrevLSN LSN
 }
 
@@ -107,6 +116,7 @@ func (r *DeleteRec) Prev() LSN           { return r.PrevLSN }
 func (r *DeleteRec) Table() TableID      { return r.TableID }
 func (r *DeleteRec) Key() uint64         { return r.KeyVal }
 func (r *DeleteRec) PID() storage.PageID { return r.PageID }
+func (r *DeleteRec) Shard() ShardID      { return r.ShardID }
 
 func (r *DeleteRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, uint64(r.TxnID))
@@ -114,6 +124,7 @@ func (r *DeleteRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, r.KeyVal)
 	dst = putBytes(dst, r.OldVal)
 	dst = putU32(dst, uint32(r.PageID))
+	dst = putU32(dst, uint32(r.ShardID))
 	dst = putU64(dst, uint64(r.PrevLSN))
 	return dst
 }
@@ -125,6 +136,7 @@ func (r *DeleteRec) decodeBody(src []byte) error {
 	r.KeyVal = d.u64("key")
 	r.OldVal = d.bytes("old")
 	r.PageID = storage.PageID(d.u32("pid"))
+	r.ShardID = ShardID(d.u32("shard"))
 	r.PrevLSN = LSN(d.u64("prev"))
 	return d.finish(TypeDelete)
 }
@@ -151,6 +163,7 @@ type CLRRec struct {
 	Kind        CLRKind
 	RestoreVal  []byte
 	PageID      storage.PageID
+	ShardID     ShardID
 	UndoNextLSN LSN
 	PrevLSN     LSN
 }
@@ -161,6 +174,7 @@ func (r *CLRRec) Prev() LSN           { return r.PrevLSN }
 func (r *CLRRec) Table() TableID      { return r.TableID }
 func (r *CLRRec) Key() uint64         { return r.KeyVal }
 func (r *CLRRec) PID() storage.PageID { return r.PageID }
+func (r *CLRRec) Shard() ShardID      { return r.ShardID }
 
 func (r *CLRRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, uint64(r.TxnID))
@@ -169,6 +183,7 @@ func (r *CLRRec) encodeBody(dst []byte) []byte {
 	dst = putU8(dst, uint8(r.Kind))
 	dst = putBytes(dst, r.RestoreVal)
 	dst = putU32(dst, uint32(r.PageID))
+	dst = putU32(dst, uint32(r.ShardID))
 	dst = putU64(dst, uint64(r.UndoNextLSN))
 	dst = putU64(dst, uint64(r.PrevLSN))
 	return dst
@@ -182,6 +197,7 @@ func (r *CLRRec) decodeBody(src []byte) error {
 	r.Kind = CLRKind(d.u8("kind"))
 	r.RestoreVal = d.bytes("restore")
 	r.PageID = storage.PageID(d.u32("pid"))
+	r.ShardID = ShardID(d.u32("shard"))
 	r.UndoNextLSN = LSN(d.u64("undonext"))
 	r.PrevLSN = LSN(d.u64("prev"))
 	return d.finish(TypeCLR)
@@ -267,6 +283,11 @@ type EndCkptRec struct {
 	BeginLSN LSN
 	// Active is the transaction table at checkpoint begin.
 	Active []ActiveTxn
+	// Routes is the key→shard routing table at checkpoint end, so
+	// recovery rebuilds routing even when range splits predate the redo
+	// scan start (splits inside the scan window replay from their
+	// ShardMapRec instead).
+	Routes []RouteEntry
 }
 
 func (r *EndCkptRec) Type() Type { return TypeEndCkpt }
@@ -277,6 +298,11 @@ func (r *EndCkptRec) encodeBody(dst []byte) []byte {
 	for _, a := range r.Active {
 		dst = putU64(dst, uint64(a.TxnID))
 		dst = putU64(dst, uint64(a.LastLSN))
+	}
+	dst = putU32(dst, uint32(len(r.Routes)))
+	for _, rt := range r.Routes {
+		dst = putU64(dst, rt.Start)
+		dst = putU32(dst, uint32(rt.Shard))
 	}
 	return dst
 }
@@ -299,6 +325,20 @@ func (r *EndCkptRec) decodeBody(src []byte) error {
 			}
 		}
 	}
+	nr := int(d.u32("nroutes"))
+	if d.err == nil {
+		// Each route is 12 encoded bytes.
+		if nr < 0 || d.off+12*nr > len(d.src) {
+			d.fail("nroutes")
+		} else {
+			r.Routes = make([]RouteEntry, 0, nr)
+			for i := 0; i < nr; i++ {
+				start := d.u64("route.start")
+				sh := ShardID(d.u32("route.shard"))
+				r.Routes = append(r.Routes, RouteEntry{Start: start, Shard: sh})
+			}
+		}
+	}
 	return d.finish(TypeEndCkpt)
 }
 
@@ -313,13 +353,16 @@ func (r *EndCkptRec) decodeBody(src []byte) error {
 type BWRec struct {
 	WrittenSet []storage.PageID
 	FWLSN      LSN
+	ShardID    ShardID
 }
 
-func (r *BWRec) Type() Type { return TypeBW }
+func (r *BWRec) Type() Type     { return TypeBW }
+func (r *BWRec) Shard() ShardID { return r.ShardID }
 
 func (r *BWRec) encodeBody(dst []byte) []byte {
 	dst = putPIDs(dst, r.WrittenSet)
 	dst = putU64(dst, uint64(r.FWLSN))
+	dst = putU32(dst, uint32(r.ShardID))
 	return dst
 }
 
@@ -327,6 +370,7 @@ func (r *BWRec) decodeBody(src []byte) error {
 	d := newDecoder(src)
 	r.WrittenSet = d.pids("writtenSet")
 	r.FWLSN = LSN(d.u64("fwLSN"))
+	r.ShardID = ShardID(d.u32("shard"))
 	return d.finish(TypeBW)
 }
 
@@ -355,9 +399,11 @@ type DeltaRec struct {
 	FirstDirty uint32
 	TCLSN      LSN
 	DirtyLSNs  []LSN
+	ShardID    ShardID
 }
 
-func (r *DeltaRec) Type() Type { return TypeDelta }
+func (r *DeltaRec) Type() Type     { return TypeDelta }
+func (r *DeltaRec) Shard() ShardID { return r.ShardID }
 
 func (r *DeltaRec) encodeBody(dst []byte) []byte {
 	dst = putPIDs(dst, r.DirtySet)
@@ -366,6 +412,7 @@ func (r *DeltaRec) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, r.FirstDirty)
 	dst = putU64(dst, uint64(r.TCLSN))
 	dst = putLSNs(dst, r.DirtyLSNs)
+	dst = putU32(dst, uint32(r.ShardID))
 	return dst
 }
 
@@ -377,6 +424,7 @@ func (r *DeltaRec) decodeBody(src []byte) error {
 	r.FirstDirty = d.u32("firstDirty")
 	r.TCLSN = LSN(d.u64("tcLSN"))
 	r.DirtyLSNs = d.lsns("dirtyLSNs")
+	r.ShardID = ShardID(d.u32("shard"))
 	if err := d.finish(TypeDelta); err != nil {
 		return err
 	}
@@ -412,11 +460,13 @@ type TreeMeta struct {
 // resulting tree metadata. SMO redo is physiological — the DC knows its
 // own PIDs (§4) — and idempotent via the images' embedded pLSNs.
 type SMORec struct {
-	Meta   TreeMeta
-	Images []PageImage
+	Meta    TreeMeta
+	Images  []PageImage
+	ShardID ShardID
 }
 
-func (r *SMORec) Type() Type { return TypeSMO }
+func (r *SMORec) Type() Type     { return TypeSMO }
+func (r *SMORec) Shard() ShardID { return r.ShardID }
 
 // AffectedPIDs returns the set of pages this SMO rewrote — its images'
 // PIDs. Parallel redo uses it to scope the SMO barrier to the workers
@@ -434,6 +484,7 @@ func (r *SMORec) encodeBody(dst []byte) []byte {
 	dst = putU32(dst, uint32(r.Meta.Root))
 	dst = putU32(dst, r.Meta.Height)
 	dst = putU32(dst, uint32(r.Meta.NextPID))
+	dst = putU32(dst, uint32(r.ShardID))
 	dst = putU32(dst, uint32(len(r.Images)))
 	for _, img := range r.Images {
 		dst = putU32(dst, uint32(img.PageID))
@@ -448,6 +499,7 @@ func (r *SMORec) decodeBody(src []byte) error {
 	r.Meta.Root = storage.PageID(d.u32("meta.root"))
 	r.Meta.Height = d.u32("meta.height")
 	r.Meta.NextPID = storage.PageID(d.u32("meta.nextPID"))
+	r.ShardID = ShardID(d.u32("shard"))
 	n := int(d.u32("nimages"))
 	if d.err == nil {
 		// Each image needs at least 8 encoded bytes (pid + empty data);
@@ -472,18 +524,55 @@ func (r *SMORec) decodeBody(src []byte) error {
 // recorded rsspLSN.
 type RSSPRec struct {
 	RsspLSN LSN
+	ShardID ShardID
 }
 
-func (r *RSSPRec) Type() Type { return TypeRSSP }
+func (r *RSSPRec) Type() Type     { return TypeRSSP }
+func (r *RSSPRec) Shard() ShardID { return r.ShardID }
 
 func (r *RSSPRec) encodeBody(dst []byte) []byte {
-	return putU64(dst, uint64(r.RsspLSN))
+	dst = putU64(dst, uint64(r.RsspLSN))
+	return putU32(dst, uint32(r.ShardID))
 }
 
 func (r *RSSPRec) decodeBody(src []byte) error {
 	d := newDecoder(src)
 	r.RsspLSN = LSN(d.u64("rsspLSN"))
+	r.ShardID = ShardID(d.u32("shard"))
 	return d.finish(TypeRSSP)
+}
+
+// ShardMapRec logs a routing-table change inside a range-migration
+// transaction: once the transaction that moved the rows commits, keys
+// at or above SplitAt route to NewShard. Recovery applies the change
+// only for committed migrations — a loser migration's rows are undone
+// back to their old shard, so its routing change must not take effect.
+type ShardMapRec struct {
+	TxnID    TxnID
+	SplitAt  uint64
+	NewShard ShardID
+	PrevLSN  LSN
+}
+
+func (r *ShardMapRec) Type() Type { return TypeShardMap }
+func (r *ShardMapRec) Txn() TxnID { return r.TxnID }
+func (r *ShardMapRec) Prev() LSN  { return r.PrevLSN }
+
+func (r *ShardMapRec) encodeBody(dst []byte) []byte {
+	dst = putU64(dst, uint64(r.TxnID))
+	dst = putU64(dst, r.SplitAt)
+	dst = putU32(dst, uint32(r.NewShard))
+	dst = putU64(dst, uint64(r.PrevLSN))
+	return dst
+}
+
+func (r *ShardMapRec) decodeBody(src []byte) error {
+	d := newDecoder(src)
+	r.TxnID = TxnID(d.u64("txn"))
+	r.SplitAt = d.u64("splitAt")
+	r.NewShard = ShardID(d.u32("newShard"))
+	r.PrevLSN = LSN(d.u64("prev"))
+	return d.finish(TypeShardMap)
 }
 
 // newRecord allocates the record struct for a type tag.
@@ -513,6 +602,8 @@ func newRecord(t Type) (Record, error) {
 		return &SMORec{}, nil
 	case TypeRSSP:
 		return &RSSPRec{}, nil
+	case TypeShardMap:
+		return &ShardMapRec{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, uint8(t))
 	}
@@ -526,4 +617,9 @@ var (
 	_ DataOp        = (*CLRRec)(nil)
 	_ Transactional = (*CommitRec)(nil)
 	_ Transactional = (*AbortRec)(nil)
+	_ Transactional = (*ShardMapRec)(nil)
+	_ Sharded       = (*SMORec)(nil)
+	_ Sharded       = (*DeltaRec)(nil)
+	_ Sharded       = (*BWRec)(nil)
+	_ Sharded       = (*RSSPRec)(nil)
 )

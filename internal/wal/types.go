@@ -34,6 +34,23 @@ type TxnID uint64
 // TableID identifies a table (and its clustered B-tree) in the DC.
 type TableID uint32
 
+// ShardID identifies one data component behind the TC. The engine
+// range-partitions the key space across N DCs (shards 0..N-1), all
+// logging to this one shared log; every DC-scoped record (data
+// operations, SMOs, ∆/BW/RSSP records) carries its shard so recovery
+// can demultiplex the log into per-shard redo/undo pipelines. A
+// single-DC engine is simply the N=1 case: every record carries shard 0.
+type ShardID uint32
+
+// RouteEntry is one range of the TC's key→shard routing table: keys at
+// or above Start (and below the next entry's Start) belong to Shard.
+// The table is persisted in end-checkpoint records so recovery can
+// rebuild routing even after ranges have been split and reassigned.
+type RouteEntry struct {
+	Start uint64
+	Shard ShardID
+}
+
 // Type tags a log record.
 type Type uint8
 
@@ -76,6 +93,12 @@ const (
 	// the RSSP control operation, so the DC knows where its own
 	// recovery scan begins (§4.2).
 	TypeRSSP
+	// TypeShardMap records a routing-table change: the range starting at
+	// SplitAt now belongs to another shard. It is transactional — the
+	// reassignment takes effect only if the migration transaction that
+	// moved the rows committed — so recovery applies it exactly when the
+	// moved rows are on the new shard.
+	TypeShardMap
 )
 
 func (t Type) String() string {
@@ -104,6 +127,8 @@ func (t Type) String() string {
 		return "smo"
 	case TypeRSSP:
 		return "rssp"
+	case TypeShardMap:
+		return "shard-map"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -136,12 +161,21 @@ type Transactional interface {
 // both redo families need.
 type DataOp interface {
 	Transactional
+	Sharded
 	// Table and Key identify the record logically.
 	Table() TableID
 	Key() uint64
 	// PID is the physiological page hint captured at normal-operation
 	// time. Logical recovery ignores it.
 	PID() storage.PageID
+}
+
+// Sharded is implemented by records scoped to one data component:
+// recovery routes them to that shard's redo/undo pipeline.
+type Sharded interface {
+	Record
+	// Shard returns the owning data component.
+	Shard() ShardID
 }
 
 // Errors returned by log operations.

@@ -39,7 +39,10 @@
 // results. Set Config.Device = DeviceFile (plus Config.Dir) to back the
 // engine with real files instead — real page IO, fsync-backed log
 // forces and process-kill-shaped crashes (see README "Running on a
-// real disk").
+// real disk"). Set Config.Shards = N to range-partition the data
+// across N data components behind the one TC and WAL; recovery then
+// replays all shards concurrently from the single log (see README
+// "Scaling out").
 package logrec
 
 import (
