@@ -55,6 +55,7 @@ bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/walbench -out $(BENCH_DIR)/BENCH_wal.json
 	$(GO) run ./cmd/walbench -device=file -dir $(FILEDEV_DIR)-wal -flushdelay 0 \
 		-out $(BENCH_DIR)/BENCH_wal_file.json
+	$(GO) run ./cmd/walbench -shards 1,2,4,8 -out $(BENCH_DIR)/BENCH_wal_shards.json
 	$(GO) run ./cmd/recoverybench -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/recoverybench -device=file -dir $(FILEDEV_DIR) \
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
@@ -67,6 +68,7 @@ bench: | $(BENCH_DIR)
 # (tmpfs-backed in CI, see FILEDEV_DIR).
 bench-smoke: | $(BENCH_DIR)
 	$(GO) run ./cmd/walbench -quick -out $(BENCH_DIR)/BENCH_wal.json
+	$(GO) run ./cmd/walbench -quick -shards 1,2,4,8 -out $(BENCH_DIR)/BENCH_wal_shards.json
 	$(GO) run ./cmd/recoverybench -quick -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/recoverybench -device=file -quick -dir $(FILEDEV_DIR) \
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
@@ -81,6 +83,8 @@ bench-smoke: | $(BENCH_DIR)
 bench-gate: bench-smoke
 	$(GO) run ./cmd/benchdiff -kind wal -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_wal.json -current $(BENCH_DIR)/BENCH_wal.json
+	$(GO) run ./cmd/benchdiff -kind wal-shards -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_wal_shards.json -current $(BENCH_DIR)/BENCH_wal_shards.json
 	$(GO) run ./cmd/benchdiff -kind recovery -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_recovery.json -current $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/benchdiff -kind recovery-file -tolerance $(TOLERANCE) \
@@ -91,6 +95,7 @@ bench-gate: bench-smoke
 # Refresh the checked-in baselines after an intentional perf change.
 bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_wal.json ci/baselines/BENCH_wal.json
+	cp $(BENCH_DIR)/BENCH_wal_shards.json ci/baselines/BENCH_wal_shards.json
 	cp $(BENCH_DIR)/BENCH_recovery.json ci/baselines/BENCH_recovery.json
 	cp $(BENCH_DIR)/BENCH_recovery_file.json ci/baselines/BENCH_recovery_file.json
 	cp $(BENCH_DIR)/BENCH_recovery_shards.json ci/baselines/BENCH_recovery_shards.json

@@ -87,7 +87,7 @@ func benchGroupCommit(b *testing.B, clients int) {
 	elapsed := time.Since(start)
 	b.StopTimer()
 
-	st := mgr.GroupCommitter().Stats()
+	st := eng.Stats().WAL
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "commits/sec")
 	b.ReportMetric(st.RecordsPerFlush(), "recs/flush")
 	if st.Flushes > 0 {

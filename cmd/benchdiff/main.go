@@ -8,6 +8,20 @@
 //	-kind wal            compares walbench commits/sec per client count
 //	                     against the baseline (fail on a >tolerance
 //	                     drop).
+//	-kind wal-shards     gates the walbench shard-plane sweep: every
+//	                     baseline shard count must be present, the
+//	                     1-shard real throughput must hold within the
+//	                     tolerance, the widest count's modeled speedup
+//	                     (busiest-plane time vs 1 shard) must reach
+//	                     -min-shard-scale, and at every multi-shard
+//	                     count the auto-split balancer must have acted —
+//	                     boundary splits and migrations recorded, and
+//	                     the hot shard's load share lower at the end of
+//	                     the run than at the start. Real throughput
+//	                     shape is NOT gated beyond the 1-shard floor:
+//	                     CI smoke cores are too few for wall-clock
+//	                     scaling, which is exactly what the modeled
+//	                     metric exists for.
 //	-kind recovery       checks the machine-independent invariants of
 //	                     recoverybench — parallel redo must beat 1
 //	                     worker by -min-speedup at the widest worker
@@ -58,6 +72,18 @@ type walReport struct {
 	} `json:"results"`
 }
 
+type walShardsReport struct {
+	Results []struct {
+		Shards         int     `json:"shards"`
+		CommitsPerSec  float64 `json:"commits_per_sec"`
+		ModeledSpeedup float64 `json:"modeled_speedup_vs_1"`
+		BoundarySplits int64   `json:"boundary_splits"`
+		Migrations     int64   `json:"migrations"`
+		FirstHotShare  float64 `json:"first_hot_share"`
+		LastHotShare   float64 `json:"last_hot_share"`
+	} `json:"results"`
+}
+
 type recoveryReport struct {
 	Workers []struct {
 		Workers     int     `json:"workers"`
@@ -99,6 +125,7 @@ func main() {
 		tolerance      = flag.Float64("tolerance", 0.30, "allowed fractional regression vs baseline")
 		minSpeedup     = flag.Float64("min-speedup", 1.2, "required parallel-redo speedup at the max worker count (recovery kind)")
 		minUndoSpeedup = flag.Float64("min-undo-speedup", 1.2, "required parallel-undo speedup at the max undo worker count (recovery kind)")
+		minShardScale  = flag.Float64("min-shard-scale", 3.0, "required modeled speedup at the max shard count (wal-shards kind)")
 	)
 	flag.Parse()
 	if *baseline == "" || *current == "" {
@@ -110,6 +137,8 @@ func main() {
 	switch *kind {
 	case "wal":
 		failures = diffWAL(*baseline, *current, *tolerance)
+	case "wal-shards":
+		failures = diffWALShards(*baseline, *current, *tolerance, *minShardScale)
 	case "recovery":
 		failures = diffRecovery(*baseline, *current, *tolerance, *minSpeedup, *minUndoSpeedup)
 	case "recovery-file":
@@ -117,7 +146,7 @@ func main() {
 	case "recovery-shards":
 		failures = diffRecoveryShards(*baseline, *current, *tolerance)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, recovery, recovery-file or recovery-shards)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file or recovery-shards)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -191,6 +220,84 @@ func diffWAL(basePath, curPath string, tol float64) []string {
 					"no commit batching at %d clients: %.2f commits/flush",
 					hi.Clients, hi.CommitsPerFlus))
 			}
+		}
+	}
+	return fails
+}
+
+// diffWALShards gates the shard-plane sweep: per-count completeness,
+// the 1-shard throughput floor, modeled scaling at the widest count,
+// and observable auto-split rebalancing at every multi-shard count
+// (see the package comment).
+func diffWALShards(basePath, curPath string, tol, minScale float64) []string {
+	var base, cur walShardsReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+
+	if len(cur.Results) == 0 {
+		return []string{"current run has no shard sweep"}
+	}
+	curBy := map[int]int{}
+	for i, r := range cur.Results {
+		curBy[r.Shards] = i
+	}
+	for _, b := range base.Results {
+		if _, ok := curBy[b.Shards]; !ok {
+			fails = append(fails, fmt.Sprintf("shards=%d: missing from current run", b.Shards))
+		}
+	}
+	// The 1-shard entry is the only real-throughput gate: it has no
+	// planes to model around, so a drop there is a plain write-path
+	// regression.
+	for _, b := range base.Results {
+		if b.Shards != 1 {
+			continue
+		}
+		i, ok := curBy[1]
+		if !ok {
+			break
+		}
+		floor := b.CommitsPerSec * (1 - tol)
+		if got := cur.Results[i].CommitsPerSec; got < floor {
+			fails = append(fails, fmt.Sprintf(
+				"shards=1: %.0f commits/sec < %.0f (baseline %.0f - %.0f%%)",
+				got, floor, b.CommitsPerSec, tol*100))
+		}
+	}
+
+	widest := cur.Results[0]
+	for _, r := range cur.Results[1:] {
+		if r.Shards > widest.Shards {
+			widest = r
+		}
+	}
+	if widest.Shards <= 1 {
+		fails = append(fails, "shard sweep never ran more than 1 shard; the scaling gate has nothing to check")
+		return fails
+	}
+	if widest.ModeledSpeedup < minScale {
+		fails = append(fails, fmt.Sprintf(
+			"shard planes: %d shards only %.2fx modeled over 1 shard, want ≥ %.2fx",
+			widest.Shards, widest.ModeledSpeedup, minScale))
+	}
+	// The balancer must demonstrably rebalance at every multi-shard
+	// count: boundaries cut, at least one range migrated, and the hot
+	// shard's share of the traffic lower at the end than at the start.
+	for _, r := range cur.Results {
+		if r.Shards <= 1 {
+			continue
+		}
+		if r.BoundarySplits == 0 {
+			fails = append(fails, fmt.Sprintf("shards=%d: auto-split cut no boundaries", r.Shards))
+		}
+		if r.Migrations == 0 {
+			fails = append(fails, fmt.Sprintf("shards=%d: auto-split migrated no ranges", r.Shards))
+		}
+		if r.LastHotShare >= r.FirstHotShare {
+			fails = append(fails, fmt.Sprintf(
+				"shards=%d: hot share did not drop (first %.2f, last %.2f)",
+				r.Shards, r.FirstHotShare, r.LastHotShare))
 		}
 	}
 	return fails

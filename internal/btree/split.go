@@ -38,9 +38,12 @@ func (b *smoBuild) touch(f *buffer.Frame) {
 
 // finish stamps every touched page with the SMO record's LSN, marks
 // them dirty, logs the SMO record with after-images and the new tree
-// metadata, and releases the pins. The lazywriter is suspended for the
-// duration: a background flush between the LSN reservation and the SMO
-// append could let the flush tracker log its own record in between.
+// metadata, and releases the pins. Nothing may append to the log
+// between the LSN reservation and the SMO append: the lazywriter is
+// suspended for the duration (a background flush would let the flush
+// tracker log its own record), and the onDirty notifications are
+// deferred until after the append (the ∆ tracker emits a capacity
+// record synchronously when NoteUpdate fills its dirty set).
 func (b *smoBuild) finish() error {
 	b.tree.pool.SuspendCleaner()
 	defer func() {
@@ -70,9 +73,6 @@ func (b *smoBuild) finish() error {
 		f := b.frames[pid]
 		f.Page.SetLSN(uint64(lsn))
 		t.pool.MarkDirty(f, lsn)
-		if t.onDirty != nil {
-			t.onDirty(pid, lsn)
-		}
 		img := make([]byte, len(f.Page.Bytes()))
 		copy(img, f.Page.Bytes())
 		rec.Images = append(rec.Images, wal.PageImage{PageID: pid, Data: img})
@@ -80,6 +80,11 @@ func (b *smoBuild) finish() error {
 	got := t.smo.AppendSMO(rec)
 	if got != lsn {
 		return fmt.Errorf("btree: SMO logger returned LSN %v, reserved %v", got, lsn)
+	}
+	if t.onDirty != nil {
+		for _, pid := range b.order {
+			t.onDirty(pid, lsn)
+		}
 	}
 	return nil
 }

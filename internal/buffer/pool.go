@@ -67,7 +67,7 @@ type Stats struct {
 // clock state and the statistics, so the hot lookup path (Get /
 // GetIfCached) is safe under concurrent sessions; frame *contents* are
 // still owned by whoever holds the page pinned (the DC serializes data
-// operations behind the engine mutex).
+// operations behind its shard's session plane).
 //
 // Replacement is second-chance (clock), the approximation of LRU real
 // engines use: every touch sets a frame's reference bit; the sweep
@@ -170,7 +170,7 @@ func (p *Pool) SetLogForce(fn func() wal.LSN) {
 
 // SetELSN records a new end-of-stable-log from the TC's EOSL control
 // operation. eLSN never moves backward. Safe from any goroutine (the
-// group-commit flusher publishes EOSL from outside the engine mutex).
+// group-commit flusher publishes EOSL without holding any plane).
 func (p *Pool) SetELSN(lsn wal.LSN) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

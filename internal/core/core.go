@@ -664,7 +664,14 @@ func (r *run) finalRoutes() ([]wal.RouteEntry, error) {
 		if start == sm.SplitAt && owner == sm.NewShard {
 			continue
 		}
+		// Reassign exactly [SplitAt, End] — the rows the migration moved.
+		// The live range's end boundary may have come from an unlogged
+		// boundary-only split, so it is cut here rather than inferred
+		// from the boundaries recovery happens to know about.
 		router.Split(sm.SplitAt)
+		if sm.End != ^uint64(0) {
+			router.Split(sm.End + 1)
+		}
 		if err := router.Reassign(sm.SplitAt, sm.NewShard); err != nil {
 			return nil, fmt.Errorf("core: replaying route change at %d: %w", sm.SplitAt, err)
 		}

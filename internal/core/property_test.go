@@ -18,7 +18,21 @@ import (
 // byte-identical post-recovery tables equal to the committed-state
 // oracle, and the B-tree must satisfy every structural invariant.
 func TestQuickRecoveryEquivalence(t *testing.T) {
-	f := func(seed int64) bool {
+	f := func(seed int64) bool { return quickRecoveryOne(t, seed) }
+	cfgQ := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfgQ.MaxCount = 4
+	}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickRecoveryOne runs one seeded iteration of the recovery
+// equivalence property; named so a failing seed can be replayed
+// directly.
+func quickRecoveryOne(t *testing.T, seed int64) bool {
+	{
 		rng := rand.New(rand.NewSource(seed))
 
 		cfg := testConfig(64 + rng.Intn(512))
@@ -179,13 +193,6 @@ func TestQuickRecoveryEquivalence(t *testing.T) {
 			}
 		}
 		return true
-	}
-	cfgQ := &quick.Config{MaxCount: 15}
-	if testing.Short() {
-		cfgQ.MaxCount = 4
-	}
-	if err := quick.Check(f, cfgQ); err != nil {
-		t.Fatal(err)
 	}
 }
 

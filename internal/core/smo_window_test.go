@@ -1,0 +1,15 @@
+package core
+
+import "testing"
+
+// TestSMOAppendWindowRegression pins a seed whose workload trips the
+// ∆ tracker's MaxDirty capacity emit while a B-tree SMO is being
+// stamped. The SMO path reserves its LSN before appending; a tracker
+// record logged from the onDirty hook inside that window used to steal
+// the reserved LSN ("SMO logger returned LSN x, reserved y"). The
+// notifications are now deferred until after the SMO append.
+func TestSMOAppendWindowRegression(t *testing.T) {
+	if !quickRecoveryOne(t, 550454061297512668) {
+		t.Fatal("seed 550454061297512668 fails")
+	}
+}

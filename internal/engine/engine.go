@@ -83,6 +83,56 @@ type Config struct {
 	// shards (0 = the full uint64 domain). Set it to the expected row
 	// count so the initial ranges balance the bulk-loaded table.
 	KeySpan uint64
+	// AutoSplit enables the load-driven auto-splitter: when the
+	// engine's session manager is created (NewSessionManager), a
+	// balancer goroutine watches per-range load and splits/migrates hot
+	// ranges (tc.Balancer). Only meaningful with Shards > 1.
+	AutoSplit bool
+	// AutoSplitCfg tunes the auto-splitter; zero fields take the
+	// tc.AutoSplitConfig defaults.
+	AutoSplitCfg tc.AutoSplitConfig
+}
+
+// Validate checks the configuration and fills defaulted fields in
+// place: Shards 0 → 1, CachePages 0 → the DefaultConfig capacity,
+// TableID 0 → 1. It rejects contradictions that previously surfaced as
+// misbehavior deep inside the engine: a negative shard count, an
+// unknown device kind, DeviceFile without a directory, a key span too
+// small for the shard count, and a buffer budget below 8 pages per
+// shard. engine.New calls it; tools building configs by hand can call
+// it early for better errors.
+func (c *Config) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("engine: Shards must be >= 1, got %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.CachePages < 0 {
+		return fmt.Errorf("engine: CachePages must be positive, got %d", c.CachePages)
+	}
+	if c.CachePages == 0 {
+		c.CachePages = DefaultConfig().CachePages
+	}
+	if c.TableID == 0 {
+		c.TableID = 1
+	}
+	switch c.Device {
+	case DeviceSim:
+	case DeviceFile:
+		if c.Dir == "" {
+			return fmt.Errorf("engine: file device needs Config.Dir")
+		}
+	default:
+		return fmt.Errorf("engine: unknown device kind %q", c.Device)
+	}
+	if c.KeySpan != 0 && c.KeySpan < uint64(c.Shards) {
+		return fmt.Errorf("engine: KeySpan %d cannot be partitioned across %d shards (want KeySpan >= Shards, or 0 for the full domain)", c.KeySpan, c.Shards)
+	}
+	if c.CachePages < 8*c.Shards {
+		return fmt.Errorf("engine: CachePages must be at least 8 per shard, got %d for %d shards", c.CachePages, c.Shards)
+	}
+	return nil
 }
 
 // NumShards returns the effective shard count (at least 1).
@@ -123,20 +173,24 @@ type Engine struct {
 	Set   *shard.Set
 	TC    *tc.TC
 	Cfg   Config
+
+	// mgr is the live session manager (set by NewSessionManager) and
+	// balancer its auto-splitter (nil unless Cfg.AutoSplit); Stats
+	// aggregates from both.
+	mgr      *tc.SessionManager
+	balancer *tc.Balancer
 }
 
-// New creates an engine over an empty database.
+// New creates an engine over an empty database. The config is
+// validated (and defaulted) by Config.Validate first.
 func New(cfg Config) (*Engine, error) {
-	n := cfg.NumShards()
-	if cfg.CachePages < 8*n {
-		return nil, fmt.Errorf("engine: CachePages must be at least 8 per shard, got %d for %d shards", cfg.CachePages, n)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	n := cfg.NumShards()
 	clock := &sim.Clock{}
 	log := wal.NewLog()
 	if cfg.Device == DeviceFile {
-		if cfg.Dir == "" {
-			return nil, fmt.Errorf("engine: file device needs Config.Dir")
-		}
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("engine: creating %s: %w", cfg.Dir, err)
 		}
@@ -150,8 +204,6 @@ func New(cfg Config) (*Engine, error) {
 		if err := writeMaster(cfg.Dir, wal.NilLSN); err != nil {
 			return nil, err
 		}
-	} else if cfg.Device != DeviceSim {
-		return nil, fmt.Errorf("engine: unknown device kind %q", cfg.Device)
 	}
 
 	disks := make([]storage.Device, n)
@@ -273,6 +325,13 @@ type CrashState struct {
 // as-is, with no flush, no final log force and no checkpoint; a failure
 // to close is a harness-environment error and panics.
 func (e *Engine) Crash() *CrashState {
+	// The balancer is part of the volatile engine: stop it before the
+	// crash point so no migration is mutating the "dead" engine while
+	// we freeze it.
+	if e.balancer != nil {
+		e.balancer.Stop()
+		e.balancer = nil
+	}
 	if e.Cfg.Device == DeviceFile {
 		for i, disk := range e.Disks {
 			if err := disk.(*storage.FileDisk).Close(); err != nil {

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"logrec/internal/buffer"
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+)
+
+// Stats is the engine-wide counter snapshot: one call collects the
+// TC's transaction counters, the commit path's group-commit batching,
+// the log's record counts, the routing table and every shard's pool
+// and session-plane counters. Benches and tests should read this
+// instead of reaching into components (the old per-component accessors
+// still work but are the deprecated path).
+type Stats struct {
+	// TC is the transaction counters (begun/committed/aborted/...).
+	TC tc.Stats
+	// WAL is the group committer's batching counters; zero until
+	// NewSessionManager has been called.
+	WAL wal.GroupCommitStats
+	// LogRecords and LogStableRecords count records appended to and
+	// made stable on the shared log.
+	LogRecords       int64
+	LogStableRecords int64
+	// Routes is the routing table at the time of the snapshot.
+	Routes []wal.RouteEntry
+	// Shards holds one entry per data component, indexed by shard ID.
+	Shards []ShardStats
+	// AutoSplit is the balancer's activity; zero when no balancer runs.
+	AutoSplit tc.AutoSplitStats
+}
+
+// ShardStats is one shard's slice of the engine snapshot.
+type ShardStats struct {
+	// Shard is the shard ID.
+	Shard wal.ShardID
+	// Pool is the shard's buffer-pool counters.
+	Pool buffer.Stats
+	// DirtyPages is the pool's current dirty-page count.
+	DirtyPages int
+	// SessionOps is the number of session-plane acquisitions on the
+	// shard (zero until NewSessionManager).
+	SessionOps int64
+	// SessionBusyNS is the real time the shard's plane was held, in
+	// nanoseconds — summed across operations, so under concurrency it
+	// approximates how busy a dedicated core for this shard would have
+	// been.
+	SessionBusyNS int64
+}
+
+// Stats snapshots the whole engine. Safe to call while sessions run;
+// the pieces are individually consistent (each component snapshots
+// under its own lock) but not mutually atomic.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		TC:               e.TC.Stats(),
+		LogRecords:       e.Log.Records(),
+		LogStableRecords: e.Log.StableRecords(),
+		Routes:           e.Set.Routes(),
+	}
+	var planes []tc.PlaneStats
+	if e.mgr != nil {
+		st.WAL = e.mgr.CommitStats()
+		planes = e.mgr.PlaneStats()
+	}
+	if e.balancer != nil {
+		st.AutoSplit = e.balancer.Stats()
+	}
+	for i, d := range e.DCs {
+		ss := ShardStats{
+			Shard:      wal.ShardID(i),
+			Pool:       d.Pool().Stats(),
+			DirtyPages: d.Pool().DirtyCount(),
+		}
+		if planes != nil {
+			ss.SessionOps = planes[i].Ops
+			ss.SessionBusyNS = planes[i].BusyNS
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}

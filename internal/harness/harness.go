@@ -302,7 +302,7 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		CachePages:     cfg.Engine.CachePages,
 		DataPages:      cfg.DataPages(),
 		UpdatesRun:     updates,
-		TxnsCommitted:  eng.TC.Stats().Committed,
+		TxnsCommitted:  eng.Stats().TC.Committed,
 		DeltasWritten:  eng.Log.AppendCount(wal.TypeDelta),
 		BWsWritten:     eng.Log.AppendCount(wal.TypeBW),
 		CheckpointsRun: int64(ckpts),

@@ -1,0 +1,264 @@
+// Load-driven range auto-splitting. The balancer is the elasticity
+// half of the sharded engine (LogBase's hot-range story): it watches
+// the router's per-range load counters and, when one shard absorbs an
+// outsized share of the traffic, carves its hottest range down with
+// boundary-only splits and migrates the warm remainder to the coldest
+// shard through the crash-safe SplitRange system transaction.
+//
+// Two kinds of action, deliberately asymmetric:
+//
+//   - a boundary split (Router.Split with the same owner both sides)
+//     moves no rows, takes no locks and needs no log record — losing
+//     it in a crash changes no key's routing — so the balancer uses it
+//     freely to isolate a hot head;
+//   - a migration (SessionManager.SplitRange) locks every row it moves
+//     under the two shards' planes; against live traffic the no-wait
+//     lock table may refuse (a session holds a row in the range), in
+//     which case the balancer simply gives up until the next window
+//     rather than stalling anyone.
+package tc
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"logrec/internal/shard"
+	"logrec/internal/wal"
+)
+
+// AutoSplitConfig tunes the balancer. Zero values take the defaults.
+type AutoSplitConfig struct {
+	// Interval is the load-inspection period (default 10ms).
+	Interval time.Duration
+	// MinShare is the floor on the hot shard's load share (of the
+	// window's total ops) below which the window needs no action
+	// (default 0.3). The effective trigger is the larger of MinShare
+	// and 1.25× the fair share (1/shards), so an engine that has
+	// spread the load evenly converges rather than churning
+	// migrations forever — with few shards the fair share itself
+	// exceeds any fixed threshold.
+	MinShare float64
+	// MinOps is the minimum operations in a window for it to be worth
+	// acting on; quieter windows are ignored (default 256).
+	MinOps int64
+	// MinRangeSpan stops boundary splits: a range spanning at most
+	// this many keys is not cut further (default 16).
+	MinRangeSpan uint64
+	// MaxMoveSpan bounds the key span migrated in one move — the
+	// migration locks and relocates every row in the range, so wider
+	// ranges are boundary-split first (default 65536).
+	MaxMoveSpan uint64
+}
+
+// withDefaults fills zero fields.
+func (c AutoSplitConfig) withDefaults() AutoSplitConfig {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.MinShare <= 0 {
+		c.MinShare = 0.3
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 256
+	}
+	if c.MinRangeSpan == 0 {
+		c.MinRangeSpan = 16
+	}
+	if c.MaxMoveSpan == 0 {
+		c.MaxMoveSpan = 65536
+	}
+	return c
+}
+
+// AutoSplitStats counts balancer activity.
+type AutoSplitStats struct {
+	// Windows is the number of qualifying load windows (enough traffic
+	// to judge).
+	Windows int64
+	// BoundarySplits is the number of routing boundaries added.
+	BoundarySplits int64
+	// Migrations is the number of ranges moved to another shard.
+	Migrations int64
+	// FailedMigrations counts moves abandoned on lock conflict with
+	// live traffic (retried in a later window).
+	FailedMigrations int64
+	// FirstHotShare and LastHotShare are the hot shard's load share in
+	// the first and the most recent qualifying window; their gap is the
+	// rebalancing the balancer achieved mid-run.
+	FirstHotShare float64
+	LastHotShare  float64
+}
+
+// Balancer runs the auto-split policy on a background goroutine.
+// Create with StartBalancer; Stop before crashing or discarding the
+// engine.
+type Balancer struct {
+	mgr   *SessionManager
+	table wal.TableID
+	cfg   AutoSplitConfig
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// mu guards seeded and stats.
+	mu     sync.Mutex
+	seeded bool
+	stats  AutoSplitStats
+}
+
+// StartBalancer launches the balancer over mgr's engine, splitting
+// ranges of table. Defaults fill zero cfg fields.
+func StartBalancer(mgr *SessionManager, table wal.TableID, cfg AutoSplitConfig) *Balancer {
+	b := &Balancer{
+		mgr:   mgr,
+		table: table,
+		cfg:   cfg.withDefaults(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Stop halts the balancer and waits for its goroutine to exit. Safe to
+// call more than once.
+func (b *Balancer) Stop() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Balancer) Stats() AutoSplitStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+func (b *Balancer) run() {
+	defer close(b.done)
+	tick := time.NewTicker(b.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-tick.C:
+			b.window()
+		}
+	}
+}
+
+// rangeSpan returns the key span of l; 0 means the full uint64 domain
+// wrapped around (callers treat it as wider than any threshold).
+func rangeSpan(l shard.RangeLoad) uint64 { return l.End - l.Start + 1 }
+
+// window inspects one load window and performs at most one boundary
+// split and one migration.
+func (b *Balancer) window() {
+	set := b.mgr.tc.dc
+	nShards := set.NumShards()
+	if nShards < 2 {
+		return
+	}
+	loads := set.TakeRangeLoads()
+	var total int64
+	perShard := make([]int64, nShards)
+	for _, l := range loads {
+		total += l.Ops
+		perShard[l.Shard] += l.Ops
+	}
+	if total < b.cfg.MinOps {
+		return
+	}
+	hot, cold := 0, 0
+	for i, v := range perShard {
+		if v > perShard[hot] {
+			hot = i
+		}
+		if v < perShard[cold] {
+			cold = i
+		}
+	}
+	share := float64(perShard[hot]) / float64(total)
+
+	b.mu.Lock()
+	b.stats.Windows++
+	if !b.seeded {
+		b.stats.FirstHotShare = share
+		b.seeded = true
+	}
+	b.stats.LastHotShare = share
+	b.mu.Unlock()
+
+	trigger := b.cfg.MinShare
+	if fair := 1.25 / float64(nShards); fair > trigger {
+		trigger = fair
+	}
+	if share < trigger {
+		return
+	}
+
+	// The hot shard's ranges, busiest first.
+	var hotRanges []shard.RangeLoad
+	for _, l := range loads {
+		if int(l.Shard) == hot {
+			hotRanges = append(hotRanges, l)
+		}
+	}
+	sort.Slice(hotRanges, func(i, j int) bool { return hotRanges[i].Ops > hotRanges[j].Ops })
+	if len(hotRanges) == 0 {
+		return
+	}
+
+	// Halve the hottest range while it is still wide: each boundary
+	// split shrinks the head that must stay on this shard and creates a
+	// warm sibling a later window can migrate.
+	head := hotRanges[0]
+	if span := rangeSpan(head); span == 0 || span > b.cfg.MinRangeSpan {
+		mid := head.Start + span/2
+		if span == 0 {
+			mid = head.Start + 1<<63
+		}
+		set.Split(mid)
+		b.mu.Lock()
+		b.stats.BoundarySplits++
+		b.mu.Unlock()
+	}
+
+	// Migrate warm (non-head) load to the coldest shard, one range per
+	// window. The head itself stays: moving the hottest range would
+	// chase the skew from shard to shard instead of spreading it.
+	if cold == hot {
+		return
+	}
+	for _, r := range hotRanges[1:] {
+		if r.Ops == 0 {
+			break
+		}
+		if span := rangeSpan(r); span == 0 || span > b.cfg.MaxMoveSpan {
+			// Too many rows for one move: halve it now so a later
+			// window can migrate the pieces.
+			mid := r.Start + span/2
+			if span == 0 {
+				mid = r.Start + 1<<63
+			}
+			set.Split(mid)
+			b.mu.Lock()
+			b.stats.BoundarySplits++
+			b.mu.Unlock()
+			return
+		}
+		if err := b.mgr.SplitRange(b.table, r.Start, wal.ShardID(cold)); err != nil {
+			b.mu.Lock()
+			b.stats.FailedMigrations++
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Lock()
+		b.stats.Migrations++
+		b.mu.Unlock()
+		return
+	}
+}

@@ -3,23 +3,37 @@
 // write path of a served system: N goroutines each own a Session and
 // run Begin/Update/Commit loops concurrently.
 //
-// Concurrency discipline (lock order: engine mutex → component locks):
+// The write path is shard-parallel: there is no engine-wide mutex.
+// Each shard has its own admission plane — a mutex serializing only
+// that shard's DC (tree, pool) — so sessions touching different shards
+// never contend, and the transaction table is hash-sharded so
+// Begin/Commit never serialize behind data operations.
 //
-//   - logical locks are acquired in the sharded LockTable *outside* the
-//     engine mutex, so lock traffic from different sessions only
-//     contends per shard;
-//   - DC data operations (B-tree, buffer pool, virtual clock) and the
-//     transaction table are serialized behind the SessionManager's
-//     engine mutex — the DC remains single-threaded internally, as in
-//     the paper's prototype;
-//   - commit durability waits happen *outside* the engine mutex through
-//     the wal.GroupCommitter, which is what lets many sessions overlap
+// Concurrency discipline (lock order: router → shard planes in
+// ascending shard-ID order → transaction-table shard):
+//
+//   - logical locks are acquired in the sharded LockTable before any
+//     plane; the table is no-wait (conflicts fail immediately), so it
+//     can never participate in a deadlock cycle;
+//   - a data operation routes its key, locks exactly the owning shard's
+//     plane, and revalidates the route under the plane (a concurrent
+//     migration may have moved the range; see lockPlane);
+//   - multi-plane operations — Abort over the transaction's touched
+//     shards, SplitRange over {from, to}, Checkpoint over all shards —
+//     acquire planes in ascending shard-ID order, which with the
+//     no-wait lock table is the whole deadlock-freedom argument;
+//   - commit durability waits happen outside every plane through the
+//     wal.GroupCommitter, which is what lets many sessions overlap
 //     their commit waits and share one log force (group commit).
 package tc
 
 import (
 	"errors"
+	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"logrec/internal/wal"
 )
@@ -28,47 +42,181 @@ import (
 // still active.
 var ErrSessionBusy = errors.New("tc: session already has an active transaction")
 
-// SessionManager multiplexes concurrent sessions over one TC. Create it
-// once, then NewSession per client goroutine.
+// plane is one shard's admission unit: the mutex serializing the
+// shard's DC, plus counters for the ops admitted and the real time
+// spent holding the mutex. BusyNS is what a per-shard core would have
+// been busy for — the shard sweep's modeled-parallel-throughput signal
+// on hosts with fewer cores than shards.
+type plane struct {
+	mu     sync.Mutex
+	ops    atomic.Int64
+	busyNS atomic.Int64
+}
+
+// release adds the held time to the busy counter and unlocks.
+func (p *plane) release(start time.Time) {
+	p.busyNS.Add(time.Since(start).Nanoseconds())
+	p.mu.Unlock()
+}
+
+// PlaneStats is one shard plane's counter snapshot.
+type PlaneStats struct {
+	// Shard is the plane's shard ID.
+	Shard wal.ShardID
+	// Ops is the number of plane acquisitions (data operations plus
+	// multi-plane operations that included this shard).
+	Ops int64
+	// BusyNS is the cumulative real time the plane's mutex was held,
+	// in nanoseconds.
+	BusyNS int64
+}
+
+// SessionManager multiplexes concurrent sessions over one TC: a router
+// in front of per-shard admission planes. Create it once, then
+// NewSession per client goroutine.
 type SessionManager struct {
 	tc *TC
 	gc *wal.GroupCommitter
 
-	// mu is the engine mutex: it serializes the DC (tree, pool, clock),
-	// the log tail ordering relative to page stamps, and the TC's
-	// transaction table.
-	mu sync.Mutex
+	// planes holds one admission plane per shard, indexed by shard ID.
+	planes []*plane
 }
 
-// NewSessionManager wraps tc for concurrent use, routing every log
+// NewSessionManager wraps t for concurrent use, routing every log
 // append through gc so commits batch.
 func NewSessionManager(t *TC, gc *wal.GroupCommitter) *SessionManager {
 	t.SetAppender(gc)
-	return &SessionManager{tc: t, gc: gc}
+	planes := make([]*plane, t.dc.NumShards())
+	for i := range planes {
+		planes[i] = &plane{}
+	}
+	return &SessionManager{tc: t, gc: gc, planes: planes}
 }
 
 // TC returns the underlying transactional component.
 func (m *SessionManager) TC() *TC { return m.tc }
 
 // GroupCommitter returns the committer batching this manager's flushes.
+//
+// Deprecated: tools should read engine.Stats().WAL instead of reaching
+// into the commit path; the accessor remains for the session layer's
+// own tests.
 func (m *SessionManager) GroupCommitter() *wal.GroupCommitter { return m.gc }
 
-// Checkpoint runs the TC checkpoint protocol under the engine mutex.
+// CommitStats returns the group committer's batching counters
+// (engine.Stats aggregation path).
+func (m *SessionManager) CommitStats() wal.GroupCommitStats { return m.gc.Stats() }
+
+// PlaneStats snapshots every shard plane's counters, indexed by shard.
+func (m *SessionManager) PlaneStats() []PlaneStats {
+	out := make([]PlaneStats, len(m.planes))
+	for i, p := range m.planes {
+		out[i] = PlaneStats{Shard: wal.ShardID(i), Ops: p.ops.Load(), BusyNS: p.busyNS.Load()}
+	}
+	return out
+}
+
+// lockPlane locks the plane owning key and returns it with the
+// acquisition time (for busy accounting; pass it to plane.release).
+//
+// Routing and locking cannot be atomic, so the route is revalidated
+// under the plane: if a concurrent migration moved the key's range
+// between the lookup and the lock, drop the plane and retry. This
+// converges because a migration flips routing only while holding both
+// the old and the new owner's planes — once we hold the plane the
+// lookup named, the route either still agrees (we won) or has settled
+// on another shard (we retry against the new owner).
+func (m *SessionManager) lockPlane(key uint64) (wal.ShardID, *plane, time.Time) {
+	for {
+		sh := m.tc.dc.LocateHit(key)
+		p := m.planes[sh]
+		p.mu.Lock()
+		if m.tc.dc.Locate(key) == sh {
+			p.ops.Add(1)
+			return sh, p, time.Now()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// lockPlanes acquires the planes of ids (deduplicated) in ascending
+// shard-ID order — the only order any multi-plane path uses — and
+// returns the function releasing them all in reverse. Every caller
+// must guarantee the release runs on every path, error or not: a
+// leaked plane wedges its shard for the life of the process. The
+// release function is idempotent.
+func (m *SessionManager) lockPlanes(ids []wal.ShardID) func() {
+	sorted := append([]wal.ShardID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := 0
+	for i, id := range sorted {
+		if i == 0 || id != sorted[n-1] {
+			sorted[n] = id
+			n++
+		}
+	}
+	sorted = sorted[:n]
+	for _, id := range sorted {
+		m.planes[id].mu.Lock()
+		m.planes[id].ops.Add(1)
+	}
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			held := time.Since(start).Nanoseconds()
+			for i := len(sorted) - 1; i >= 0; i-- {
+				p := m.planes[sorted[i]]
+				p.busyNS.Add(held)
+				p.mu.Unlock()
+			}
+		})
+	}
+}
+
+// allShards returns every shard ID (Checkpoint's plane set).
+func (m *SessionManager) allShards() []wal.ShardID {
+	ids := make([]wal.ShardID, len(m.planes))
+	for i := range ids {
+		ids[i] = wal.ShardID(i)
+	}
+	return ids
+}
+
+// Checkpoint runs the TC checkpoint protocol holding every shard plane,
+// so no data operation is in flight anywhere while the begin record,
+// the RSSP broadcast and the end record are written. Commits need no
+// plane and keep flowing; a commit record racing the active-table
+// snapshot lands after the begin-checkpoint LSN, where the redo scan
+// finds it regardless.
 func (m *SessionManager) Checkpoint() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	release := m.lockPlanes(m.allShards())
+	defer release()
 	return m.tc.Checkpoint()
 }
 
-// SplitRange runs the TC's range migration under the engine mutex, so
-// no session operation can slip between the migration's range scan and
-// its per-row locks (a row inserted in that window would be stranded on
-// the old shard after the re-route). Sessions stall for the duration of
-// the move; the moved range is small by design.
+// SplitRange runs the TC's range migration holding the planes of the
+// shard being split and the target shard, so no session operation can
+// slip between the migration's range scan and its per-row locks (a row
+// inserted in that window would be stranded on the old shard after the
+// re-route). Only those two shards stall; the rest of the engine keeps
+// running. Concurrent SplitRange calls may move the range between the
+// owner lookup and the plane locks, so the owner is revalidated under
+// the planes, like lockPlane does for a single key.
 func (m *SessionManager) SplitRange(table wal.TableID, at uint64, to wal.ShardID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tc.SplitRange(table, at, to)
+	if int(to) >= len(m.planes) {
+		return fmt.Errorf("tc: split target shard %d out of range (have %d)", to, len(m.planes))
+	}
+	for {
+		_, _, from := m.tc.dc.RangeOf(at)
+		release := m.lockPlanes([]wal.ShardID{from, to})
+		if _, _, cur := m.tc.dc.RangeOf(at); cur == from {
+			err := m.tc.SplitRange(table, at, to)
+			release()
+			return err
+		}
+		release()
+	}
 }
 
 // Session is one client's handle: a single goroutine drives a session,
@@ -76,24 +224,48 @@ func (m *SessionManager) SplitRange(table wal.TableID, at uint64, to wal.ShardID
 type Session struct {
 	mgr *SessionManager
 	txn *Txn
+
+	// touched marks the shards the current transaction has run data
+	// operations on (indexed by shard ID), and shards lists them;
+	// Abort must hold exactly those planes to undo. CLRs target the
+	// shard recorded in each log record, and every such record was
+	// written under one of these planes, so the set covers the whole
+	// backchain even across migrations.
+	touched []bool
+	shards  []wal.ShardID
 }
 
 // NewSession creates a session. Safe to call concurrently.
-func (m *SessionManager) NewSession() *Session { return &Session{mgr: m} }
+func (m *SessionManager) NewSession() *Session {
+	return &Session{mgr: m, touched: make([]bool, len(m.planes))}
+}
 
 // Txn returns the session's current transaction (nil between
 // transactions).
 func (s *Session) Txn() *Txn { return s.txn }
 
-// Begin starts the session's next transaction.
+// Begin starts the session's next transaction. The busy check runs
+// before anything is acquired, so the ErrSessionBusy return holds no
+// plane, no lock and no transaction-table entry.
 func (s *Session) Begin() error {
 	if s.txn != nil && s.txn.status == StatusActive {
 		return ErrSessionBusy
 	}
-	s.mgr.mu.Lock()
 	s.txn = s.mgr.tc.Begin()
-	s.mgr.mu.Unlock()
+	for i := range s.touched {
+		s.touched[i] = false
+	}
+	s.shards = s.shards[:0]
 	return nil
+}
+
+// note records that the transaction ran a data operation on sh. The
+// caller holds sh's plane.
+func (s *Session) note(sh wal.ShardID) {
+	if !s.touched[sh] {
+		s.touched[sh] = true
+		s.shards = append(s.shards, sh)
+	}
 }
 
 // checkActive validates the session's transaction without touching the
@@ -114,14 +286,16 @@ func (s *Session) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
 	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockShared); err != nil {
 		return nil, false, err
 	}
-	s.mgr.mu.Lock()
-	defer s.mgr.mu.Unlock()
-	return s.mgr.tc.dc.Read(table, key)
+	sh, p, start := s.mgr.lockPlane(key)
+	defer p.release(start)
+	return s.mgr.tc.dc.At(sh).Read(table, key)
 }
 
 // Update replaces the value under (table, key) within the session's
 // transaction. Lock conflicts return ErrLockConflict immediately
-// (no-wait); callers abort and retry.
+// (no-wait); callers abort and retry. The logical lock is taken before
+// the shard plane, so a conflict costs no plane time — and a failed
+// acquisition leaves nothing to release.
 func (s *Session) Update(table wal.TableID, key uint64, newVal []byte) error {
 	if err := s.checkActive(); err != nil {
 		return err
@@ -129,9 +303,10 @@ func (s *Session) Update(table wal.TableID, key uint64, newVal []byte) error {
 	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockExclusive); err != nil {
 		return err
 	}
-	s.mgr.mu.Lock()
-	defer s.mgr.mu.Unlock()
-	return s.mgr.tc.applyUpdate(s.txn, table, key, newVal)
+	sh, p, start := s.mgr.lockPlane(key)
+	defer p.release(start)
+	s.note(sh)
+	return s.mgr.tc.applyUpdateAt(sh, s.txn, table, key, newVal)
 }
 
 // Insert adds a new row within the session's transaction.
@@ -142,9 +317,10 @@ func (s *Session) Insert(table wal.TableID, key uint64, val []byte) error {
 	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockExclusive); err != nil {
 		return err
 	}
-	s.mgr.mu.Lock()
-	defer s.mgr.mu.Unlock()
-	return s.mgr.tc.applyInsert(s.txn, table, key, val)
+	sh, p, start := s.mgr.lockPlane(key)
+	defer p.release(start)
+	s.note(sh)
+	return s.mgr.tc.applyInsertAt(sh, s.txn, table, key, val)
 }
 
 // Delete removes a row within the session's transaction.
@@ -155,15 +331,18 @@ func (s *Session) Delete(table wal.TableID, key uint64) error {
 	if err := s.mgr.tc.locks.Acquire(s.txn.ID, table, key, LockExclusive); err != nil {
 		return err
 	}
-	s.mgr.mu.Lock()
-	defer s.mgr.mu.Unlock()
-	return s.mgr.tc.applyDelete(s.txn, table, key)
+	sh, p, start := s.mgr.lockPlane(key)
+	defer p.release(start)
+	s.note(sh)
+	return s.mgr.tc.applyDeleteAt(sh, s.txn, table, key)
 }
 
-// Commit ends the transaction: the commit record is appended under the
-// engine mutex, then the session waits for a group-commit batch flush
-// to cover it — outside the mutex, so concurrent committers share one
-// log force and one EOSL push.
+// Commit ends the transaction. No plane is needed: the commit record
+// is a TC-only append on the thread-safe log, and the transaction
+// table is sharded — so commits never serialize behind data
+// operations, not even on their own shards. The session then waits for
+// a group-commit batch flush to cover the record, so concurrent
+// committers share one log force and one EOSL push.
 //
 // Locks release before the durability wait (early lock release). That
 // is safe because the log flushes in prefix order: any transaction that
@@ -175,11 +354,9 @@ func (s *Session) Commit() error {
 	}
 	t := s.txn
 	m := s.mgr
-	m.mu.Lock()
-	lsn := m.tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
-	t.lastLSN = lsn
+	lsn := m.tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.LastLSN()})
+	t.setLastLSN(lsn)
 	m.tc.finishTxn(t, StatusCommitted)
-	m.mu.Unlock()
 
 	m.tc.locks.ReleaseAll(t.ID)
 	m.gc.WaitStable(lsn)
@@ -187,25 +364,27 @@ func (s *Session) Commit() error {
 	return nil
 }
 
-// Abort rolls the transaction back (logical undo with CLRs, under the
-// engine mutex) and releases its locks. The abort record needs no
-// force: it becomes stable with the next batch, and recovery rolls back
-// uncommitted transactions regardless.
+// Abort rolls the transaction back (logical undo with CLRs) holding
+// the planes of every shard the transaction touched, acquired in
+// ascending shard-ID order. The release is deferred so every return —
+// including a failed rollback — frees all planes. The abort record
+// needs no force: it becomes stable with the next batch, and recovery
+// rolls back uncommitted transactions regardless.
 func (s *Session) Abort() error {
 	if err := s.checkActive(); err != nil {
 		return err
 	}
 	t := s.txn
 	m := s.mgr
-	m.mu.Lock()
+	release := m.lockPlanes(s.shards)
+	defer release()
 	if err := m.tc.rollback(t); err != nil {
-		m.mu.Unlock()
 		return err
 	}
-	lsn := m.tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
-	t.lastLSN = lsn
+	lsn := m.tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.LastLSN()})
+	t.setLastLSN(lsn)
 	m.tc.finishTxn(t, StatusAborted)
-	m.mu.Unlock()
+	release()
 
 	m.tc.locks.ReleaseAll(t.ID)
 	s.txn = nil

@@ -122,7 +122,7 @@ func TestSessionConcurrentCommitAtomicityAfterCrash(t *testing.T) {
 		return
 	}
 
-	st := mgr.GroupCommitter().Stats()
+	st := eng.Stats().WAL
 	if st.Flushes == 0 {
 		t.Fatal("no group-commit flushes recorded")
 	}
@@ -239,10 +239,14 @@ func TestSessionLockConflictIsImmediate(t *testing.T) {
 	}
 }
 
-// TestSessionSplitRangeUnderTraffic races the engine-mutex-serialized
-// range migration against committing sessions on a 2-shard engine:
-// every committed write must survive the crash, including writes to
-// the migrated range, and the re-route must be in force afterwards.
+// TestSessionSplitRangeUnderTraffic races the range migration (which
+// holds only the two affected shards' planes) against committing
+// sessions on a 2-shard engine: every committed write must survive the
+// crash, including writes to the migrated range, and the re-route must
+// be in force afterwards. Both sides retry on ErrLockConflict — the
+// no-wait lock table refuses whichever of migration and session asks
+// second, which is exactly how the migration stays atomic without
+// stalling the whole engine.
 func TestSessionSplitRangeUnderTraffic(t *testing.T) {
 	const rows = 2048
 	cfg := engine.DefaultConfig()
@@ -279,17 +283,30 @@ func TestSessionSplitRangeUnderTraffic(t *testing.T) {
 				// Keys straddle the split point, disjoint per client.
 				k := uint64(splitAt - 80 + c*20 + i%20)
 				v := []byte(fmt.Sprintf("c%d-i%d", c, i))
-				if err := sess.Begin(); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-				if err := sess.Update(cfg.TableID, k, v); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-				if err := sess.Commit(); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
+				for attempt := 0; ; attempt++ {
+					if attempt == 50 {
+						errOnce.Do(func() { firstErr = fmt.Errorf("client %d key %d: starved after %d attempts", c, k, attempt) })
+						return
+					}
+					if err := sess.Begin(); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					if err := sess.Update(cfg.TableID, k, v); err != nil {
+						// Conflict with the in-flight migration: roll
+						// back and retry.
+						if abErr := sess.Abort(); abErr != nil {
+							errOnce.Do(func() { firstErr = abErr })
+							return
+						}
+						time.Sleep(time.Duration(attempt+1) * 50 * time.Microsecond)
+						continue
+					}
+					if err := sess.Commit(); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					break
 				}
 				mu.Lock()
 				oracle[k] = v
@@ -297,8 +314,17 @@ func TestSessionSplitRangeUnderTraffic(t *testing.T) {
 			}
 		}(c)
 	}
-	if err := mgr.SplitRange(cfg.TableID, splitAt, 1); err != nil {
-		t.Fatal(err)
+	// The migration contends with session row locks; like any no-wait
+	// caller it retries until it wins the range.
+	for attempt := 0; ; attempt++ {
+		err := mgr.SplitRange(cfg.TableID, splitAt, 1)
+		if err == nil {
+			break
+		}
+		if attempt == 200 {
+			t.Fatalf("migration starved: %v", err)
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 	wg.Wait()
 	if firstErr != nil {

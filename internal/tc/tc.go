@@ -21,6 +21,7 @@ package tc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"logrec/internal/shard"
 	"logrec/internal/storage"
@@ -45,9 +46,13 @@ const (
 
 // Txn is a transaction handle.
 type Txn struct {
-	ID      wal.TxnID
-	status  Status
-	lastLSN wal.LSN
+	ID     wal.TxnID
+	status Status
+	// last is the transaction's most recent log record. Atomic because
+	// a fuzzy checkpoint reads it while the owning session writes it
+	// (the checkpoint holds every shard plane, but commit/abort records
+	// are appended without one).
+	last atomic.Uint64
 	// updates counts data operations, for harness bookkeeping.
 	updates int
 }
@@ -56,7 +61,11 @@ type Txn struct {
 func (t *Txn) Status() Status { return t.status }
 
 // LastLSN returns the transaction's most recent log record.
-func (t *Txn) LastLSN() wal.LSN { return t.lastLSN }
+func (t *Txn) LastLSN() wal.LSN { return wal.LSN(t.last.Load()) }
+
+// setLastLSN advances the backchain head. Only the goroutine driving
+// the transaction calls it.
+func (t *Txn) setLastLSN(lsn wal.LSN) { t.last.Store(uint64(lsn)) }
 
 // Stats counts TC activity.
 type Stats struct {
@@ -86,32 +95,35 @@ type TC struct {
 	dc    *shard.Set
 	locks *LockTable
 
-	nextTxn wal.TxnID
-	active  map[wal.TxnID]*Txn
+	// txns is the transaction table: ID allocation plus the active set,
+	// hash-sharded so sessions' Begin/Commit never serialize behind one
+	// another or behind data operations.
+	txns *txnTable
 
 	// lastEndCkpt is the TC's master record: the LSN of the most recent
 	// end-checkpoint record on the stable log. Recovery starts from the
 	// begin-checkpoint it names (§3.2's penultimate checkpoint). It is
-	// part of the crash-surviving state, like a boot block.
-	lastEndCkpt wal.LSN
+	// part of the crash-surviving state, like a boot block. Atomic so a
+	// crash snapshot can read it while a background checkpointer
+	// advances it.
+	lastEndCkpt atomic.Uint64
 	// masterHook, when set, persists each master-record advance (the
 	// file-backed engine writes it to a well-known file, the real
 	// system's boot-block sector). The simulated engine leaves it nil:
 	// there the master record survives in CrashState directly.
 	masterHook func(wal.LSN) error
 
-	stats Stats
+	stats counters
 }
 
 // New creates a TC over the shared log and the shard set it drives.
 func New(log *wal.Log, set *shard.Set) *TC {
 	return &TC{
-		log:     log,
-		app:     log,
-		dc:      set,
-		locks:   NewLockTable(),
-		nextTxn: 1,
-		active:  make(map[wal.TxnID]*Txn),
+		log:   log,
+		app:   log,
+		dc:    set,
+		locks: NewLockTable(),
+		txns:  newTxnTable(),
 	}
 }
 
@@ -128,22 +140,21 @@ func (tc *TC) Log() *wal.Log { return tc.log }
 // Locks returns the lock table.
 func (tc *TC) Locks() *LockTable { return tc.locks }
 
-// Stats returns a copy of the counters.
-func (tc *TC) Stats() Stats { return tc.stats }
+// Stats returns a snapshot of the counters.
+func (tc *TC) Stats() Stats { return tc.stats.snapshot() }
 
 // LastEndCkptLSN returns the master-record pointer to the latest
 // completed checkpoint's end record.
-func (tc *TC) LastEndCkptLSN() wal.LSN { return tc.lastEndCkpt }
+func (tc *TC) LastEndCkptLSN() wal.LSN { return wal.LSN(tc.lastEndCkpt.Load()) }
 
 // ActiveCount returns the number of in-flight transactions.
-func (tc *TC) ActiveCount() int { return len(tc.active) }
+func (tc *TC) ActiveCount() int { return tc.txns.count() }
 
 // Begin starts a transaction.
 func (tc *TC) Begin() *Txn {
-	t := &Txn{ID: tc.nextTxn, status: StatusActive}
-	tc.nextTxn++
-	tc.active[t.ID] = t
-	tc.stats.Begun++
+	t := &Txn{ID: tc.txns.allocate(), status: StatusActive}
+	tc.txns.add(t)
+	tc.stats.begun.Add(1)
 	return t
 }
 
@@ -151,7 +162,7 @@ func (tc *TC) checkActive(t *Txn) error {
 	if t == nil || t.status != StatusActive {
 		return ErrTxnNotActive
 	}
-	if _, ok := tc.active[t.ID]; !ok {
+	if !tc.txns.has(t.ID) {
 		return ErrTxnNotActive
 	}
 	return nil
@@ -208,17 +219,24 @@ func (tc *TC) Update(t *Txn, table wal.TableID, key uint64, newVal []byte) error
 }
 
 // applyUpdate performs the locked portion of Update: the caller has
-// already acquired the X lock (sessions acquire it outside the engine
-// mutex so lock-table sharding pays off).
+// already acquired the X lock (sessions acquire it outside the shard
+// planes so lock-table sharding pays off).
 func (tc *TC) applyUpdate(t *Txn, table wal.TableID, key uint64, newVal []byte) error {
-	oldVal, found, err := tc.dc.Read(table, key)
+	return tc.applyUpdateAt(tc.dc.Locate(key), t, table, key, newVal)
+}
+
+// applyUpdateAt is applyUpdate pinned to a shard: the session path
+// resolves the owner while locking its plane and the operation must run
+// on that shard even if the routing table moves meanwhile.
+func (tc *TC) applyUpdateAt(target wal.ShardID, t *Txn, table wal.TableID, key uint64, newVal []byte) error {
+	oldVal, found, err := tc.dc.At(target).Read(table, key)
 	if err != nil {
 		return err
 	}
 	if !found {
 		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
 	}
-	err = tc.dc.Update(table, key, newVal, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
+	err = tc.dc.UpdateAt(target, table, key, newVal, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 		lsn := tc.app.MustAppend(&wal.UpdateRec{
 			TxnID:   t.ID,
 			TableID: table,
@@ -227,16 +245,16 @@ func (tc *TC) applyUpdate(t *Txn, table wal.TableID, key uint64, newVal []byte) 
 			NewVal:  newVal,
 			PageID:  pid,
 			ShardID: sh,
-			PrevLSN: t.lastLSN,
+			PrevLSN: t.LastLSN(),
 		})
-		t.lastLSN = lsn
+		t.setLastLSN(lsn)
 		return lsn
 	})
 	if err != nil {
 		return err
 	}
 	t.updates++
-	tc.stats.Updates++
+	tc.stats.updates.Add(1)
 	return nil
 }
 
@@ -254,7 +272,12 @@ func (tc *TC) Insert(t *Txn, table wal.TableID, key uint64, val []byte) error {
 // applyInsert performs the locked portion of Insert (X lock already
 // held by the caller).
 func (tc *TC) applyInsert(t *Txn, table wal.TableID, key uint64, val []byte) error {
-	err := tc.dc.Insert(table, key, val, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
+	return tc.applyInsertAt(tc.dc.Locate(key), t, table, key, val)
+}
+
+// applyInsertAt is applyInsert pinned to a shard; see applyUpdateAt.
+func (tc *TC) applyInsertAt(target wal.ShardID, t *Txn, table wal.TableID, key uint64, val []byte) error {
+	err := tc.dc.InsertAt(target, table, key, val, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 		lsn := tc.app.MustAppend(&wal.InsertRec{
 			TxnID:   t.ID,
 			TableID: table,
@@ -262,16 +285,16 @@ func (tc *TC) applyInsert(t *Txn, table wal.TableID, key uint64, val []byte) err
 			Val:     val,
 			PageID:  pid,
 			ShardID: sh,
-			PrevLSN: t.lastLSN,
+			PrevLSN: t.LastLSN(),
 		})
-		t.lastLSN = lsn
+		t.setLastLSN(lsn)
 		return lsn
 	})
 	if err != nil {
 		return err
 	}
 	t.updates++
-	tc.stats.Inserts++
+	tc.stats.inserts.Add(1)
 	return nil
 }
 
@@ -289,14 +312,19 @@ func (tc *TC) Delete(t *Txn, table wal.TableID, key uint64) error {
 // applyDelete performs the locked portion of Delete (X lock already
 // held by the caller).
 func (tc *TC) applyDelete(t *Txn, table wal.TableID, key uint64) error {
-	oldVal, found, err := tc.dc.Read(table, key)
+	return tc.applyDeleteAt(tc.dc.Locate(key), t, table, key)
+}
+
+// applyDeleteAt is applyDelete pinned to a shard; see applyUpdateAt.
+func (tc *TC) applyDeleteAt(target wal.ShardID, t *Txn, table wal.TableID, key uint64) error {
+	oldVal, found, err := tc.dc.At(target).Read(table, key)
 	if err != nil {
 		return err
 	}
 	if !found {
 		return fmt.Errorf("%w: table %d key %d", ErrKeyNotFound, table, key)
 	}
-	err = tc.dc.Delete(table, key, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
+	err = tc.dc.DeleteAt(target, table, key, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 		lsn := tc.app.MustAppend(&wal.DeleteRec{
 			TxnID:   t.ID,
 			TableID: table,
@@ -304,16 +332,16 @@ func (tc *TC) applyDelete(t *Txn, table wal.TableID, key uint64) error {
 			OldVal:  oldVal,
 			PageID:  pid,
 			ShardID: sh,
-			PrevLSN: t.lastLSN,
+			PrevLSN: t.LastLSN(),
 		})
-		t.lastLSN = lsn
+		t.setLastLSN(lsn)
 		return lsn
 	})
 	if err != nil {
 		return err
 	}
 	t.updates++
-	tc.stats.Deletes++
+	tc.stats.deletes.Add(1)
 	return nil
 }
 
@@ -324,8 +352,8 @@ func (tc *TC) Commit(t *Txn) error {
 	if err := tc.checkActive(t); err != nil {
 		return err
 	}
-	lsn := tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.lastLSN})
-	t.lastLSN = lsn
+	lsn := tc.app.MustAppend(&wal.CommitRec{TxnID: t.ID, PrevLSN: t.LastLSN()})
+	t.setLastLSN(lsn)
 	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.finishTxn(t, StatusCommitted)
@@ -339,11 +367,11 @@ func (tc *TC) Commit(t *Txn) error {
 // log inline; sessions wait on the group committer instead).
 func (tc *TC) finishTxn(t *Txn, status Status) {
 	t.status = status
-	delete(tc.active, t.ID)
+	tc.txns.remove(t.ID)
 	if status == StatusCommitted {
-		tc.stats.Committed++
+		tc.stats.committed.Add(1)
 	} else {
-		tc.stats.Aborted++
+		tc.stats.aborted.Add(1)
 	}
 }
 
@@ -357,8 +385,8 @@ func (tc *TC) Abort(t *Txn) error {
 	if err := tc.rollback(t); err != nil {
 		return fmt.Errorf("tc: rollback of txn %d: %w", t.ID, err)
 	}
-	lsn := tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.lastLSN})
-	t.lastLSN = lsn
+	lsn := tc.app.MustAppend(&wal.AbortRec{TxnID: t.ID, PrevLSN: t.LastLSN()})
+	t.setLastLSN(lsn)
 	eLSN := tc.app.Flush()
 	tc.dc.EOSL(eLSN)
 	tc.finishTxn(t, StatusAborted)
@@ -371,7 +399,7 @@ func (tc *TC) Abort(t *Txn) error {
 // rows are relocated by key through the DC's index, exactly as crash
 // undo does (§1.2 — undo is already logical in ARIES).
 func (tc *TC) rollback(t *Txn) error {
-	cur := t.lastLSN
+	cur := t.LastLSN()
 	for cur != wal.NilLSN {
 		rec, err := tc.log.Get(cur)
 		if err != nil {
@@ -397,9 +425,9 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
 				Kind: wal.CLRUndoUpdate, RestoreVal: r.OldVal, PageID: pid, ShardID: sh,
-				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
+				UndoNextLSN: r.PrevLSN, PrevLSN: t.LastLSN(),
 			})
-			t.lastLSN = lsn
+			t.setLastLSN(lsn)
 			return lsn
 		})
 		return r.PrevLSN, err
@@ -408,9 +436,9 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
 				Kind: wal.CLRUndoInsert, PageID: pid, ShardID: sh,
-				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
+				UndoNextLSN: r.PrevLSN, PrevLSN: t.LastLSN(),
 			})
-			t.lastLSN = lsn
+			t.setLastLSN(lsn)
 			return lsn
 		})
 		return r.PrevLSN, err
@@ -419,9 +447,9 @@ func (tc *TC) undoOne(t *Txn, rec wal.Record) (wal.LSN, error) {
 			lsn := tc.app.MustAppend(&wal.CLRRec{
 				TxnID: t.ID, TableID: r.TableID, KeyVal: r.KeyVal,
 				Kind: wal.CLRUndoDelete, RestoreVal: r.OldVal, PageID: pid, ShardID: sh,
-				UndoNextLSN: r.PrevLSN, PrevLSN: t.lastLSN,
+				UndoNextLSN: r.PrevLSN, PrevLSN: t.LastLSN(),
 			})
-			t.lastLSN = lsn
+			t.setLastLSN(lsn)
 			return lsn
 		})
 		return r.PrevLSN, err
@@ -456,19 +484,19 @@ func (tc *TC) Checkpoint() error {
 	}
 
 	end := &wal.EndCkptRec{BeginLSN: bLSN, Routes: tc.dc.Routes()}
-	for id, t := range tc.active {
-		end.Active = append(end.Active, wal.ActiveTxn{TxnID: id, LastLSN: t.lastLSN})
+	for _, t := range tc.txns.snapshot() {
+		end.Active = append(end.Active, wal.ActiveTxn{TxnID: t.ID, LastLSN: t.LastLSN()})
 	}
 	endLSN := tc.app.MustAppend(end)
 	eLSN = tc.app.Flush()
 	tc.dc.EOSL(eLSN)
-	tc.lastEndCkpt = endLSN
+	tc.lastEndCkpt.Store(uint64(endLSN))
 	if tc.masterHook != nil {
 		if err := tc.masterHook(endLSN); err != nil {
 			return fmt.Errorf("tc: persisting master record: %w", err)
 		}
 	}
-	tc.stats.Checkpoints++
+	tc.stats.checkpoints.Add(1)
 	return nil
 }
 
@@ -503,7 +531,7 @@ func (tc *TC) SendEOSL() wal.LSN {
 // single-threaded path: the scan, the per-row locks and the row moves
 // assume no other goroutine mutates the range meanwhile. Under
 // concurrent sessions call SessionManager.SplitRange instead, which
-// holds the engine mutex across the whole migration.
+// holds both shards' planes across the whole migration.
 func (tc *TC) SplitRange(table wal.TableID, at uint64, to wal.ShardID) error {
 	if int(to) >= tc.dc.NumShards() {
 		return fmt.Errorf("tc: split target shard %d out of range (have %d)", to, tc.dc.NumShards())
@@ -543,9 +571,9 @@ func (tc *TC) SplitRange(table wal.TableID, at uint64, to wal.ShardID) error {
 		err := tc.dc.DeleteAt(from, table, r.k, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 			lsn := tc.app.MustAppend(&wal.DeleteRec{
 				TxnID: t.ID, TableID: table, KeyVal: r.k, OldVal: r.v,
-				PageID: pid, ShardID: sh, PrevLSN: t.lastLSN,
+				PageID: pid, ShardID: sh, PrevLSN: t.LastLSN(),
 			})
-			t.lastLSN = lsn
+			t.setLastLSN(lsn)
 			return lsn
 		})
 		if err != nil {
@@ -554,37 +582,35 @@ func (tc *TC) SplitRange(table wal.TableID, at uint64, to wal.ShardID) error {
 		err = tc.dc.InsertAt(to, table, r.k, r.v, func(sh wal.ShardID, pid storage.PageID) wal.LSN {
 			lsn := tc.app.MustAppend(&wal.InsertRec{
 				TxnID: t.ID, TableID: table, KeyVal: r.k, Val: r.v,
-				PageID: pid, ShardID: sh, PrevLSN: t.lastLSN,
+				PageID: pid, ShardID: sh, PrevLSN: t.LastLSN(),
 			})
-			t.lastLSN = lsn
+			t.setLastLSN(lsn)
 			return lsn
 		})
 		if err != nil {
 			return fail(err)
 		}
 	}
-	t.lastLSN = tc.app.MustAppend(&wal.ShardMapRec{
-		TxnID: t.ID, SplitAt: at, NewShard: to, PrevLSN: t.lastLSN,
-	})
+	t.setLastLSN(tc.app.MustAppend(&wal.ShardMapRec{
+		TxnID: t.ID, SplitAt: at, End: end, NewShard: to, PrevLSN: t.LastLSN(),
+	}))
 	if err := tc.Commit(t); err != nil {
 		return fmt.Errorf("tc: committing range split at %d: %w", at, err)
 	}
 	if err := tc.dc.Reassign(at, to); err != nil {
 		return fmt.Errorf("tc: re-routing after split at %d: %w", at, err)
 	}
-	tc.stats.RangeSplits++
+	tc.stats.rangeSplits.Add(1)
 	return nil
 }
 
 // RestoreNextTxnID moves the transaction-ID allocator past IDs observed
 // in the log (called after recovery so new transactions do not collide).
 func (tc *TC) RestoreNextTxnID(maxSeen wal.TxnID) {
-	if maxSeen >= tc.nextTxn {
-		tc.nextTxn = maxSeen + 1
-	}
+	tc.txns.bump(maxSeen)
 }
 
 // RestoreMaster installs the master-record pointer after recovery.
 func (tc *TC) RestoreMaster(lastEndCkpt wal.LSN) {
-	tc.lastEndCkpt = lastEndCkpt
+	tc.lastEndCkpt.Store(uint64(lastEndCkpt))
 }

@@ -548,8 +548,14 @@ func (r *RSSPRec) decodeBody(src []byte) error {
 // only for committed migrations — a loser migration's rows are undone
 // back to their old shard, so its routing change must not take effect.
 type ShardMapRec struct {
-	TxnID    TxnID
-	SplitAt  uint64
+	TxnID   TxnID
+	SplitAt uint64
+	// End is the inclusive end of the migrated range. Recovery must not
+	// infer the extent from boundaries it can see: load-driven
+	// boundary-only splits are unlogged, so the live range the migration
+	// actually moved may be narrower than the recovered routing table
+	// suggests.
+	End      uint64
 	NewShard ShardID
 	PrevLSN  LSN
 }
@@ -561,6 +567,7 @@ func (r *ShardMapRec) Prev() LSN  { return r.PrevLSN }
 func (r *ShardMapRec) encodeBody(dst []byte) []byte {
 	dst = putU64(dst, uint64(r.TxnID))
 	dst = putU64(dst, r.SplitAt)
+	dst = putU64(dst, r.End)
 	dst = putU32(dst, uint32(r.NewShard))
 	dst = putU64(dst, uint64(r.PrevLSN))
 	return dst
@@ -570,6 +577,7 @@ func (r *ShardMapRec) decodeBody(src []byte) error {
 	d := newDecoder(src)
 	r.TxnID = TxnID(d.u64("txn"))
 	r.SplitAt = d.u64("splitAt")
+	r.End = d.u64("end")
 	r.NewShard = ShardID(d.u32("newShard"))
 	r.PrevLSN = LSN(d.u64("prev"))
 	return d.finish(TypeShardMap)
