@@ -15,7 +15,7 @@ TOLERANCE ?= 0.30
 # wear, no noisy-neighbour IO), /tmp otherwise.
 FILEDEV_DIR ?= $(shell test -d /dev/shm && echo /dev/shm/logrec-filedev || echo /tmp/logrec-filedev)
 
-.PHONY: build test race fuzz-smoke examples doclint bench bench-smoke bench-gate bench-baseline staticcheck fmt fmt-check vet ci
+.PHONY: build test race fuzz-smoke examples doclint bench bench-smoke bench-gate bench-baseline workload-smoke staticcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,7 @@ bench: | $(BENCH_DIR)
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
 	$(GO) run ./cmd/recoverybench -shards 1,2,4 \
 		-out $(BENCH_DIR)/BENCH_recovery_shards.json
+	$(GO) run ./cmd/walbench -workload mixed -out $(BENCH_DIR)/BENCH_workload.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
 
 # Short smoke sweeps for CI artifact upload and the regression gate.
@@ -74,6 +75,17 @@ bench-smoke: | $(BENCH_DIR)
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
 	$(GO) run ./cmd/recoverybench -quick -shards 1,2,4 \
 		-out $(BENCH_DIR)/BENCH_recovery_shards.json
+	$(GO) run ./cmd/walbench -workload mixed -quick -out $(BENCH_DIR)/BENCH_workload.json
+
+# Tiny zipfian mixed run through the typed executor on the simulated
+# device, then the workload gate: op-mix coverage, nonzero scan rows,
+# the crash-recovery typed digest, and the pushdown decode win (the
+# driver itself asserts the first three; benchdiff re-checks them plus
+# throughput against the baseline).
+workload-smoke: | $(BENCH_DIR)
+	$(GO) run ./cmd/walbench -workload mixed -quick -out $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/benchdiff -kind workload -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_workload.json -current $(BENCH_DIR)/BENCH_workload.json
 
 # Regression gate: compare fresh smoke numbers against the checked-in
 # baselines. Fails on a >TOLERANCE walbench throughput drop, a parallel
@@ -91,6 +103,8 @@ bench-gate: bench-smoke
 		-baseline ci/baselines/BENCH_recovery_file.json -current $(BENCH_DIR)/BENCH_recovery_file.json
 	$(GO) run ./cmd/benchdiff -kind recovery-shards -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_recovery_shards.json -current $(BENCH_DIR)/BENCH_recovery_shards.json
+	$(GO) run ./cmd/benchdiff -kind workload -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_workload.json -current $(BENCH_DIR)/BENCH_workload.json
 
 # Refresh the checked-in baselines after an intentional perf change.
 bench-baseline: bench-smoke
@@ -99,6 +113,7 @@ bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_recovery.json ci/baselines/BENCH_recovery.json
 	cp $(BENCH_DIR)/BENCH_recovery_file.json ci/baselines/BENCH_recovery_file.json
 	cp $(BENCH_DIR)/BENCH_recovery_shards.json ci/baselines/BENCH_recovery_shards.json
+	cp $(BENCH_DIR)/BENCH_workload.json ci/baselines/BENCH_workload.json
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -43,6 +43,13 @@
 //	                     reported but not gated — like the file kind, CI
 //	                     smoke hardware is too variable to assert a
 //	                     shape; refresh the baseline to track it.
+//	-kind workload       gates the typed-executor YCSB run: every op
+//	                     kind the mix asks for must have committed,
+//	                     scans must return rows, the crash-recovery
+//	                     typed digest must match, predicate pushdown
+//	                     must decode strictly fewer rows than
+//	                     post-filtering, and throughput (ops/sec) must
+//	                     hold within the tolerance of the baseline.
 //	-kind recovery-file  gates recoverybench -device=file: every sweep
 //	                     entry must have completed (its wall time is a
 //	                     real measurement, so it must be positive),
@@ -82,6 +89,24 @@ type walShardsReport struct {
 		FirstHotShare  float64 `json:"first_hot_share"`
 		LastHotShare   float64 `json:"last_hot_share"`
 	} `json:"results"`
+}
+
+type wkldReport struct {
+	Preset string `json:"preset"`
+	Result struct {
+		Commits           int64   `json:"commits"`
+		Reads             int64   `json:"reads"`
+		Updates           int64   `json:"updates"`
+		Inserts           int64   `json:"inserts"`
+		Scans             int64   `json:"scans"`
+		ScanRows          int64   `json:"scan_rows"`
+		OpsPerSec         float64 `json:"ops_per_sec"`
+		ProbeRows         int64   `json:"probe_rows"`
+		PushdownDecoded   int64   `json:"pushdown_decoded_rows"`
+		PostFilterDecoded int64   `json:"postfilter_decoded_rows"`
+		RowsRecovered     int64   `json:"rows_recovered"`
+		DigestMatch       bool    `json:"digest_match"`
+	} `json:"result"`
 }
 
 type recoveryReport struct {
@@ -145,8 +170,10 @@ func main() {
 		failures = diffRecoveryFile(*baseline, *current, *tolerance)
 	case "recovery-shards":
 		failures = diffRecoveryShards(*baseline, *current, *tolerance)
+	case "workload":
+		failures = diffWorkload(*baseline, *current, *tolerance)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file or recovery-shards)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards or workload)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -298,6 +325,60 @@ func diffWALShards(basePath, curPath string, tol, minScale float64) []string {
 			fails = append(fails, fmt.Sprintf(
 				"shards=%d: hot share did not drop (first %.2f, last %.2f)",
 				r.Shards, r.FirstHotShare, r.LastHotShare))
+		}
+	}
+	return fails
+}
+
+// diffWorkload gates the typed-executor YCSB run: mix coverage, the
+// recovery digest, the pushdown decode win, and baseline throughput
+// (see the package comment).
+func diffWorkload(basePath, curPath string, tol float64) []string {
+	var base, cur wkldReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+	r := cur.Result
+
+	if r.Commits <= 0 {
+		return []string{"current workload run committed nothing"}
+	}
+	// The walbench driver already asserts its own mix coverage before
+	// writing the report; re-check the load-bearing ones so a stale or
+	// hand-edited report cannot pass the gate.
+	if base.Result.Reads > 0 && r.Reads == 0 {
+		fails = append(fails, "baseline mix has reads but current run committed none")
+	}
+	if base.Result.Updates > 0 && r.Updates == 0 {
+		fails = append(fails, "baseline mix has updates but current run committed none")
+	}
+	if base.Result.Inserts > 0 && r.Inserts == 0 {
+		fails = append(fails, "baseline mix has inserts but current run committed none")
+	}
+	if base.Result.Scans > 0 && (r.Scans == 0 || r.ScanRows == 0) {
+		fails = append(fails, fmt.Sprintf(
+			"baseline mix has scans but current run committed %d scans over %d rows", r.Scans, r.ScanRows))
+	}
+	if !r.DigestMatch {
+		fails = append(fails, "typed digest diverged across crash recovery")
+	}
+	if r.RowsRecovered <= 0 {
+		fails = append(fails, "recovery produced no executor-visible rows")
+	}
+	if r.ProbeRows <= 0 {
+		fails = append(fails, "pushdown probe matched no rows; the decode comparison is vacuous")
+	}
+	if r.PushdownDecoded >= r.PostFilterDecoded {
+		fails = append(fails, fmt.Sprintf(
+			"pushdown decoded %d rows ≥ post-filter %d: predicate pushdown is not saving decodes",
+			r.PushdownDecoded, r.PostFilterDecoded))
+	}
+	if base.Result.OpsPerSec > 0 {
+		floor := base.Result.OpsPerSec * (1 - tol)
+		if r.OpsPerSec < floor {
+			fails = append(fails, fmt.Sprintf(
+				"%.0f ops/sec < %.0f (baseline %.0f - %.0f%%)",
+				r.OpsPerSec, floor, base.Result.OpsPerSec, tol*100))
 		}
 	}
 	return fails

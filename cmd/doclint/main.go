@@ -1,9 +1,11 @@
 // Command doclint enforces the repository's documentation contract in
 // CI: every package under the given roots must carry a godoc package
-// comment, and every exported field of a tuning-knob struct (a type
-// named Config or Options, e.g. core.Options and storage.Config) must
-// have a doc comment — those fields are the operator surface README.md
-// and ARCHITECTURE.md point at.
+// comment, every exported type must have a doc comment (the typed
+// executor and workload packages are client API surface, so exported
+// types rot fastest), and every exported field of a tuning-knob struct
+// (a type named Config or Options, e.g. core.Options and
+// storage.Config) must have a doc comment — those fields are the
+// operator surface README.md and ARCHITECTURE.md point at.
 //
 // Usage:
 //
@@ -52,7 +54,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Println("doclint: all packages and knob structs documented")
+	fmt.Println("doclint: all packages, exported types and knob structs documented")
 }
 
 // packageDirs returns every directory under root containing .go files.
@@ -98,10 +100,39 @@ func lintDir(dir string) ([]string, error) {
 				"%s: package %s has no package comment (// Package %s ...)", dir, name, name))
 		}
 		for _, f := range pkg.Files {
+			violations = append(violations, lintExportedTypes(fset, f)...)
 			violations = append(violations, lintKnobs(fset, f)...)
 		}
 	}
 	return violations, nil
+}
+
+// lintExportedTypes checks that every exported type declaration
+// carries a doc comment, either on the TypeSpec itself or on its
+// enclosing grouped declaration.
+func lintExportedTypes(fset *token.FileSet, f *ast.File) []string {
+	var violations []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		groupDoc := gd.Doc != nil && strings.TrimSpace(gd.Doc.Text()) != ""
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			if groupDoc || (ts.Doc != nil && strings.TrimSpace(ts.Doc.Text()) != "") {
+				continue
+			}
+			pos := fset.Position(ts.Pos())
+			violations = append(violations, fmt.Sprintf(
+				"%s:%d: exported type %s has no doc comment",
+				pos.Filename, pos.Line, ts.Name.Name))
+		}
+	}
+	return violations
 }
 
 // lintKnobs checks exported fields of Config/Options structs for doc

@@ -1,0 +1,439 @@
+// The -workload mode: a YCSB-style benchmark driven entirely through
+// the typed executor. N clients run weighted mixes of point reads,
+// updates, inserts, short range scans and read-modify-writes (presets
+// a–f plus the four-way "mixed" smoke preset) over a zipfian or
+// uniform key space of millions of typed rows, against a sharded
+// engine. Transactions whose ops are all point-shaped run through the
+// executor's Batch (one grouped lock-and-plane round trip); scans and
+// RMWs run per-op inside Executor.Txn.
+//
+// After the timed run the driver measures predicate pushdown — the
+// same filtered scan once pushed into the B-tree iterator and once
+// post-filtered, reporting full-row decode counts for both — and then
+// crashes the engine and recovers it (Log2), comparing a typed digest
+// of every executor-visible row before and after. The digest is the
+// typed round-trip oracle: it re-encodes each decoded row, so any
+// codec or recovery divergence changes it.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"logrec/internal/core"
+	"logrec/internal/engine"
+	"logrec/internal/exec"
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+	"logrec/internal/workload"
+)
+
+// benchSchema shapes the workload rows: the key mirrored into a typed
+// column, a payload string, an update-version counter and a sparse
+// flag (set on 1 in 16 rows) that the pushdown probe filters on.
+var benchSchema = exec.MustSchema(
+	exec.Column{Name: "k", Type: exec.TUint64},
+	exec.Column{Name: "payload", Type: exec.TString},
+	exec.Column{Name: "ver", Type: exec.TUint64},
+	exec.Column{Name: "flag", Type: exec.TBool},
+)
+
+const flagEvery = 16 // rows with k%flagEvery == 0 have flag=true
+
+func benchRow(k uint64) []any {
+	return []any{k, fmt.Sprintf("payload-%08x-%032x", k, k*0x9E3779B97F4A7C15), uint64(0), k%flagEvery == 0}
+}
+
+type workloadResult struct {
+	Commits       int64   `json:"commits"`
+	Conflicts     int64   `json:"conflicts"`
+	Reads         int64   `json:"reads"`
+	Updates       int64   `json:"updates"`
+	Inserts       int64   `json:"inserts"`
+	Scans         int64   `json:"scans"`
+	RMWs          int64   `json:"rmws"`
+	ScanRows      int64   `json:"scan_rows"`
+	BatchedTxns   int64   `json:"batched_txns"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+
+	// Pushdown probe: the same filtered scan with the predicate pushed
+	// into the B-tree iterator versus applied after the full decode.
+	ProbeRows         int64   `json:"probe_rows"`
+	PushdownDecoded   int64   `json:"pushdown_decoded_rows"`
+	PostFilterDecoded int64   `json:"postfilter_decoded_rows"`
+	PushdownMS        float64 `json:"pushdown_ms"`
+	PostFilterMS      float64 `json:"postfilter_ms"`
+
+	// Crash + Log2 recovery with the typed digest oracle.
+	RowsBeforeCrash int64   `json:"rows_before_crash"`
+	RowsRecovered   int64   `json:"rows_recovered"`
+	RecoveryMS      float64 `json:"recovery_ms"`
+	DigestMatch     bool    `json:"digest_match"`
+}
+
+type workloadReport struct {
+	Benchmark     string         `json:"benchmark"`
+	Preset        string         `json:"preset"`
+	Mix           string         `json:"mix"`
+	GoMaxProcs    int            `json:"go_max_procs"`
+	Clients       int            `json:"clients"`
+	TxnsPerClient int            `json:"txns_per_client"`
+	OpsPerTxn     int            `json:"ops_per_txn"`
+	Keys          int            `json:"keys"`
+	Shards        int            `json:"shards"`
+	Dist          string         `json:"dist"`
+	ZipfS         float64        `json:"zipf_s"`
+	MaxScanLen    int            `json:"max_scan_len"`
+	Result        workloadResult `json:"result"`
+}
+
+// workloadParams bundles the run's knobs.
+type workloadParams struct {
+	preset     string
+	clients    int
+	txns       int
+	ops        int
+	keys       int
+	shards     int
+	cache      int
+	uniform    bool
+	zipfS      float64
+	maxScanLen int
+	flushDelay time.Duration
+	out        string
+}
+
+// clientCounts tallies one client's committed operations.
+type clientCounts struct {
+	reads, updates, inserts, scans, rmws, scanRows, conflicts, batched int64
+}
+
+func runWorkload(p workloadParams) {
+	mix, ok := workload.Preset(p.preset)
+	if !ok {
+		log.Fatalf("unknown -workload preset %q (have %v)", p.preset, workload.PresetNames())
+	}
+	dist := workload.Zipf
+	if p.uniform {
+		dist = workload.Uniform
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.CachePages = p.cache
+	cfg.Shards = p.shards
+	cfg.KeySpan = uint64(p.keys)
+	eng, err := engine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("walbench workload: preset %s (%v), %d keys × %d shards, %d clients × %d txns × %d ops, %s\n",
+		p.preset, mix, p.keys, p.shards, p.clients, p.txns, p.ops, dist)
+	if err := eng.Load(p.keys, func(k uint64) []byte {
+		buf, err := benchSchema.Encode(benchRow(k)...)
+		if err != nil {
+			panic(err)
+		}
+		return buf
+	}); err != nil {
+		log.Fatal(err)
+	}
+	mgr := eng.NewSessionManager(p.flushDelay)
+
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+		fail     = func(err error) { errOnce.Do(func() { firstErr = err }) }
+		totals   = make([]clientCounts, p.clients)
+	)
+	start := time.Now()
+	for c := 0; c < p.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen, err := workload.NewMixGenerator(workload.MixConfig{
+				Keys:         uint64(p.keys),
+				Mix:          mix,
+				Dist:         dist,
+				ZipfS:        p.zipfS,
+				MaxScanLen:   p.maxScanLen,
+				InsertBase:   uint64(p.keys + c),
+				InsertStride: uint64(p.clients),
+				Seed:         int64(c + 1),
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			ex := exec.New(mgr.NewSession(), cfg.TableID, benchSchema)
+			ct := &totals[c]
+			for i := 0; i < p.txns; i++ {
+				ops := make([]workload.MixOp, p.ops)
+				pointOnly := true
+				for j := range ops {
+					ops[j] = gen.Next()
+					if ops[j].Kind == workload.OpScan || ops[j].Kind == workload.OpRMW {
+						pointOnly = false
+					}
+				}
+				if err := runMixTxn(ex, ops, pointOnly, ct); err != nil {
+					fail(fmt.Errorf("client %d txn %d: %w", c, i, err))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		log.Fatal(firstErr)
+	}
+
+	var res workloadResult
+	for i := range totals {
+		ct := &totals[i]
+		res.Reads += ct.reads
+		res.Updates += ct.updates
+		res.Inserts += ct.inserts
+		res.Scans += ct.scans
+		res.RMWs += ct.rmws
+		res.ScanRows += ct.scanRows
+		res.Conflicts += ct.conflicts
+		res.BatchedTxns += ct.batched
+	}
+	res.Commits = int64(p.clients) * int64(p.txns)
+	totalOps := res.Reads + res.Updates + res.Inserts + res.Scans + res.RMWs
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	res.OpsPerSec = float64(totalOps) / elapsed.Seconds()
+	res.CommitsPerSec = float64(res.Commits) / elapsed.Seconds()
+	assertMixCovered(mix, &res)
+
+	// Pushdown probe on a fresh executor so its decode counter starts
+	// at zero for each leg.
+	probe := func(push bool) (rows, decoded int64, ms float64) {
+		ex := exec.New(mgr.NewSession(), cfg.TableID, benchSchema)
+		q := ex.ScanAll().Where("flag", exec.Eq, true)
+		if !push {
+			q = q.NoPushdown()
+		}
+		t0 := time.Now()
+		n, err := q.Count()
+		if err != nil {
+			log.Fatalf("pushdown probe: %v", err)
+		}
+		return int64(n), ex.DecodedRows(), float64(time.Since(t0)) / float64(time.Millisecond)
+	}
+	res.ProbeRows, res.PushdownDecoded, res.PushdownMS = probe(true)
+	postRows, postDecoded, postMS := probe(false)
+	res.PostFilterDecoded, res.PostFilterMS = postDecoded, postMS
+	if postRows != res.ProbeRows {
+		log.Fatalf("pushdown and post-filter probes disagree: %d vs %d rows", res.ProbeRows, postRows)
+	}
+	if res.PushdownDecoded >= res.PostFilterDecoded {
+		log.Fatalf("pushdown decoded %d rows, post-filter %d: pushdown is not saving decodes",
+			res.PushdownDecoded, res.PostFilterDecoded)
+	}
+
+	// Typed round-trip oracle across crash + Log2 recovery.
+	beforeDigest, beforeRows := typedDigest(mgr, cfg.TableID)
+	eng.TC.SendEOSL()
+	crash := eng.Crash()
+	t0 := time.Now()
+	rec, _, err := core.Recover(crash, core.Log2, core.DefaultOptions(eng.Cfg))
+	if err != nil {
+		log.Fatalf("recover: %v", err)
+	}
+	res.RecoveryMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	afterDigest, afterRows := typedDigest(rec.NewSessionManager(0), rec.Cfg.TableID)
+	res.RowsBeforeCrash, res.RowsRecovered = beforeRows, afterRows
+	res.DigestMatch = beforeDigest == afterDigest && beforeRows == afterRows
+	if !res.DigestMatch {
+		log.Fatalf("typed digest mismatch across recovery: %x/%d rows before, %x/%d after",
+			beforeDigest, beforeRows, afterDigest, afterRows)
+	}
+
+	rep := workloadReport{
+		Benchmark:     "workload_ycsb",
+		Preset:        p.preset,
+		Mix:           mix.String(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Clients:       p.clients,
+		TxnsPerClient: p.txns,
+		OpsPerTxn:     p.ops,
+		Keys:          p.keys,
+		Shards:        p.shards,
+		Dist:          dist.String(),
+		ZipfS:         p.zipfS,
+		MaxScanLen:    p.maxScanLen,
+		Result:        res,
+	}
+	fmt.Printf("%10s %10s %10s %10s %10s %12s %12s %12s\n",
+		"reads", "updates", "inserts", "scans", "rmws", "scan rows", "ops/sec", "conflicts")
+	fmt.Printf("%10d %10d %10d %10d %10d %12d %12.0f %12d\n",
+		res.Reads, res.Updates, res.Inserts, res.Scans, res.RMWs, res.ScanRows, res.OpsPerSec, res.Conflicts)
+	fmt.Printf("pushdown probe: %d rows; decoded %d (pushdown, %.1fms) vs %d (post-filter, %.1fms)\n",
+		res.ProbeRows, res.PushdownDecoded, res.PushdownMS, res.PostFilterDecoded, res.PostFilterMS)
+	fmt.Printf("recovery: %d rows in %.1fms, typed digest match\n", res.RowsRecovered, res.RecoveryMS)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(p.out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", p.out)
+}
+
+// runMixTxn commits one transaction of ops, retrying on lock conflicts
+// with backoff. Point-only transactions go through the executor's
+// Batch; transactions with scans or RMWs run per-op inside Txn.
+func runMixTxn(ex *exec.Executor, ops []workload.MixOp, pointOnly bool, ct *clientCounts) error {
+	for attempt := 0; ; attempt++ {
+		if attempt == 1000 {
+			return fmt.Errorf("starved after %d conflict retries", attempt)
+		}
+		var scanRows int64
+		var err error
+		if pointOnly {
+			err = runBatchTxn(ex, ops)
+		} else {
+			err = ex.Txn(func() error {
+				for _, op := range ops {
+					if e := runMixOp(ex, op, &scanRows); e != nil {
+						return e
+					}
+				}
+				return nil
+			})
+		}
+		if err != nil {
+			if errors.Is(err, tc.ErrLockConflict) {
+				ct.conflicts++
+				time.Sleep(time.Duration(attempt+1) * 10 * time.Microsecond)
+				continue
+			}
+			return err
+		}
+		for _, op := range ops {
+			switch op.Kind {
+			case workload.OpRead:
+				ct.reads++
+			case workload.OpUpdate:
+				ct.updates++
+			case workload.OpInsert:
+				ct.inserts++
+			case workload.OpScan:
+				ct.scans++
+			case workload.OpRMW:
+				ct.rmws++
+			}
+		}
+		ct.scanRows += scanRows
+		if pointOnly {
+			ct.batched++
+		}
+		return nil
+	}
+}
+
+// runBatchTxn groups a point-only transaction into one Batch run.
+func runBatchTxn(ex *exec.Executor, ops []workload.MixOp) error {
+	b := ex.NewBatch()
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.OpRead:
+			b.Read(op.Key)
+		case workload.OpUpdate:
+			b.Update(op.Key, benchRow(op.Key)...)
+		case workload.OpInsert:
+			b.Insert(op.Key, benchRow(op.Key)...)
+		}
+	}
+	_, err := b.Run()
+	return err
+}
+
+// runMixOp applies one op inside an open transaction.
+func runMixOp(ex *exec.Executor, op workload.MixOp, scanRows *int64) error {
+	switch op.Kind {
+	case workload.OpRead:
+		_, _, err := ex.Get(op.Key)
+		return err
+	case workload.OpUpdate:
+		return ex.Update(op.Key, benchRow(op.Key)...)
+	case workload.OpInsert:
+		return ex.Insert(op.Key, benchRow(op.Key)...)
+	case workload.OpScan:
+		return ex.Scan(op.Key, op.Key+uint64(op.ScanLen)-1).Each(func(exec.Row) error {
+			*scanRows++
+			return nil
+		})
+	case workload.OpRMW:
+		vals, found, err := ex.Get(op.Key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("rmw key %d missing", op.Key)
+		}
+		vals[2] = vals[2].(uint64) + 1
+		return ex.Update(op.Key, vals...)
+	}
+	return fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// assertMixCovered fails the run when an op kind the mix asks for
+// never committed, or scans returned no rows — the workload-smoke
+// correctness floor.
+func assertMixCovered(mix workload.Mix, res *workloadResult) {
+	check := func(frac float64, n int64, kind string) {
+		if frac > 0.01 && n == 0 {
+			log.Fatalf("mix asks for %.0f%% %s but none committed", frac*100, kind)
+		}
+	}
+	check(mix.Read, res.Reads, "reads")
+	check(mix.Update, res.Updates, "updates")
+	check(mix.Insert, res.Inserts, "inserts")
+	check(mix.Scan, res.Scans, "scans")
+	check(mix.RMW, res.RMWs, "rmws")
+	if mix.Scan > 0.01 && res.ScanRows == 0 {
+		log.Fatal("scans committed but returned zero rows")
+	}
+}
+
+// typedDigest full-scans the table through a typed executor, decoding
+// and canonically re-encoding every row into an FNV-64a digest — the
+// typed round-trip oracle recovery must preserve.
+func typedDigest(mgr *tc.SessionManager, table wal.TableID) (uint64, int64) {
+	ex := exec.New(mgr.NewSession(), table, benchSchema)
+	h := fnv.New64a()
+	var rows int64
+	err := ex.ScanAll().Each(func(r exec.Row) error {
+		rows++
+		var kb [8]byte
+		for i := 0; i < 8; i++ {
+			kb[i] = byte(r.Key >> (8 * i))
+		}
+		h.Write(kb[:])
+		buf, err := benchSchema.Encode(r.Cols...)
+		if err != nil {
+			return err
+		}
+		h.Write(buf)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("digest scan: %v", err)
+	}
+	return h.Sum64(), rows
+}

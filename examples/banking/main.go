@@ -1,12 +1,15 @@
 // Banking: multi-key transfer transactions with invariant checking
-// across aborts and a crash. The invariant — total balance is conserved
-// — must hold (a) during normal operation, (b) after explicit aborts
-// roll transfers back, and (c) after crash recovery rolls back the
-// transfer in flight at the crash.
+// across aborts and a crash, written against the typed executor — a
+// schema with named columns, transactional closures, a batched read
+// round trip and typed scans — instead of raw byte-slice point ops.
+// The invariant — total balance is conserved — must hold (a) during
+// normal operation, (b) after explicit aborts roll transfers back, and
+// (c) after crash recovery rolls back the transfer in flight at the
+// crash.
 package main
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,25 +22,52 @@ const (
 	initialBalance = 1_000
 )
 
-func encodeBalance(b uint64) []byte {
-	// Pad to a realistic row width; balance in the first 8 bytes.
-	v := make([]byte, 64)
-	binary.BigEndian.PutUint64(v, b)
-	return v
-}
+// accountSchema shapes an account row: who owns it and what it holds.
+var accountSchema = logrec.MustSchema(
+	logrec.Column{Name: "owner", Type: logrec.TString},
+	logrec.Column{Name: "balance", Type: logrec.TInt64},
+)
 
-func decodeBalance(v []byte) uint64 { return binary.BigEndian.Uint64(v) }
+// errInsufficient aborts a transfer from inside the transactional
+// closure; Executor.Txn rolls the debit back and returns it.
+var errInsufficient = errors.New("insufficient funds")
 
-func totalBalance(eng *logrec.Engine) uint64 {
-	var total uint64
-	err := eng.DC.Tree().Scan(func(_ uint64, v []byte) error {
-		total += decodeBalance(v)
+func totalBalance(ex *logrec.Executor) int64 {
+	var total int64
+	err := ex.ScanAll().Project("balance").Each(func(r logrec.ExecRow) error {
+		total += r.Cols[0].(int64)
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	return total
+}
+
+// transfer moves amount between two accounts in one transaction: both
+// balances arrive in a single batched read round trip, then the debit
+// and credit land as column updates. Returning an error from the
+// closure aborts the whole transfer.
+func transfer(ex *logrec.Executor, from, to uint64, amount int64) error {
+	return ex.Txn(func() error {
+		res, err := ex.NewBatch().Read(from).Read(to).Run()
+		if err != nil {
+			return err
+		}
+		if !res[0].Found || !res[1].Found {
+			return logrec.ErrKeyNotFound
+		}
+		fromBal := res[0].Cols[1].(int64)
+		// Debit first — then discover insufficient funds and bail,
+		// exercising transactional rollback through the DC.
+		if err := ex.UpdateCol(from, "balance", fromBal-amount); err != nil {
+			return err
+		}
+		if amount > fromBal {
+			return errInsufficient
+		}
+		return ex.UpdateCol(to, "balance", res[1].Cols[1].(int64)+amount)
+	})
 }
 
 func main() {
@@ -47,12 +77,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.Load(accounts, func(uint64) []byte {
-		return encodeBalance(initialBalance)
+	if err := eng.Load(accounts, func(k uint64) []byte {
+		row, err := accountSchema.Encode(fmt.Sprintf("acct-%04d", k), int64(initialBalance))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return row
 	}); err != nil {
 		log.Fatal(err)
 	}
-	want := uint64(accounts * initialBalance)
+	mgr := eng.NewSessionManager(0)
+	ex := logrec.NewExecutor(mgr.NewSession(), cfg.TableID, accountSchema)
+	const want = int64(accounts * initialBalance)
 	fmt.Printf("opened %d accounts, total balance %d\n", accounts, want)
 
 	rng := rand.New(rand.NewSource(2026))
@@ -63,58 +99,37 @@ func main() {
 		if from == to {
 			continue
 		}
-		amount := uint64(rng.Intn(2 * initialBalance)) // sometimes too much
-
-		txn := eng.TC.Begin()
-		fv, found, err := eng.TC.Read(txn, cfg.TableID, from)
-		if err != nil || !found {
-			log.Fatalf("read %d: found=%v err=%v", from, found, err)
-		}
-		balance := decodeBalance(fv)
-
-		// Debit first — then discover insufficient funds and abort,
-		// exercising transactional rollback through the DC.
-		debited := balance - amount // may underflow; abort below if so
-		if err := eng.TC.Update(txn, cfg.TableID, from, encodeBalance(debited)); err != nil {
-			log.Fatal(err)
-		}
-		if amount > balance {
-			if err := eng.TC.Abort(txn); err != nil {
-				log.Fatal(err)
+		amount := int64(rng.Intn(2 * initialBalance)) // sometimes too much
+		switch err := transfer(ex, from, to, amount); {
+		case err == nil:
+			commits++
+			if commits%100 == 0 {
+				if err := mgr.Checkpoint(); err != nil {
+					log.Fatal(err)
+				}
 			}
+		case errors.Is(err, errInsufficient):
 			aborts++
-			continue
-		}
-		tv, _, err := eng.TC.Read(txn, cfg.TableID, to)
-		if err != nil {
+		default:
 			log.Fatal(err)
-		}
-		if err := eng.TC.Update(txn, cfg.TableID, to, encodeBalance(decodeBalance(tv)+amount)); err != nil {
-			log.Fatal(err)
-		}
-		if err := eng.TC.Commit(txn); err != nil {
-			log.Fatal(err)
-		}
-		commits++
-		if commits%100 == 0 {
-			if err := eng.TC.Checkpoint(); err != nil {
-				log.Fatal(err)
-			}
 		}
 	}
 	fmt.Printf("ran %d transfers (%d aborted for insufficient funds)\n", commits+aborts, aborts)
-	if got := totalBalance(eng); got != want {
+	if got := totalBalance(ex); got != want {
 		log.Fatalf("conservation violated before crash: total %d, want %d", got, want)
 	}
 	fmt.Println("invariant holds after aborts: total balance conserved")
 
-	// Crash mid-transfer: debited but not yet credited.
-	txn := eng.TC.Begin()
-	fv, _, err := eng.TC.Read(txn, cfg.TableID, 7)
+	// Crash mid-transfer: debited but not yet credited. The executor
+	// joins the session's open transaction, which the crash strands.
+	if err := ex.Session().Begin(); err != nil {
+		log.Fatal(err)
+	}
+	bal, _, err := ex.GetCol(7, "balance")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.TC.Update(txn, cfg.TableID, 7, encodeBalance(decodeBalance(fv)-500)); err != nil {
+	if err := ex.UpdateCol(7, "balance", bal.(int64)-500); err != nil {
 		log.Fatal(err)
 	}
 	eng.TC.SendEOSL()
@@ -126,7 +141,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("%v: %v", m, err)
 		}
-		got := totalBalance(recovered)
+		rex := logrec.NewExecutor(recovered.NewSessionManager(0).NewSession(), cfg.TableID, accountSchema)
+		got := totalBalance(rex)
 		status := "OK"
 		if got != want {
 			status = "VIOLATED"

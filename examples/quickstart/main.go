@@ -1,7 +1,7 @@
-// Quickstart: create a database, run transactions, crash it, and
-// recover with optimised logical recovery (Log2), verifying that
-// committed updates survive and the uncommitted transaction is rolled
-// back.
+// Quickstart: create a database, run typed transactions through the
+// executor API, crash it, and recover with optimised logical recovery
+// (Log2), verifying through a typed query that committed updates
+// survive and the uncommitted transaction is rolled back.
 package main
 
 import (
@@ -9,6 +9,12 @@ import (
 	"log"
 
 	"logrec"
+)
+
+// Each row is a note plus the revision that last touched it.
+var schema = logrec.MustSchema(
+	logrec.Column{Name: "note", Type: logrec.TString},
+	logrec.Column{Name: "rev", Type: logrec.TUint64},
 )
 
 func main() {
@@ -20,39 +26,51 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Bulk-load 10,000 rows and take the initial checkpoint.
+	// Bulk-load 10,000 typed rows and take the initial checkpoint.
 	const rows = 10_000
 	if err := eng.Load(rows, func(k uint64) []byte {
-		return []byte(fmt.Sprintf("initial-value-%06d", k))
+		row, err := schema.Encode(fmt.Sprintf("initial-value-%06d", k), uint64(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return row
 	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d rows (%d pages on disk)\n", rows, eng.Disk.NumPages())
 
-	// Committed work: 200 small transactions.
+	mgr := eng.NewSessionManager(0)
+	ex := logrec.NewExecutor(mgr.NewSession(), cfg.TableID, schema)
+
+	// Committed work: 200 small transactions through the executor.
 	for i := 0; i < 200; i++ {
-		txn := eng.TC.Begin()
-		for u := 0; u < 10; u++ {
-			k := uint64((i*10 + u) % rows)
-			v := []byte(fmt.Sprintf("committed-txn-%03d-%06d", i, k))
-			if err := eng.TC.Update(txn, cfg.TableID, k, v); err != nil {
-				log.Fatal(err)
+		rev := uint64(i + 1)
+		err := ex.Txn(func() error {
+			for u := 0; u < 10; u++ {
+				k := uint64((i*10 + u) % rows)
+				note := fmt.Sprintf("committed-txn-%03d-%06d", i, k)
+				if err := ex.Update(k, note, rev); err != nil {
+					return err
+				}
 			}
-		}
-		if err := eng.TC.Commit(txn); err != nil {
+			return nil
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
-		if (i+1)%50 == 0 {
-			if err := eng.TC.Checkpoint(); err != nil {
+		if rev%50 == 0 {
+			if err := mgr.Checkpoint(); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 
 	// An uncommitted transaction in flight at the crash: recovery must
-	// roll it back.
-	loser := eng.TC.Begin()
-	if err := eng.TC.Update(loser, cfg.TableID, 42, []byte("UNCOMMITTED")); err != nil {
+	// roll it back. The executor joins the session's open transaction.
+	if err := ex.Session().Begin(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ex.Update(42, "UNCOMMITTED", uint64(999)); err != nil {
 		log.Fatal(err)
 	}
 	eng.TC.SendEOSL() // its log records reach the stable log anyway
@@ -70,22 +88,34 @@ func main() {
 		met.RedoTime, met.RedoRecords, met.Applied, met.SkippedDPT+met.SkippedRLSN)
 	fmt.Printf("  undo     %v (%d loser, %d CLRs)\n", met.UndoTime, met.LosersUndone, met.CLRsWritten)
 
-	// Committed value survived.
-	v, found, err := recovered.DC.Tree().Search(42)
+	rex := logrec.NewExecutor(recovered.NewSessionManager(0).NewSession(), cfg.TableID, schema)
+
+	// Committed value survived; the loser's write did not.
+	vals, found, err := rex.Get(42)
 	if err != nil || !found {
 		log.Fatalf("key 42 lost: found=%v err=%v", found, err)
 	}
-	if string(v) == "UNCOMMITTED" {
+	if vals[0].(string) == "UNCOMMITTED" {
 		log.Fatal("uncommitted value survived recovery")
 	}
-	fmt.Printf("key 42 after recovery: %q (loser rolled back)\n", v)
+	fmt.Printf("key 42 after recovery: %q rev %d (loser rolled back)\n", vals[0], vals[1])
 
-	// The recovered engine is immediately usable.
-	txn := recovered.TC.Begin()
-	if err := recovered.TC.Update(txn, cfg.TableID, 42, []byte("post-recovery")); err != nil {
+	// Typed queries run against the recovered engine too: no trace of
+	// the loser's revision anywhere, and the last committed revision is
+	// fully present.
+	if n, err := rex.ScanAll().Where("rev", logrec.Eq, uint64(999)).Count(); err != nil || n != 0 {
+		log.Fatalf("loser revision visible on %d rows (err=%v)", n, err)
+	}
+	n, err := rex.ScanAll().Where("rev", logrec.Eq, uint64(200)).Count()
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := recovered.TC.Commit(txn); err != nil {
+	fmt.Printf("typed query: %d rows carry the final committed revision\n", n)
+
+	// The recovered engine is immediately usable.
+	if err := rex.Txn(func() error {
+		return rex.Update(42, "post-recovery", uint64(201))
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("post-recovery transaction committed — engine is live")

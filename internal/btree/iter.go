@@ -17,13 +17,22 @@ func (t *Tree) Scan(fn func(key uint64, val []byte) error) error {
 	if err != nil {
 		return err
 	}
-	return t.scanFrom(pid, 0, ^uint64(0), fn)
+	return t.scanFrom(pid, 0, ^uint64(0), nil, fn)
 }
 
 // ScanRange walks rows with lo ≤ key ≤ hi in key order. It locates the
 // leaf owning lo through the index and follows sibling links, the
 // access path Deuteronomy's key-range operations use [13].
 func (t *Tree) ScanRange(lo, hi uint64, fn func(key uint64, val []byte) error) error {
+	return t.ScanRangeFiltered(lo, hi, nil, fn)
+}
+
+// ScanRangeFiltered is ScanRange with a predicate evaluated against the
+// page-resident row before fn sees it: rows failing pred are dropped
+// inside the iterator, so a pushed-down filter costs no row copy and no
+// decode above this layer. A nil pred accepts every row. Like fn's, the
+// value slice pred receives is only valid during the call.
+func (t *Tree) ScanRangeFiltered(lo, hi uint64, pred func(key uint64, val []byte) bool, fn func(key uint64, val []byte) error) error {
 	if hi < lo {
 		return nil
 	}
@@ -31,13 +40,13 @@ func (t *Tree) ScanRange(lo, hi uint64, fn func(key uint64, val []byte) error) e
 	if err != nil {
 		return err
 	}
-	return t.scanFrom(pid, lo, hi, fn)
+	return t.scanFrom(pid, lo, hi, pred, fn)
 }
 
 // errStopScan terminates a scan early once keys exceed the bound.
 var errStopScan = errors.New("btree: stop scan")
 
-func (t *Tree) scanFrom(pid storage.PageID, lo, hi uint64, fn func(uint64, []byte) error) error {
+func (t *Tree) scanFrom(pid storage.PageID, lo, hi uint64, pred func(uint64, []byte) bool, fn func(uint64, []byte) error) error {
 	for pid != storage.InvalidPageID {
 		f, err := t.pool.Get(pid)
 		if err != nil {
@@ -55,6 +64,9 @@ func (t *Tree) scanFrom(pid storage.PageID, lo, hi uint64, fn func(uint64, []byt
 			if k > hi {
 				t.pool.Unpin(f)
 				return nil
+			}
+			if pred != nil && !pred(k, p.ValueAt(i)) {
+				continue
 			}
 			if err := fn(k, p.ValueAt(i)); err != nil {
 				t.pool.Unpin(f)

@@ -176,10 +176,17 @@ func (d *DC) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
 // ReadRange invokes fn for every row with lo ≤ key ≤ hi, in key order.
 // The value slice is only valid during the call.
 func (d *DC) ReadRange(table wal.TableID, lo, hi uint64, fn func(key uint64, val []byte) error) error {
+	return d.ReadRangeFiltered(table, lo, hi, nil, fn)
+}
+
+// ReadRangeFiltered is ReadRange with a predicate pushed down into the
+// B-tree iterator: rows failing pred never leave the data component.
+// A nil pred accepts every row.
+func (d *DC) ReadRangeFiltered(table wal.TableID, lo, hi uint64, pred func(key uint64, val []byte) bool, fn func(key uint64, val []byte) error) error {
 	if err := d.checkTable(table); err != nil {
 		return err
 	}
-	return d.tree.ScanRange(lo, hi, fn)
+	return d.tree.ScanRangeFiltered(lo, hi, pred, fn)
 }
 
 // Update applies a logical update; see tc.DataComponent.

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"fmt"
+
+	"logrec/internal/tc"
+)
+
+// Batch accumulates typed operations and runs them as one transaction
+// through a single session-plane round-trip: all logical locks are
+// acquired up front and the deduplicated owning shard planes exactly
+// once, instead of a route/lock/release cycle per op. Build with
+// Executor.NewBatch, add ops, then Run.
+type Batch struct {
+	ex  *Executor
+	ops []tc.BatchOp
+	// reads maps batch-result slots back to Read call order.
+	reads []int
+	err   error
+}
+
+// BatchResult is one Read op's outcome, in Read call order.
+type BatchResult struct {
+	// Key is the key the Read targeted.
+	Key uint64
+	// Found reports whether the row exists.
+	Found bool
+	// Cols holds the decoded row when Found.
+	Cols []any
+}
+
+// NewBatch returns an empty batch over the executor's table.
+func (ex *Executor) NewBatch() *Batch {
+	return &Batch{ex: ex}
+}
+
+// Len returns the number of ops queued.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Read queues a typed read of key; its decoded row comes back in the
+// Run result, in Read call order.
+func (b *Batch) Read(key uint64) *Batch {
+	b.reads = append(b.reads, len(b.ops))
+	b.ops = append(b.ops, tc.BatchOp{Kind: tc.BatchRead, Table: b.ex.table, Key: key})
+	return b
+}
+
+// Insert queues a typed insert of key with one value per column.
+// Encoding errors surface from Run.
+func (b *Batch) Insert(key uint64, vals ...any) *Batch {
+	return b.write(tc.BatchInsert, key, vals)
+}
+
+// Update queues a typed update of key with one value per column.
+func (b *Batch) Update(key uint64, vals ...any) *Batch {
+	return b.write(tc.BatchUpdate, key, vals)
+}
+
+// Delete queues a delete of key.
+func (b *Batch) Delete(key uint64) *Batch {
+	b.ops = append(b.ops, tc.BatchOp{Kind: tc.BatchDelete, Table: b.ex.table, Key: key})
+	return b
+}
+
+// write encodes and queues one write op, recording the first error.
+func (b *Batch) write(kind tc.BatchKind, key uint64, vals []any) *Batch {
+	if b.err != nil {
+		return b
+	}
+	buf, err := b.ex.schema.Encode(vals...)
+	if err != nil {
+		b.err = fmt.Errorf("exec: batch %v %d: %w", kind, key, err)
+		return b
+	}
+	b.ops = append(b.ops, tc.BatchOp{Kind: kind, Table: b.ex.table, Key: key, Val: buf})
+	return b
+}
+
+// Run executes the batch as one transaction — one Begin, one grouped
+// lock-and-plane acquisition, one Commit — and returns the Read
+// results in Read call order. Inside an enclosing Executor.Txn the ops
+// join that transaction instead. On error nothing of the batch
+// commits (the wrapping transaction aborts).
+func (b *Batch) Run() ([]BatchResult, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	var out []BatchResult
+	err := b.ex.autoTxn(func() error {
+		raw, err := b.ex.sess.ApplyBatch(b.ops)
+		if err != nil {
+			return fmt.Errorf("exec: batch: %w", err)
+		}
+		out = make([]BatchResult, len(b.reads))
+		for j, slot := range b.reads {
+			res := BatchResult{Key: b.ops[slot].Key}
+			if raw[slot] != nil {
+				vals, derr := b.ex.decode(raw[slot])
+				if derr != nil {
+					return derr
+				}
+				res.Found, res.Cols = true, vals
+			}
+			out[j] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// CmpOp is a Where comparison operator.
+type CmpOp int
+
+// Comparison operators. Ordering operators apply to numeric and
+// string columns; Bytes columns compare lexicographically.
+const (
+	// Eq matches column == literal.
+	Eq CmpOp = iota
+	// Ne matches column != literal.
+	Ne
+	// Lt matches column < literal.
+	Lt
+	// Le matches column <= literal.
+	Le
+	// Gt matches column > literal.
+	Gt
+	// Ge matches column >= literal.
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Row is one query result: the row's key plus its output columns —
+// the full schema row, or the Project subset in projection order.
+type Row struct {
+	// Key is the row's key.
+	Key uint64
+	// Cols holds the output column values.
+	Cols []any
+}
+
+// wherePred is one compiled pushdown predicate: column index, operator
+// and normalized literal.
+type wherePred struct {
+	col int
+	op  CmpOp
+	lit any
+}
+
+// Query is a lazily-built operator tree over one executor's table:
+// Scan supplies the key range, Where adds pushdown predicates, Filter
+// adds post-decode predicates, Project narrows the output columns and
+// Limit caps the row count. Nothing runs until Rows, Each or Count.
+// Builder methods record the first error and return the query, so
+// calls chain without per-step checks.
+type Query struct {
+	ex     *Executor
+	lo, hi uint64
+	wheres []wherePred
+	posts  []func(key uint64, vals []any) bool
+	proj   []int
+	limit  int
+	noPush bool
+	err    error
+}
+
+// Scan starts a query over the keys lo ≤ key ≤ hi.
+func (ex *Executor) Scan(lo, hi uint64) *Query {
+	return &Query{ex: ex, lo: lo, hi: hi, limit: -1}
+}
+
+// ScanAll starts a query over the whole key space.
+func (ex *Executor) ScanAll() *Query {
+	return ex.Scan(0, ^uint64(0))
+}
+
+// Where adds the predicate "col op lit". Where predicates are pushed
+// down into the B-tree iterator and evaluated by partial decode
+// against page-resident bytes, so rows failing them are never copied,
+// locked or fully decoded.
+func (q *Query) Where(col string, op CmpOp, lit any) *Query {
+	if q.err != nil {
+		return q
+	}
+	i, ok := q.ex.schema.ColIndex(col)
+	if !ok {
+		q.err = fmt.Errorf("%w: %q", ErrNoColumn, col)
+		return q
+	}
+	norm, err := normalize(lit, q.ex.schema.cols[i].Type)
+	if err != nil {
+		q.err = fmt.Errorf("%w: where %q: %v", ErrSchema, col, err)
+		return q
+	}
+	if op < Eq || op > Ge {
+		q.err = fmt.Errorf("exec: invalid comparison operator %d", op)
+		return q
+	}
+	q.wheres = append(q.wheres, wherePred{col: i, op: op, lit: norm})
+	return q
+}
+
+// Filter adds an arbitrary post-decode predicate over the full typed
+// row. Unlike Where it cannot be pushed down — rows reach it already
+// decoded — so prefer Where when the condition is a column comparison.
+func (q *Query) Filter(pred func(key uint64, vals []any) bool) *Query {
+	q.posts = append(q.posts, pred)
+	return q
+}
+
+// Project narrows the output to the named columns, in the given order.
+func (q *Query) Project(cols ...string) *Query {
+	if q.err != nil {
+		return q
+	}
+	idx := make([]int, len(cols))
+	for j, name := range cols {
+		i, ok := q.ex.schema.ColIndex(name)
+		if !ok {
+			q.err = fmt.Errorf("%w: %q", ErrNoColumn, name)
+			return q
+		}
+		idx[j] = i
+	}
+	q.proj = idx
+	return q
+}
+
+// Limit caps the number of rows produced; the scan stops early once n
+// rows have been emitted.
+func (q *Query) Limit(n int) *Query {
+	q.limit = n
+	return q
+}
+
+// NoPushdown disables predicate pushdown: Where predicates run after
+// the full-row decode, like Filter. Every scanned row is copied,
+// locked and decoded. This exists for the benchmark comparison and as
+// a debugging aid; production queries should leave pushdown on.
+func (q *Query) NoPushdown() *Query {
+	q.noPush = true
+	return q
+}
+
+// errLimit stops the underlying scan once Limit rows have been
+// emitted; it never escapes to callers.
+var errLimit = errors.New("exec: limit reached")
+
+// compileWheres builds the raw pushdown predicate from the Where
+// clauses, or nil when there is nothing to push.
+func (q *Query) compileWheres() func(key uint64, val []byte) bool {
+	if len(q.wheres) == 0 || q.noPush {
+		return nil
+	}
+	schema := q.ex.schema
+	wheres := q.wheres
+	return func(_ uint64, val []byte) bool {
+		for _, w := range wheres {
+			v, err := schema.DecodeCol(val, w.col)
+			if err != nil {
+				// Undecodable rows survive pushdown so the full
+				// decode surfaces the error to the caller.
+				return true
+			}
+			if !compare(v, w.op, w.lit) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Each runs the query, streaming each result row through fn in key
+// order. The Row passed to fn is freshly allocated per call.
+func (q *Query) Each(fn func(Row) error) error {
+	if q.err != nil {
+		return q.err
+	}
+	if q.limit == 0 {
+		return nil
+	}
+	pred := q.compileWheres()
+	emitted := 0
+	scan := func() error {
+		return q.ex.sess.ScanRange(q.ex.table, q.lo, q.hi, pred, func(key uint64, raw []byte) error {
+			vals, err := q.ex.decode(raw)
+			if err != nil {
+				return err
+			}
+			if q.noPush {
+				for _, w := range q.wheres {
+					if !compare(vals[w.col], w.op, w.lit) {
+						return nil
+					}
+				}
+			}
+			for _, post := range q.posts {
+				if !post(key, vals) {
+					return nil
+				}
+			}
+			out := vals
+			if q.proj != nil {
+				out = make([]any, len(q.proj))
+				for j, i := range q.proj {
+					out[j] = vals[i]
+				}
+			}
+			if err := fn(Row{Key: key, Cols: out}); err != nil {
+				return err
+			}
+			emitted++
+			if q.limit >= 0 && emitted >= q.limit {
+				return errLimit
+			}
+			return nil
+		})
+	}
+	err := q.ex.autoTxn(func() error {
+		if serr := scan(); serr != nil && !errors.Is(serr, errLimit) {
+			return fmt.Errorf("exec: scan [%d,%d]: %w", q.lo, q.hi, serr)
+		}
+		return nil
+	})
+	return err
+}
+
+// Rows runs the query and returns every result row in key order.
+func (q *Query) Rows() ([]Row, error) {
+	var out []Row
+	err := q.Each(func(r Row) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// Count runs the query and returns the number of result rows.
+func (q *Query) Count() (int, error) {
+	n := 0
+	err := q.Each(func(Row) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// compare evaluates "v op lit" for two values normalized to the same
+// column type.
+func compare(v any, op CmpOp, lit any) bool {
+	c, ok := cmpValues(v, lit)
+	if !ok {
+		return false
+	}
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// cmpValues three-way-compares two same-typed column values; ok is
+// false when the types differ or are not comparable.
+func cmpValues(a, b any) (int, bool) {
+	switch x := a.(type) {
+	case uint64:
+		y, ok := b.(uint64)
+		return cmpOrdered(x, y), ok
+	case int64:
+		y, ok := b.(int64)
+		return cmpOrdered(x, y), ok
+	case float64:
+		y, ok := b.(float64)
+		return cmpOrdered(x, y), ok
+	case string:
+		y, ok := b.(string)
+		return cmpOrdered(x, y), ok
+	case bool:
+		y, ok := b.(bool)
+		c := 0
+		if x != y {
+			if x {
+				c = 1
+			} else {
+				c = -1
+			}
+		}
+		return c, ok
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok {
+			return 0, false
+		}
+		return bytes.Compare(x, y), true
+	}
+	return 0, false
+}
+
+// cmpOrdered three-way-compares two ordered values.
+func cmpOrdered[T interface {
+	~uint64 | ~int64 | ~float64 | ~string
+}](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

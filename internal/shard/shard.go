@@ -287,12 +287,38 @@ func (s *Set) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
 // ReadRange invokes fn for every row with lo ≤ key ≤ hi in key order,
 // crossing shard boundaries as the scan range does.
 func (s *Set) ReadRange(table wal.TableID, lo, hi uint64, fn func(key uint64, val []byte) error) error {
+	return s.ReadRangeFiltered(table, lo, hi, nil, fn)
+}
+
+// ReadRangeFiltered is ReadRange with a predicate pushed down into each
+// shard's B-tree iterator: rows failing pred are dropped before they
+// cross the shard boundary. A nil pred accepts every row.
+func (s *Set) ReadRangeFiltered(table wal.TableID, lo, hi uint64, pred func(key uint64, val []byte) bool, fn func(key uint64, val []byte) error) error {
 	for _, pr := range s.rangesIn(lo, hi) {
-		if err := s.dcs[pr.owner].ReadRange(table, pr.lo, pr.hi, fn); err != nil {
+		if err := s.dcs[pr.owner].ReadRangeFiltered(table, pr.lo, pr.hi, pred, fn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// OwnersIn returns the distinct shards owning any key in [lo, hi], in
+// ascending shard-ID order — the plane set a cross-shard scan must hold
+// to be atomic against range migrations.
+func (s *Set) OwnersIn(lo, hi uint64) []wal.ShardID {
+	var out []wal.ShardID
+	for _, pr := range s.rangesIn(lo, hi) {
+		out = append(out, pr.owner)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, id := range out {
+		if i == 0 || id != out[n-1] {
+			out[n] = id
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // partRange is one per-shard piece of a cross-shard scan.

@@ -1,0 +1,30 @@
+// Session-layer error values, unified in one place. Every error the
+// transactional surface can return for a *semantic* reason — as opposed
+// to an environment failure bubbling up from storage — wraps one of
+// these sentinels, so callers at any layer (sessions, the typed
+// executor, tools) branch with errors.Is rather than string matching.
+// The root logrec package re-exports them for external callers.
+package tc
+
+import "errors"
+
+var (
+	// ErrSessionBusy indicates Begin on a session whose transaction is
+	// still active.
+	ErrSessionBusy = errors.New("tc: session already has an active transaction")
+
+	// ErrLockConflict indicates a lock request that conflicts with
+	// another transaction's lock. Conflicts surface immediately rather
+	// than blocking (no-wait locking); callers abort and retry. This
+	// keeps the single-threaded virtual-time experiments deterministic
+	// and gives concurrent sessions a deadlock-free discipline.
+	ErrLockConflict = errors.New("tc: lock conflict")
+
+	// ErrTxnNotActive indicates an operation on a transaction that is
+	// nil, already finished, or unknown to the transaction table.
+	ErrTxnNotActive = errors.New("tc: transaction not active")
+
+	// ErrKeyNotFound indicates an update or delete of a key the table
+	// does not hold.
+	ErrKeyNotFound = errors.New("tc: key not found")
+)

@@ -1,20 +1,12 @@
 package tc
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"logrec/internal/wal"
 )
-
-// ErrLockConflict indicates a lock request that conflicts with another
-// transaction's lock. Conflicts surface immediately rather than
-// blocking (no-wait locking); callers may abort and retry. This keeps
-// the single-threaded virtual-time experiments deterministic and gives
-// concurrent sessions a deadlock-free discipline.
-var ErrLockConflict = errors.New("tc: lock conflict")
 
 // LockMode is the requested access mode.
 type LockMode int

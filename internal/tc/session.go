@@ -28,7 +28,6 @@
 package tc
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,10 +36,6 @@ import (
 
 	"logrec/internal/wal"
 )
-
-// ErrSessionBusy indicates Begin on a session whose transaction is
-// still active.
-var ErrSessionBusy = errors.New("tc: session already has an active transaction")
 
 // plane is one shard's admission unit: the mutex serializing the
 // shard's DC, plus counters for the ops admitted and the real time
@@ -289,6 +284,56 @@ func (s *Session) Read(table wal.TableID, key uint64) ([]byte, bool, error) {
 	sh, p, start := s.mgr.lockPlane(key)
 	defer p.release(start)
 	return s.mgr.tc.dc.At(sh).Read(table, key)
+}
+
+// ScanRange streams the rows with lo ≤ key ≤ hi through fn in key
+// order, pushing pred down into each shard's B-tree iterator (nil pred
+// accepts everything). It holds the planes of every shard the range
+// overlaps for the duration of the scan, acquired in ascending
+// shard-ID order like every multi-plane path. Because a range
+// migration must hold the current owner's plane to move rows, a scan
+// holding those planes observes either the whole pre-migration range
+// or the whole post-migration range — never a torn mixture.
+//
+// The owner set is computed before the planes are taken and
+// revalidated under them: if a concurrent SplitRange (or the
+// auto-split balancer) re-routed part of the range in the window, the
+// planes are dropped and the scan retries against the new owners. This
+// converges for the same reason lockPlane does — migrations only flip
+// routes while holding the affected planes.
+//
+// Rows fn sees are member-locked shared via the transaction; the value
+// slice is only valid during the call.
+func (s *Session) ScanRange(table wal.TableID, lo, hi uint64, pred func(key uint64, val []byte) bool, fn func(key uint64, val []byte) error) error {
+	if err := s.checkActive(); err != nil {
+		return err
+	}
+	m := s.mgr
+	for {
+		owners := m.tc.dc.OwnersIn(lo, hi)
+		release := m.lockPlanes(owners)
+		if !sameShardIDs(owners, m.tc.dc.OwnersIn(lo, hi)) {
+			release()
+			continue
+		}
+		err := m.tc.ScanRange(s.txn, table, lo, hi, pred, fn)
+		release()
+		return err
+	}
+}
+
+// sameShardIDs reports whether two sorted, deduplicated shard-ID
+// slices (as returned by Set.OwnersIn) are equal.
+func sameShardIDs(a, b []wal.ShardID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Update replaces the value under (table, key) within the session's

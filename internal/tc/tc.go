@@ -19,19 +19,12 @@
 package tc
 
 import (
-	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"logrec/internal/shard"
 	"logrec/internal/storage"
 	"logrec/internal/wal"
-)
-
-// Errors returned by transaction operations.
-var (
-	ErrTxnNotActive = errors.New("tc: transaction not active")
-	ErrKeyNotFound  = errors.New("tc: key not found")
 )
 
 // Status is a transaction's lifecycle state.
@@ -190,14 +183,8 @@ type Row struct {
 // full key-range lock modes is the subject of the companion
 // Deuteronomy paper [13] and out of scope here).
 func (tc *TC) ReadRange(t *Txn, table wal.TableID, lo, hi uint64) ([]Row, error) {
-	if err := tc.checkActive(t); err != nil {
-		return nil, err
-	}
 	var out []Row
-	err := tc.dc.ReadRange(table, lo, hi, func(key uint64, val []byte) error {
-		if err := tc.locks.Acquire(t.ID, table, key, LockShared); err != nil {
-			return err
-		}
+	err := tc.ScanRange(t, table, lo, hi, nil, func(key uint64, val []byte) error {
 		out = append(out, Row{Key: key, Val: append([]byte(nil), val...)})
 		return nil
 	})
@@ -205,6 +192,29 @@ func (tc *TC) ReadRange(t *Txn, table wal.TableID, lo, hi uint64) ([]Row, error)
 		return nil, err
 	}
 	return out, nil
+}
+
+// ScanRange streams the rows with lo ≤ key ≤ hi through fn in key
+// order, pushing pred down into each shard's B-tree iterator: rows
+// failing pred are dropped before they are copied, locked, or cross the
+// shard boundary (a nil pred accepts every row). Every row fn sees is
+// member-locked shared, like ReadRange; pred-rejected rows are not
+// locked, which is the documented pushdown semantics — the predicate
+// reads the committed row version the scan encounters. The value slice
+// passed to pred and fn is only valid during the call; fn must copy
+// what it keeps. This is the single-threaded path: under concurrent
+// sessions use Session.ScanRange, which holds the overlapping shard
+// planes so the range cannot be torn by a concurrent migration.
+func (tc *TC) ScanRange(t *Txn, table wal.TableID, lo, hi uint64, pred func(key uint64, val []byte) bool, fn func(key uint64, val []byte) error) error {
+	if err := tc.checkActive(t); err != nil {
+		return err
+	}
+	return tc.dc.ReadRangeFiltered(table, lo, hi, pred, func(key uint64, val []byte) error {
+		if err := tc.locks.Acquire(t.ID, table, key, LockShared); err != nil {
+			return err
+		}
+		return fn(key, val)
+	})
 }
 
 // Update replaces the value under (table, key) within t.

@@ -48,6 +48,7 @@ package logrec
 import (
 	"logrec/internal/core"
 	"logrec/internal/engine"
+	"logrec/internal/exec"
 	"logrec/internal/harness"
 	"logrec/internal/tc"
 	"logrec/internal/tracker"
@@ -161,3 +162,99 @@ type Session = tc.Session
 // GroupCommitStats reports group-commit batching (flushes,
 // records-per-flush).
 type GroupCommitStats = wal.GroupCommitStats
+
+// Typed executor layer (the client API; the raw Session/TC point ops
+// above remain the documented low-level plane):
+//
+//	schema := logrec.MustSchema(
+//		logrec.Column{Name: "owner", Type: logrec.TString},
+//		logrec.Column{Name: "balance", Type: logrec.TInt64},
+//	)
+//	ex := logrec.NewExecutor(mgr.NewSession(), cfg.TableID, schema)
+//	err = ex.Insert(42, "alice", int64(100))
+//	rows, err := ex.Scan(0, 99).Where("balance", logrec.Ge, int64(50)).Rows()
+
+// Executor runs typed operations — point ops, operator-tree queries
+// and batched transactions — against one table through a session.
+type Executor = exec.Executor
+
+// Schema is an ordered list of typed columns plus the row codec.
+type Schema = exec.Schema
+
+// Column is one named, typed column in a Schema.
+type Column = exec.Column
+
+// ColType is a column's value type.
+type ColType = exec.ColType
+
+// Column value types for Schema definitions.
+const (
+	TUint64  = exec.TUint64
+	TInt64   = exec.TInt64
+	TFloat64 = exec.TFloat64
+	TBool    = exec.TBool
+	TString  = exec.TString
+	TBytes   = exec.TBytes
+)
+
+// ExecRow is one typed query result row.
+type ExecRow = exec.Row
+
+// ExecQuery is a lazily built operator tree (Scan · Where · Filter ·
+// Project · Limit) over an executor's table.
+type ExecQuery = exec.Query
+
+// ExecBatch groups typed ops into one transaction with a single
+// grouped lock-and-plane round trip.
+type ExecBatch = exec.Batch
+
+// CmpOp is a Where comparison operator.
+type CmpOp = exec.CmpOp
+
+// Where comparison operators.
+const (
+	Eq = exec.Eq
+	Ne = exec.Ne
+	Lt = exec.Lt
+	Le = exec.Le
+	Gt = exec.Gt
+	Ge = exec.Ge
+)
+
+// TableID names a table (Config.TableID is the engine's single
+// clustered table).
+type TableID = wal.TableID
+
+// NewExecutor returns a typed executor over sess for table rows shaped
+// by schema.
+func NewExecutor(sess *Session, table TableID, schema *Schema) *Executor {
+	return exec.New(sess, table, schema)
+}
+
+// NewSchema builds a schema from cols.
+func NewSchema(cols ...Column) (*Schema, error) { return exec.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error (package-level schema
+// literals).
+func MustSchema(cols ...Column) *Schema { return exec.MustSchema(cols...) }
+
+// Session-layer error sentinels, matchable with errors.Is on any error
+// returned by sessions or the typed executor.
+var (
+	// ErrSessionBusy: Begin on a session whose transaction is active.
+	ErrSessionBusy = tc.ErrSessionBusy
+	// ErrLockConflict: no-wait lock denial; abort and retry.
+	ErrLockConflict = tc.ErrLockConflict
+	// ErrTxnNotActive: operation on a finished or unknown transaction.
+	ErrTxnNotActive = tc.ErrTxnNotActive
+	// ErrKeyNotFound: update or delete of an absent key.
+	ErrKeyNotFound = tc.ErrKeyNotFound
+)
+
+// Executor-layer error sentinels.
+var (
+	// ErrSchema: a value, row or reference that does not fit the schema.
+	ErrSchema = exec.ErrSchema
+	// ErrNoColumn: a reference to an undefined column name.
+	ErrNoColumn = exec.ErrNoColumn
+)
