@@ -62,6 +62,7 @@ bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -shards 1,2,4 \
 		-out $(BENCH_DIR)/BENCH_recovery_shards.json
 	$(GO) run ./cmd/walbench -workload mixed -out $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/replicabench -out $(BENCH_DIR)/BENCH_replica.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
 
 # Short smoke sweeps for CI artifact upload and the regression gate.
@@ -76,6 +77,7 @@ bench-smoke: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -quick -shards 1,2,4 \
 		-out $(BENCH_DIR)/BENCH_recovery_shards.json
 	$(GO) run ./cmd/walbench -workload mixed -quick -out $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/replicabench -quick -out $(BENCH_DIR)/BENCH_replica.json
 
 # Tiny zipfian mixed run through the typed executor on the simulated
 # device, then the workload gate: op-mix coverage, nonzero scan rows,
@@ -105,6 +107,8 @@ bench-gate: bench-smoke
 		-baseline ci/baselines/BENCH_recovery_shards.json -current $(BENCH_DIR)/BENCH_recovery_shards.json
 	$(GO) run ./cmd/benchdiff -kind workload -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_workload.json -current $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/benchdiff -kind replica \
+		-baseline ci/baselines/BENCH_replica.json -current $(BENCH_DIR)/BENCH_replica.json
 
 # Refresh the checked-in baselines after an intentional perf change.
 bench-baseline: bench-smoke
@@ -114,6 +118,7 @@ bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_recovery_file.json ci/baselines/BENCH_recovery_file.json
 	cp $(BENCH_DIR)/BENCH_recovery_shards.json ci/baselines/BENCH_recovery_shards.json
 	cp $(BENCH_DIR)/BENCH_workload.json ci/baselines/BENCH_workload.json
+	cp $(BENCH_DIR)/BENCH_replica.json ci/baselines/BENCH_replica.json
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -50,6 +50,16 @@
 //	                     must decode strictly fewer rows than
 //	                     post-filtering, and throughput (ops/sec) must
 //	                     hold within the tolerance of the baseline.
+//	-kind replica        gates the log-shipping standby (replicabench):
+//	                     the promoted standby's digest must match the
+//	                     primary's, the maximum observed replay lag must
+//	                     stay under the configured bound, the identical
+//	                     seeded run must apply exactly the same record
+//	                     count twice (and exactly the baseline's count —
+//	                     the stream is deterministic, so this is an
+//	                     equality, not a tolerance), and promotion must
+//	                     have measurably happened (positive wall time).
+//	                     Throughput is reported but not gated.
 //	-kind recovery-file  gates recoverybench -device=file: every sweep
 //	                     entry must have completed (its wall time is a
 //	                     real measurement, so it must be positive),
@@ -106,6 +116,20 @@ type wkldReport struct {
 		PostFilterDecoded int64   `json:"postfilter_decoded_rows"`
 		RowsRecovered     int64   `json:"rows_recovered"`
 		DigestMatch       bool    `json:"digest_match"`
+	} `json:"result"`
+}
+
+type replicaReport struct {
+	Result struct {
+		ShippedBytes       int64   `json:"shipped_bytes"`
+		AppliedRecords     int64   `json:"applied_records"`
+		AppliedRecordsRun2 int64   `json:"applied_records_run2"`
+		MaxLagBytes        int64   `json:"max_lag_bytes"`
+		LagBoundBytes      int64   `json:"lag_bound_bytes"`
+		LagSamples         int64   `json:"lag_samples"`
+		PromoteMS          float64 `json:"promote_ms"`
+		DigestMatch        bool    `json:"digest_match"`
+		TxnsPerSec         float64 `json:"txns_per_sec"`
 	} `json:"result"`
 }
 
@@ -172,8 +196,10 @@ func main() {
 		failures = diffRecoveryShards(*baseline, *current, *tolerance)
 	case "workload":
 		failures = diffWorkload(*baseline, *current, *tolerance)
+	case "replica":
+		failures = diffReplica(*baseline, *current)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards or workload)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards, workload or replica)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -598,6 +624,45 @@ func diffRecoveryFile(basePath, curPath string, tol float64) []string {
 	checkCount("file checkpointed redo window", base.Checkpoint.CkptRedoRecords, cur.Checkpoint.CkptRedoRecords)
 	if len(base.UndoWorkers) > 0 && len(cur.UndoWorkers) > 0 {
 		checkCount("file undo CLR count", base.UndoWorkers[0].CLRsWritten, cur.UndoWorkers[0].CLRsWritten)
+	}
+	return fails
+}
+
+// diffReplica gates the log-shipping standby: exact-state failover,
+// the replay-lag ceiling, applied-record determinism (within the run
+// and against the baseline — the stream is deterministic, so both are
+// equalities), and a positive promotion time (see the package comment).
+func diffReplica(basePath, curPath string) []string {
+	var base, cur replicaReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+	if !cur.Result.DigestMatch {
+		fails = append(fails, "promoted standby digest does not match the primary's")
+	}
+	if cur.Result.MaxLagBytes > cur.Result.LagBoundBytes {
+		fails = append(fails, fmt.Sprintf(
+			"replay lag exceeded the bound: max %d bytes > %d",
+			cur.Result.MaxLagBytes, cur.Result.LagBoundBytes))
+	}
+	if cur.Result.LagSamples == 0 {
+		fails = append(fails, "no lag samples: the run drove no traffic")
+	}
+	if cur.Result.AppliedRecords == 0 {
+		fails = append(fails, "standby applied no records")
+	}
+	if cur.Result.AppliedRecords != cur.Result.AppliedRecordsRun2 {
+		fails = append(fails, fmt.Sprintf(
+			"replay is nondeterministic: run 1 applied %d records, run 2 applied %d",
+			cur.Result.AppliedRecords, cur.Result.AppliedRecordsRun2))
+	}
+	if base.Result.AppliedRecords != 0 && cur.Result.AppliedRecords != base.Result.AppliedRecords {
+		fails = append(fails, fmt.Sprintf(
+			"applied records diverged from baseline: %d vs %d (deterministic stream: must be equal)",
+			cur.Result.AppliedRecords, base.Result.AppliedRecords))
+	}
+	if cur.Result.PromoteMS <= 0 {
+		fails = append(fails, "promotion reported no wall time")
 	}
 	return fails
 }

@@ -1,0 +1,209 @@
+// Command replicabench measures the log-shipping standby under
+// sustained committed traffic and gates the failover invariants:
+//
+//  1. Replay lag — a zipfian update workload runs against the primary
+//     with a warm standby attached; the driver applies backpressure at
+//     half the configured lag bound (the production shape: admission
+//     control keyed off standby lag) and samples the lag every
+//     transaction. The maximum observed sample must stay under the
+//     bound.
+//  2. Determinism — the identical seeded run is executed twice; the
+//     standby must apply exactly the same number of records both times
+//     (the logical log stream fully determines the standby's work).
+//  3. Promotion — after end-of-stable-log the standby is promoted and
+//     its row digest must equal the live primary's, and the promotion
+//     wall time is reported for the floor gate.
+//
+// It emits BENCH_replica.json for the CI bench-regression gate.
+//
+// Usage:
+//
+//	go run ./cmd/replicabench              # full settings
+//	go run ./cmd/replicabench -quick       # CI smoke settings
+//	go run ./cmd/replicabench -out /tmp/BENCH_replica.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"logrec/internal/engine"
+	"logrec/internal/harness"
+	"logrec/internal/replica"
+	"logrec/internal/workload"
+)
+
+type benchConfig struct {
+	Rows         int   `json:"rows"`
+	Txns         int   `json:"txns"`
+	UpdatesPer   int   `json:"updates_per_txn"`
+	Shards       int   `json:"shards"`
+	SegmentBytes int   `json:"segment_bytes"`
+	LagBound     int64 `json:"lag_bound_bytes"`
+}
+
+type benchResult struct {
+	ShippedBytes       int64   `json:"shipped_bytes"`
+	Segments           int64   `json:"segments"`
+	AppliedRecords     int64   `json:"applied_records"`
+	AppliedRecordsRun2 int64   `json:"applied_records_run2"`
+	MaxLagBytes        int64   `json:"max_lag_bytes"`
+	LagBoundBytes      int64   `json:"lag_bound_bytes"`
+	LagSamples         int64   `json:"lag_samples"`
+	PromoteMS          float64 `json:"promote_ms"`
+	DigestMatch        bool    `json:"digest_match"`
+	TxnsPerSec         float64 `json:"txns_per_sec"`
+}
+
+type report struct {
+	Config benchConfig `json:"config"`
+	Result benchResult `json:"result"`
+}
+
+// run drives one full bench pass and returns the result.
+func run(cfg benchConfig) (benchResult, error) {
+	var res benchResult
+	ecfg := engine.DefaultConfig()
+	ecfg.Shards = cfg.Shards
+	ecfg.KeySpan = uint64(cfg.Rows)
+	ecfg.CachePages = 512 * cfg.Shards
+
+	wcfg := workload.DefaultConfig()
+	wcfg.Rows = cfg.Rows
+	wcfg.Dist = workload.Zipf
+	wcfg.ReadFraction = 0
+	wcfg.UpdatesPerTxn = cfg.UpdatesPer
+	gen, err := workload.NewGenerator(wcfg)
+	if err != nil {
+		return res, err
+	}
+
+	primary, err := engine.New(ecfg)
+	if err != nil {
+		return res, err
+	}
+	if err := primary.Load(cfg.Rows, gen.InitialValue); err != nil {
+		return res, err
+	}
+	scfg := ecfg
+	scfg.Standby = true
+	standbyEng, err := engine.New(scfg)
+	if err != nil {
+		return res, err
+	}
+	if err := standbyEng.Load(cfg.Rows, gen.InitialValue); err != nil {
+		return res, err
+	}
+	s, err := replica.New(primary.Log, standbyEng, replica.Config{
+		SegmentBytes: cfg.SegmentBytes,
+		MaxLagBytes:  cfg.LagBound,
+	})
+	if err != nil {
+		return res, err
+	}
+	s.Start()
+
+	start := time.Now()
+	for i := 0; i < cfg.Txns; i++ {
+		if s.Lag().Bytes > cfg.LagBound/2 {
+			if err := s.WaitLagBelow(cfg.LagBound/2, 30*time.Second); err != nil {
+				return res, err
+			}
+		}
+		txn := primary.TC.Begin()
+		for j := 0; j < cfg.UpdatesPer; j++ {
+			key := gen.NextKey()
+			if err := primary.TC.Update(txn, ecfg.TableID, key, gen.UpdateValue(key)); err != nil {
+				return res, err
+			}
+		}
+		if err := primary.TC.Commit(txn); err != nil {
+			return res, err
+		}
+		if lag := s.Lag().Bytes; lag > res.MaxLagBytes {
+			res.MaxLagBytes = lag
+		}
+		res.LagSamples++
+	}
+	res.TxnsPerSec = float64(cfg.Txns) / time.Since(start).Seconds()
+
+	primary.TC.SendEOSL()
+	if err := s.WaitCaughtUp(30 * time.Second); err != nil {
+		return res, err
+	}
+	primaryDigest, err := harness.StateDigest(primary)
+	if err != nil {
+		return res, err
+	}
+	pStart := time.Now()
+	promoted, _, err := s.Promote()
+	if err != nil {
+		return res, err
+	}
+	res.PromoteMS = float64(time.Since(pStart).Microseconds()) / 1000
+	promotedDigest, err := harness.StateDigest(promoted)
+	if err != nil {
+		return res, err
+	}
+	res.DigestMatch = promotedDigest == primaryDigest
+	st := s.Stats()
+	res.ShippedBytes = st.ShippedBytes
+	res.Segments = st.Segments
+	res.AppliedRecords = st.Replay.Records
+	res.LagBoundBytes = cfg.LagBound
+	return res, nil
+}
+
+func main() {
+	var (
+		txns  = flag.Int("txns", 4000, "committed transactions to drive")
+		rows  = flag.Int("rows", 40000, "table rows")
+		out   = flag.String("out", "BENCH_replica.json", "output JSON path")
+		quick = flag.Bool("quick", false, "CI smoke settings (smaller workload)")
+	)
+	flag.Parse()
+
+	cfg := benchConfig{
+		Rows:         *rows,
+		Txns:         *txns,
+		UpdatesPer:   8,
+		Shards:       2,
+		SegmentBytes: 16 << 10,
+		LagBound:     256 << 10,
+	}
+	if *quick {
+		cfg.Rows = 8000
+		cfg.Txns = 800
+	}
+
+	res, err := run(cfg)
+	if err != nil {
+		log.Fatalf("replicabench: %v", err)
+	}
+	// The determinism leg: the identical seeded run must apply exactly
+	// the same number of records.
+	res2, err := run(cfg)
+	if err != nil {
+		log.Fatalf("replicabench: second run: %v", err)
+	}
+	res.AppliedRecordsRun2 = res2.AppliedRecords
+
+	rep := report{Config: cfg, Result: res}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicabench: %d txns, %.0f txns/s, max lag %d/%d bytes, applied %d records (run2 %d), promote %.2fms, digest match %v → %s\n",
+		cfg.Txns, res.TxnsPerSec, res.MaxLagBytes, res.LagBoundBytes,
+		res.AppliedRecords, res.AppliedRecordsRun2, res.PromoteMS, res.DigestMatch, *out)
+	if !res.DigestMatch {
+		os.Exit(1)
+	}
+}

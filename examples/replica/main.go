@@ -8,14 +8,22 @@
 // A physiological (PID-carrying) log could never be applied here: the
 // primary's page 4711 does not exist, or holds different rows, on the
 // replica.
+//
+// This example runs the production subsystem (internal/replica): a warm
+// standby continuously ships the primary's stable log, replays it in
+// logical mode (core.ReplayLogical — by table and key, never by PID),
+// reports its replay lag, and is finally crash-promoted into a serving
+// primary.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"logrec"
-	"logrec/internal/wal"
+	"logrec/internal/core"
+	"logrec/internal/replica"
 )
 
 func main() {
@@ -27,13 +35,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Replica: 1 KB pages and a different cache size — a physically
+	// Standby: 1 KB pages and a different cache size — a physically
 	// non-isomorphic environment (different block size, as the paper
-	// suggests for flash).
+	// suggests for flash). Config.Standby keeps it log-silent and
+	// session-less until promotion.
 	replCfg := logrec.DefaultConfig()
 	replCfg.Disk.PageSize = 1024
 	replCfg.CachePages = 2048
-	replica, err := logrec.New(replCfg)
+	replCfg.Standby = true
+	standbyEng, err := logrec.New(replCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,14 +53,24 @@ func main() {
 	if err := primary.Load(rows, valFn); err != nil {
 		log.Fatal(err)
 	}
-	if err := replica.Load(rows, valFn); err != nil {
+	if err := standbyEng.Load(rows, valFn); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("primary: %d pages of %dB; replica: %d pages of %dB\n",
 		primary.Disk.NumPages(), primCfg.Disk.PageSize,
-		replica.Disk.NumPages(), replCfg.Disk.PageSize)
+		standbyEng.Disk.NumPages(), replCfg.Disk.PageSize)
 
-	// Run committed transactions on the primary.
+	// Attach the standby to the primary's log and start shipping.
+	standby, err := replica.New(primary.Log, standbyEng, replica.Config{
+		Mode:         core.ReplayLogical,
+		SegmentBytes: 8 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	standby.Start()
+
+	// Run committed transactions on the primary while shipping is live.
 	for i := 0; i < 300; i++ {
 		txn := primary.TC.Begin()
 		for u := 0; u < 10; u++ {
@@ -65,43 +85,31 @@ func main() {
 		}
 	}
 
-	// Ship the primary's logical log to the replica: scan the stable
-	// log and re-apply each committed update by (table, key) — exactly
-	// what logical redo does, page identities never cross the wire.
-	shipped := 0
-	sc := primary.Log.NewScanner(wal.FirstLSN(), nil, wal.ScanCost{})
-	for {
-		rec, _, ok, err := sc.Next()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !ok {
-			break
-		}
-		upd, isUpd := rec.(*wal.UpdateRec)
-		if !isUpd {
-			continue // checkpoints, ∆/BW records etc. are site-local
-		}
-		txn := replica.TC.Begin()
-		if err := replica.TC.Update(txn, replCfg.TableID, upd.KeyVal, upd.NewVal); err != nil {
-			log.Fatalf("replay key %d: %v", upd.KeyVal, err)
-		}
-		if err := replica.TC.Commit(txn); err != nil {
-			log.Fatal(err)
-		}
-		shipped++
+	if err := standby.WaitCaughtUp(10 * time.Second); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("shipped %d logical update records to the replica\n", shipped)
+	st := standby.Stats()
+	fmt.Printf("shipped %d segments (%d bytes), replayed %d records (%d row ops applied), lag %d bytes\n",
+		st.Segments, st.ShippedBytes, st.Replay.Records, st.Replay.Applied, st.Lag.Bytes)
+
+	// The primary "dies"; promote the standby. Promotion drains the
+	// stable log, rolls back in-flight losers (none here) and opens the
+	// engine for sessions.
+	promoted, met, err := standby.Promote()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("promoted: %d losers undone\n", met.LosersUndone)
 
 	// The two databases live on incompatible physical layouts...
 	fmt.Printf("primary root PID %d (height %d); replica root PID %d (height %d)\n",
 		primary.DC.Tree().Meta().Root, primary.DC.Tree().Meta().Height,
-		replica.DC.Tree().Meta().Root, replica.DC.Tree().Meta().Height)
+		promoted.DC.Tree().Meta().Root, promoted.DC.Tree().Meta().Height)
 
 	// ...but hold identical logical contents.
 	mismatch := 0
 	err = primary.DC.Tree().Scan(func(k uint64, v []byte) error {
-		rv, found, err := replica.DC.Tree().Search(k)
+		rv, found, err := promoted.DC.Tree().Search(k)
 		if err != nil {
 			return err
 		}
@@ -118,4 +126,14 @@ func main() {
 	}
 	fmt.Printf("replica verified: all %d rows identical across page sizes %dB vs %dB\n",
 		rows, primCfg.Disk.PageSize, replCfg.Disk.PageSize)
+
+	// And the promoted engine serves: one more committed transaction.
+	txn := promoted.TC.Begin()
+	if err := promoted.TC.Update(txn, replCfg.TableID, 0, []byte("served-after-failover")); err != nil {
+		log.Fatal(err)
+	}
+	if err := promoted.TC.Commit(txn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("promoted standby is serving transactions")
 }

@@ -437,6 +437,12 @@ type run struct {
 	// scan start point (§3.2).
 	scanStart wal.LSN
 
+	// routeByKey, when set, overrides undo's shard routing: instead of
+	// the record's shard stamp, compensations route by key. A
+	// logical-mode standby (core.Replayer) sets it — its shard layout
+	// need not match the primary's stamps.
+	routeByKey func(key uint64) (*shardRun, error)
+
 	// routes is the routing table at the penultimate checkpoint;
 	// routeChanges are the in-window ShardMapRecs (applied at the end
 	// for committed migrations only). collectRoutes gates collection to

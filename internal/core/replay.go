@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"logrec/internal/engine"
+	"logrec/internal/shard"
+	"logrec/internal/storage"
+	"logrec/internal/tc"
+	"logrec/internal/wal"
+)
+
+// ReplayMode selects how a standby applies the shipped record stream.
+type ReplayMode int
+
+// Replay modes.
+const (
+	// ReplaySameGeometry runs the recovery redo machinery continuously:
+	// SMO records install the primary's page images, data operations are
+	// screened with the pLSN test, and the standby converges to a
+	// page-identical copy. It requires the standby to mirror the
+	// primary's shard count and page geometry.
+	ReplaySameGeometry ReplayMode = iota
+	// ReplayLogical re-executes only the logical operations through the
+	// standby's own B-trees, routed by key through the standby's own
+	// routing table. Physical records (SMO images, ∆/BW, RSSP) are
+	// skipped, so the standby may use a different page size or shard
+	// count and still converge to the same rows — the paper's §1.1
+	// point that the logical log, carrying no PIDs, is the replication
+	// contract.
+	ReplayLogical
+)
+
+func (m ReplayMode) String() string {
+	if m == ReplayLogical {
+		return "logical"
+	}
+	return "same-geometry"
+}
+
+// ReplayStats is a point-in-time snapshot of a Replayer's progress.
+type ReplayStats struct {
+	// Records is how many log records the replayer has consumed.
+	Records int64
+	// Ops is how many of them were data operations.
+	Ops int64
+	// Applied counts operations that actually modified a page; the
+	// remainder were screened out by the pLSN idempotence test.
+	Applied int64
+	// SMOs counts structure-modification records replayed
+	// (same-geometry mode only).
+	SMOs int64
+	// AppliedLSN is the stable-log position the replayer has fully
+	// applied through — the standby's redo-scan start point if it had
+	// to restart.
+	AppliedLSN wal.LSN
+}
+
+// Replayer runs the recovery redo pipeline continuously against a
+// standby engine: the incremental counterpart of the one-shot Recover.
+// Shipped records land in the standby's log (wal.AppendStable); each
+// CatchUp call scans the newly stable suffix, demultiplexes it to
+// per-shard apply workers — the same routing Recover's multi-shard
+// phase uses — and barriers so that, on return, everything stable is
+// applied. Promote turns the standby into a primary: the merged
+// backward undo sweep rolls back in-flight losers exactly as crash
+// recovery would, then the engine reopens for sessions.
+//
+// CatchUp, Checkpoint and Promote must be called from one applier
+// goroutine; the apply workers they coordinate are internal. Stats may
+// be read from anywhere.
+type Replayer struct {
+	eng  *engine.Engine
+	mode ReplayMode
+	r    *run
+
+	nextLSN wal.LSN
+	chans   []chan replayItem
+	workers sync.WaitGroup
+
+	// router mirrors the primary's routing table: committed migrations
+	// from the stream are applied as they commit, so Promote can
+	// install the routes the primary died with. pendingRoutes holds
+	// each in-flight migration's ShardMapRecs until its commit decides
+	// them. Same-geometry mode only.
+	router        *shard.Router
+	pendingRoutes map[wal.TxnID][]*wal.ShardMapRec
+	lastEndCkpt   wal.LSN
+
+	records    atomic.Int64
+	ops        atomic.Int64
+	applied    atomic.Int64
+	smos       atomic.Int64
+	appliedLSN atomic.Uint64
+
+	mu   sync.Mutex // guards err (set by workers, read by the applier)
+	err  error
+	done bool
+}
+
+// NewReplayer wires a replayer to a standby engine. The engine must be
+// in standby mode (engine.Config.Standby): bulk-loaded with the same
+// rows as the primary but never opened for sessions, its log fed only
+// by shipment. Same-geometry mode additionally requires the standby to
+// mirror the primary's shard layout — a record naming a shard the
+// standby does not have fails the replay.
+func NewReplayer(eng *engine.Engine, mode ReplayMode) (*Replayer, error) {
+	n := eng.Cfg.NumShards()
+	met := &Metrics{Shards: n, RedoWorkers: 1, UndoWorkers: 1}
+	r := &run{
+		opt:   DefaultOptions(eng.Cfg),
+		clock: eng.Clock,
+		log:   eng.Log,
+		met:   met,
+		txns:  newTxnTable(),
+	}
+	r.shards = make([]*shardRun, n)
+	for i, d := range eng.DCs {
+		r.shards[i] = &shardRun{r: r, id: wal.ShardID(i), d: d}
+	}
+	router, err := shard.NewRouter(shard.DefaultRoutes(n, eng.Cfg.KeySpan))
+	if err != nil {
+		return nil, fmt.Errorf("core: standby routing table: %w", err)
+	}
+	rp := &Replayer{
+		eng:           eng,
+		mode:          mode,
+		r:             r,
+		nextLSN:       wal.FirstLSN(),
+		router:        router,
+		pendingRoutes: make(map[wal.TxnID][]*wal.ShardMapRec),
+	}
+	rp.appliedLSN.Store(uint64(rp.nextLSN))
+	if mode == ReplayLogical {
+		// Undo compensations route by key through the standby's own
+		// table, not the primary's shard stamps.
+		r.routeByKey = func(key uint64) (*shardRun, error) {
+			return r.shards[eng.Set.Locate(key)], nil
+		}
+	}
+	rp.chans = make([]chan replayItem, n)
+	for i := range rp.chans {
+		ch := make(chan replayItem, r.opt.ScanAheadRecords)
+		rp.chans[i] = ch
+		rp.workers.Add(1)
+		go rp.applyLoop(r.shards[i], ch)
+	}
+	return rp, nil
+}
+
+// replayItem is one routed record, or a barrier the worker acknowledges
+// once every earlier item on its channel has been applied.
+type replayItem struct {
+	rec     wal.Record
+	lsn     wal.LSN
+	barrier *sync.WaitGroup
+}
+
+// applyLoop is one shard's apply worker. After an error it keeps
+// draining (and acknowledging barriers) so CatchUp never deadlocks; the
+// sticky error surfaces on the next CatchUp or Promote.
+func (rp *Replayer) applyLoop(sr *shardRun, ch <-chan replayItem) {
+	defer rp.workers.Done()
+	for it := range ch {
+		if it.barrier != nil {
+			it.barrier.Done()
+			continue
+		}
+		if rp.failed() {
+			continue
+		}
+		if err := rp.applyOne(sr, it.rec, it.lsn); err != nil {
+			rp.fail(fmt.Errorf("core: replay at %v on shard %d: %w", it.lsn, sr.id, err))
+		}
+	}
+}
+
+func (rp *Replayer) fail(err error) {
+	rp.mu.Lock()
+	if rp.err == nil {
+		rp.err = err
+	}
+	rp.mu.Unlock()
+}
+
+func (rp *Replayer) failed() bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.err != nil
+}
+
+func (rp *Replayer) stickyErr() error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.err
+}
+
+// applyOne replays a single shard-routed record in the configured mode.
+func (rp *Replayer) applyOne(sr *shardRun, rec wal.Record, lsn wal.LSN) error {
+	switch t := rec.(type) {
+	case *wal.SMORec:
+		if rp.mode != ReplaySameGeometry {
+			return nil // physical page images mean nothing off-geometry
+		}
+		rp.smos.Add(1)
+		return sr.replaySMO(t, lsn)
+	case wal.DataOp:
+		rp.ops.Add(1)
+		if rp.mode == ReplayLogical {
+			return rp.applyLogical(sr, t, lsn)
+		}
+		return rp.redoOne(sr, t, lsn)
+	default:
+		// ∆, BW and RSSP records serve crash recovery of the primary;
+		// a continuously-applying standby needs none of them.
+		return nil
+	}
+}
+
+// redoOne is basic logical redo (Algorithm 2) applied continuously: the
+// standby re-traverses its B-tree — identical to the primary's in this
+// mode — and the pLSN test keeps the apply idempotent, so records
+// re-delivered after a standby restart are screened out.
+func (rp *Replayer) redoOne(sr *shardRun, op wal.DataOp, lsn wal.LSN) error {
+	pool := sr.d.Pool()
+	pid, err := sr.d.Tree().FindLeaf(op.Key())
+	if err != nil {
+		return fmt.Errorf("index search for key %d: %w", op.Key(), err)
+	}
+	f, err := pool.Get(pid)
+	if err != nil {
+		return fmt.Errorf("fetching page %d: %w", pid, err)
+	}
+	if uint64(lsn) <= f.Page.LSN() {
+		pool.Unpin(f)
+		return nil
+	}
+	err = applyOp(pool, f, op, lsn)
+	pool.Unpin(f)
+	if err != nil {
+		return err
+	}
+	rp.applied.Add(1)
+	return nil
+}
+
+// applyLogical re-executes one logical operation through the standby's
+// own tree, stamping the shipped LSN. State-based upsert semantics make
+// the apply idempotent without pLSN screening — off-geometry pages
+// carry their own LSNs, so a re-delivered operation is absorbed by the
+// row state it would recreate, not detected by a page stamp.
+func (rp *Replayer) applyLogical(sr *shardRun, op wal.DataOp, lsn wal.LSN) error {
+	d := sr.d
+	stamp := func(storage.PageID) wal.LSN { return lsn }
+	upsert := func(table wal.TableID, key uint64, val []byte) error {
+		_, ok, err := d.Read(table, key)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return d.Update(table, key, val, stamp)
+		}
+		return d.Insert(table, key, val, stamp)
+	}
+	remove := func(table wal.TableID, key uint64) error {
+		_, ok, err := d.Read(table, key)
+		if err != nil || !ok {
+			return err
+		}
+		return d.Delete(table, key, stamp)
+	}
+	var err error
+	switch t := op.(type) {
+	case *wal.UpdateRec:
+		err = upsert(t.TableID, t.KeyVal, t.NewVal)
+	case *wal.InsertRec:
+		err = upsert(t.TableID, t.KeyVal, t.Val)
+	case *wal.DeleteRec:
+		err = remove(t.TableID, t.KeyVal)
+	case *wal.CLRRec:
+		switch t.Kind {
+		case wal.CLRUndoUpdate, wal.CLRUndoDelete:
+			err = upsert(t.TableID, t.KeyVal, t.RestoreVal)
+		case wal.CLRUndoInsert:
+			err = remove(t.TableID, t.KeyVal)
+		default:
+			err = fmt.Errorf("unknown CLR kind %d", t.Kind)
+		}
+	default:
+		err = fmt.Errorf("unexpected record type %v", op.Type())
+	}
+	if err != nil {
+		return fmt.Errorf("logical replay of %v: %w", op.Type(), err)
+	}
+	rp.applied.Add(1)
+	return nil
+}
+
+// CatchUp applies everything stable in the standby log and barriers: on
+// return the standby reflects every shipped, validated record. It first
+// broadcasts the stable boundary as the EOSL so standby page flushes
+// (cleaner pressure, checkpoints) never try to force the shipped log.
+func (rp *Replayer) CatchUp() error {
+	if err := rp.stickyErr(); err != nil {
+		return err
+	}
+	if rp.done {
+		return fmt.Errorf("core: replayer already promoted")
+	}
+	stable := rp.r.log.FlushedLSN()
+	if stable <= rp.nextLSN {
+		return nil
+	}
+	rp.eng.Set.EOSL(stable)
+
+	sc := rp.r.log.NewScanner(rp.nextLSN, rp.r.clock, rp.r.opt.ScanCost)
+	for {
+		rec, lsn, ok, err := sc.Next()
+		if err != nil {
+			return fmt.Errorf("core: scanning shipped log at %v: %w", lsn, err)
+		}
+		if !ok {
+			break
+		}
+		rp.records.Add(1)
+		rp.note(rec, lsn)
+		sh, sharded := shardOf(rec)
+		if !sharded {
+			continue
+		}
+		if rp.mode == ReplayLogical {
+			op, isOp := rec.(wal.DataOp)
+			if !isOp {
+				continue // physical shard records are skipped off-geometry
+			}
+			sh = rp.eng.Set.Locate(op.Key())
+		}
+		if int(sh) >= len(rp.chans) {
+			return fmt.Errorf("core: record at %v names shard %d, standby has %d", lsn, sh, len(rp.chans))
+		}
+		rp.chans[sh] <- replayItem{rec: rec, lsn: lsn}
+	}
+	rp.barrier()
+	rp.nextLSN = stable
+	rp.appliedLSN.Store(uint64(stable))
+	return rp.stickyErr()
+}
+
+// barrier blocks until every worker has drained its channel.
+func (rp *Replayer) barrier() {
+	var wg sync.WaitGroup
+	wg.Add(len(rp.chans))
+	for _, ch := range rp.chans {
+		ch <- replayItem{barrier: &wg}
+	}
+	wg.Wait()
+}
+
+// note is the stream-order bookkeeping: the transaction table feeding
+// Promote's undo, route-change tracking, and the master-record shadow.
+// Terminated transactions are pruned so a long-lived standby's table
+// stays bounded by the in-flight set, not the stream length.
+func (rp *Replayer) note(rec wal.Record, lsn wal.LSN) {
+	rp.r.txns.note(rec, lsn)
+	switch t := rec.(type) {
+	case *wal.ShardMapRec:
+		rp.pendingRoutes[t.TxnID] = append(rp.pendingRoutes[t.TxnID], t)
+	case *wal.CommitRec:
+		for _, sm := range rp.pendingRoutes[t.TxnID] {
+			rp.applyRoute(sm)
+		}
+		delete(rp.pendingRoutes, t.TxnID)
+		rp.r.txns.prune(t.TxnID)
+	case *wal.AbortRec:
+		delete(rp.pendingRoutes, t.TxnID)
+		rp.r.txns.prune(t.TxnID)
+	case *wal.EndCkptRec:
+		rp.lastEndCkpt = lsn
+	}
+}
+
+// applyRoute replays one committed migration's routing change — the
+// incremental form of finalRoutes.
+func (rp *Replayer) applyRoute(sm *wal.ShardMapRec) {
+	start, _, owner := rp.router.RangeOf(sm.SplitAt)
+	if start == sm.SplitAt && owner == sm.NewShard {
+		return
+	}
+	rp.router.Split(sm.SplitAt)
+	if sm.End != ^uint64(0) {
+		rp.router.Split(sm.End + 1)
+	}
+	if err := rp.router.Reassign(sm.SplitAt, sm.NewShard); err != nil {
+		rp.fail(fmt.Errorf("core: replaying route change at %d: %w", sm.SplitAt, err))
+		return
+	}
+	rp.r.appliedRouteChanges++
+}
+
+// Checkpoint takes a standby checkpoint: every applied page is flushed
+// and each shard's boot page records the applied LSN as its redo-scan
+// start point, bounding what a standby restart would have to re-ship.
+// Nothing is appended to the log — the standby log must remain a byte
+// prefix of the primary's. Call only between CatchUps (workers idle).
+func (rp *Replayer) Checkpoint() error {
+	if err := rp.stickyErr(); err != nil {
+		return err
+	}
+	for _, sr := range rp.r.shards {
+		if err := sr.d.StandbyCheckpoint(rp.nextLSN); err != nil {
+			return fmt.Errorf("core: standby checkpoint shard %d: %w", sr.id, err)
+		}
+	}
+	return nil
+}
+
+// Promote turns the caught-up standby into a primary. The caller must
+// have drained shipment and run a final CatchUp — everything stable on
+// the standby log is the promoted state; in-flight losers (transactions
+// with no commit in the stream) are rolled back by the same merged
+// backward undo sweep crash recovery uses, appending their CLRs and
+// aborts to the standby's log, which from here on is the new primary's.
+// The engine then reopens for sessions: routing table as the primary
+// last committed it, SMO logging and ∆/BW tracking on, a fresh TC
+// continuing the transaction-ID space, and an initial checkpoint.
+// Returns the run metrics (LosersUndone, CLRsWritten).
+func (rp *Replayer) Promote() (*Metrics, error) {
+	if rp.done {
+		return nil, fmt.Errorf("core: replayer already promoted")
+	}
+	rp.done = true
+	for _, ch := range rp.chans {
+		close(ch)
+	}
+	rp.workers.Wait()
+	if err := rp.stickyErr(); err != nil {
+		return nil, err
+	}
+	if stable := rp.r.log.FlushedLSN(); stable != rp.nextLSN {
+		return nil, fmt.Errorf("core: promote with unapplied stable log (%v applied, %v stable)", rp.nextLSN, stable)
+	}
+
+	if err := rp.r.undo(); err != nil {
+		return nil, fmt.Errorf("core: promote undo: %w", err)
+	}
+
+	routes := rp.router.Routes()
+	if rp.mode == ReplayLogical {
+		// Off-geometry standbys keep their own partitioning; the
+		// primary's routing history does not apply to them.
+		routes = rp.eng.Set.Routes()
+	}
+	set, err := shard.NewSet(routes, rp.eng.DCs)
+	if err != nil {
+		return nil, fmt.Errorf("core: promote routing table: %w", err)
+	}
+	set.StartLogging()
+	newTC := tc.New(rp.r.log, set)
+	newTC.RestoreMaster(rp.lastEndCkpt)
+	newTC.RestoreNextTxnID(rp.r.txns.maxID)
+	newTC.SendEOSL()
+	rp.eng.BecomePrimary(set, newTC)
+	if err := newTC.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("core: promote checkpoint: %w", err)
+	}
+	return rp.r.met, nil
+}
+
+// Stats returns a snapshot of the replay counters. Safe to call from
+// any goroutine.
+func (rp *Replayer) Stats() ReplayStats {
+	return ReplayStats{
+		Records:    rp.records.Load(),
+		Ops:        rp.ops.Load(),
+		Applied:    rp.applied.Load(),
+		SMOs:       rp.smos.Load(),
+		AppliedLSN: wal.LSN(rp.appliedLSN.Load()),
+	}
+}

@@ -68,6 +68,17 @@ func (t *txnTable) note(rec wal.Record, lsn wal.LSN) {
 	}
 }
 
+// prune drops a terminated transaction's entries. A continuous
+// replayer calls it as commits and aborts stream past so the table
+// stays bounded by the in-flight transaction set; maxID is kept, so
+// RestoreNextTxnID after a promotion still continues the ID space.
+// One-shot recovery never prunes — finalRoutes needs the full won set.
+func (t *txnTable) prune(id wal.TxnID) {
+	delete(t.last, id)
+	delete(t.ended, id)
+	delete(t.won, id)
+}
+
 // losers returns the transactions requiring undo: seen but not ended,
 // keyed to their most recent LSN.
 func (t *txnTable) losers() map[wal.TxnID]wal.LSN {

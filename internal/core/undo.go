@@ -48,6 +48,16 @@ func (r *run) shardFor(sh wal.ShardID) (*shardRun, error) {
 	return r.shards[sh], nil
 }
 
+// resolveShard routes one undo compensation: by the record's shard
+// stamp for recovery, or by key when routeByKey is set (a logical-mode
+// standby whose partitioning differs from the primary's stamps).
+func (r *run) resolveShard(sh wal.ShardID, key uint64) (*shardRun, error) {
+	if r.routeByKey != nil {
+		return r.routeByKey(key)
+	}
+	return r.shardFor(sh)
+}
+
 // eoslAll forces the log and broadcasts the new end of stable log to
 // every shard, releasing the WAL constraint for post-recovery flushing.
 func (r *run) eoslAll() {
@@ -112,28 +122,28 @@ func (r *run) undoRecord(txn wal.TxnID, prev wal.LSN, rec wal.Record, onCLR func
 	}
 	switch t := rec.(type) {
 	case *wal.UpdateRec:
-		sr, err := r.shardFor(t.ShardID)
+		sr, err := r.resolveShard(t.ShardID, t.KeyVal)
 		if err != nil {
 			return wal.NilLSN, err
 		}
 		err = sr.d.Update(t.TableID, t.KeyVal, t.OldVal,
-			clrLog(t.ShardID, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
+			clrLog(sr.id, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
 		return t.PrevLSN, err
 	case *wal.InsertRec:
-		sr, err := r.shardFor(t.ShardID)
+		sr, err := r.resolveShard(t.ShardID, t.KeyVal)
 		if err != nil {
 			return wal.NilLSN, err
 		}
 		err = sr.d.Delete(t.TableID, t.KeyVal,
-			clrLog(t.ShardID, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN))
+			clrLog(sr.id, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN))
 		return t.PrevLSN, err
 	case *wal.DeleteRec:
-		sr, err := r.shardFor(t.ShardID)
+		sr, err := r.resolveShard(t.ShardID, t.KeyVal)
 		if err != nil {
 			return wal.NilLSN, err
 		}
 		err = sr.d.Insert(t.TableID, t.KeyVal, t.OldVal,
-			clrLog(t.ShardID, wal.CLRUndoDelete, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
+			clrLog(sr.id, wal.CLRUndoDelete, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN))
 		return t.PrevLSN, err
 	case *wal.CLRRec:
 		// Redo-only: skip over already-compensated work.

@@ -260,6 +260,28 @@ func (d *DC) RSSP(rsspLSN wal.LSN) error {
 	return nil
 }
 
+// StandbyCheckpoint is RSSP's log-silent twin for a warm standby: it
+// flushes every applied page and persists applied — the stable-log
+// position the replayer has fully applied through — as the boot page's
+// redo-scan start point, so a standby restart re-ships only from there.
+// Unlike RSSP it appends nothing: a standby's log must remain a byte
+// prefix of the primary's, and its ∆/BW trackers are off (no interval
+// to close, no checkpoint flip to take). The caller must have EOSL'd
+// through applied first so none of these flushes forces the log.
+func (d *DC) StandbyCheckpoint(applied wal.LSN) error {
+	if err := d.pool.FlushAll(); err != nil {
+		return fmt.Errorf("dc: standby checkpoint flush: %w", err)
+	}
+	d.rsspLSN = applied
+	if err := d.WriteBootPage(); err != nil {
+		return err
+	}
+	if err := d.disk.Sync(); err != nil {
+		return fmt.Errorf("dc: standby checkpoint sync: %w", err)
+	}
+	return nil
+}
+
 // WriteBootPage persists the metadata page.
 func (d *DC) WriteBootPage() error {
 	buf := encodeMeta(metaState{tree: d.tree.Meta(), rsspLSN: d.rsspLSN}, d.disk.Config().PageSize)

@@ -91,6 +91,13 @@ type Config struct {
 	// AutoSplitCfg tunes the auto-splitter; zero fields take the
 	// tc.AutoSplitConfig defaults.
 	AutoSplitCfg tc.AutoSplitConfig
+	// Standby builds the engine as a warm standby (replica mode): Load
+	// bulk-loads rows but leaves logging off and takes no checkpoint,
+	// so the engine's log stays header-only and can ingest the
+	// primary's shipped stream as a byte-identical prefix
+	// (wal.AppendStable). A standby engine serves no sessions until a
+	// core.Replayer promotes it.
+	Standby bool
 }
 
 // Validate checks the configuration and fills defaulted fields in
@@ -280,7 +287,10 @@ func readMaster(dir string) (wal.LSN, error) {
 
 // Load bulk-loads n sequential rows (routed to their shards), flushes
 // them, enables logging and takes the initial checkpoint so the engine
-// is in steady operation.
+// is in steady operation. A standby engine (Config.Standby) stops
+// after the flush: logging stays off and no checkpoint is taken, so
+// its log holds nothing but the header and shipped bytes land at
+// exactly the primary's offsets.
 func (e *Engine) Load(n int, valFn func(key uint64) []byte) error {
 	for k := uint64(0); k < uint64(n); k++ {
 		if err := e.Set.LoadRow(k, valFn(k)); err != nil {
@@ -290,8 +300,26 @@ func (e *Engine) Load(n int, valFn func(key uint64) []byte) error {
 	if err := e.Set.FinishLoad(); err != nil {
 		return err
 	}
+	if e.Cfg.Standby {
+		return nil
+	}
 	e.Set.StartLogging()
 	return e.TC.Checkpoint()
+}
+
+// BecomePrimary installs the routing table and TC a promotion built
+// (core.Replayer.Promote), rewiring the file-mode master hook so the
+// promoted engine's checkpoints land in its own boot file. The standby
+// flag is cleared: the engine is now an ordinary primary.
+func (e *Engine) BecomePrimary(set *shard.Set, t *tc.TC) {
+	e.Set = set
+	e.TC = t
+	e.DC = e.DCs[0]
+	e.Cfg.Standby = false
+	if e.Cfg.Device == DeviceFile {
+		dir := e.Cfg.Dir
+		t.SetMasterHook(func(lsn wal.LSN) error { return writeMaster(dir, lsn) })
+	}
 }
 
 // CrashState is everything that survives a crash. In simulated mode

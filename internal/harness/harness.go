@@ -61,6 +61,11 @@ type Config struct {
 	// Log.CloneTrimmed on the simulated one). 0 leaves the WAL ending
 	// on a record boundary.
 	TornTailBytes int
+	// OnLoaded, when set, runs after the engine is loaded and has taken
+	// its initial checkpoint, before any traffic. The failover harness
+	// uses it to attach a warm standby to the live primary so shipping
+	// runs concurrently with the workload.
+	OnLoaded func(*engine.Engine) error
 }
 
 // DefaultConfig returns the paper-proportional experiment at the
@@ -173,6 +178,11 @@ func BuildCrash(cfg Config) (*CrashResult, error) {
 		return v
 	}); err != nil {
 		return nil, fmt.Errorf("harness: load: %w", err)
+	}
+	if cfg.OnLoaded != nil {
+		if err := cfg.OnLoaded(eng); err != nil {
+			return nil, fmt.Errorf("harness: OnLoaded: %w", err)
+		}
 	}
 
 	openTxns := cfg.OpenTxns

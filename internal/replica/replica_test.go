@@ -1,0 +1,452 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"logrec/internal/core"
+	"logrec/internal/engine"
+	"logrec/internal/wal"
+	"logrec/internal/workload"
+)
+
+// NOTE: this package is imported by internal/harness, so these tests
+// build their own traffic and digest helpers instead of importing it.
+
+const testRows = 1500
+
+func initVal(k uint64) []byte { return []byte(fmt.Sprintf("init-%06d", k)) }
+
+// newPrimary builds and loads a simulated primary.
+func newPrimary(t *testing.T, shards int) *engine.Engine {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Shards = shards
+	cfg.KeySpan = 2 * testRows
+	cfg.CachePages = 256 * shards
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(testRows, initVal); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// newStandby builds and loads a simulated standby mirroring cfg's
+// geometry unless mutate changes it.
+func newStandby(t *testing.T, primary *engine.Engine, mutate func(*engine.Config)) *engine.Engine {
+	t.Helper()
+	cfg := primary.Cfg
+	cfg.Standby = true
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(testRows, initVal); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// attach wires a Standby over the pair.
+func attach(t *testing.T, primary, standby *engine.Engine, cfg Config) *Standby {
+	t.Helper()
+	s, err := New(primary.Log, standby, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// commitTxns runs n committed transactions of 4 updates each over the
+// loaded keys, deterministically keyed off base.
+func commitTxns(t *testing.T, eng *engine.Engine, n int, base uint64) {
+	t.Helper()
+	table := eng.Cfg.TableID
+	for i := uint64(0); i < uint64(n); i++ {
+		txn := eng.TC.Begin()
+		for j := uint64(0); j < 4; j++ {
+			key := (base*7 + i*13 + j*31) % testRows
+			val := []byte(fmt.Sprintf("upd-%d-%d-%d", base, i, j))
+			if err := eng.TC.Update(txn, table, key, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.TC.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// digest hashes every row of the engine's table: FNV-1a over
+// big-endian key then value, in key order.
+func digest(t *testing.T, eng *engine.Engine) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	err := eng.Set.ScanAll(func(key uint64, val []byte) error {
+		var kb [8]byte
+		binary.BigEndian.PutUint64(kb[:], key)
+		h.Write(kb[:])
+		h.Write(val)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64()
+}
+
+// promote fails over and asserts the promoted engine matches want.
+func promote(t *testing.T, s *Standby, want uint64) (*engine.Engine, *core.Metrics) {
+	t.Helper()
+	promoted, met, err := s.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := digest(t, promoted); got != want {
+		t.Fatalf("promoted digest %016x, want %016x", got, want)
+	}
+	return promoted, met
+}
+
+// checkPromotedServes proves the promoted engine is a working primary:
+// a fresh transaction commits and reads back.
+func checkPromotedServes(t *testing.T, promoted *engine.Engine) {
+	t.Helper()
+	txn := promoted.TC.Begin()
+	if err := promoted.TC.Update(txn, promoted.Cfg.TableID, 1, []byte("post-promote")); err != nil {
+		t.Fatal(err)
+	}
+	if err := promoted.TC.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := promoted.Set.Read(promoted.Cfg.TableID, 1)
+	if err != nil || !found {
+		t.Fatalf("reading post-promote row: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(got, []byte("post-promote")) {
+		t.Fatalf("post-promote row = %q", got)
+	}
+}
+
+func TestStandbyConvergesAndPromotes(t *testing.T) {
+	primary := newPrimary(t, 2)
+	standby := newStandby(t, primary, nil)
+	s := attach(t, primary, standby, Config{SegmentBytes: 4 << 10, CheckpointEveryRecords: 200})
+	s.Start()
+
+	// Live traffic while the pump runs concurrently.
+	commitTxns(t, primary, 150, 1)
+	if err := s.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if lag := s.Lag(); lag.Bytes != 0 || lag.Records != 0 {
+		t.Fatalf("lag after catch-up: %+v", lag)
+	}
+	st := s.Stats()
+	if st.Replay.Records == 0 || st.Replay.Applied == 0 {
+		t.Fatalf("replayer did nothing: %+v", st.Replay)
+	}
+	if st.Segments == 0 || st.ShippedBytes == 0 {
+		t.Fatalf("nothing shipped: %+v", st)
+	}
+
+	want := digest(t, primary)
+	promoted, met := promote(t, s, want)
+	if met.LosersUndone != 0 {
+		t.Fatalf("clean promote undid %d losers", met.LosersUndone)
+	}
+	checkPromotedServes(t, promoted)
+}
+
+// tornFrame builds the byte shape wal.TearTail injects: a frame header
+// claiming a 16 MiB body, cut short and filled with 0xA5.
+func tornFrame(n int) []byte {
+	frame := make([]byte, 5+n)
+	binary.BigEndian.PutUint32(frame, 1<<24)
+	frame[4] = byte(wal.TypeUpdate)
+	for i := 5; i < len(frame); i++ {
+		frame[i] = 0xA5
+	}
+	return frame[:n]
+}
+
+func TestStandbyFaultInjection(t *testing.T) {
+	// Each case mangles the first several segments of the stream and
+	// then ships cleanly; the healing protocol must converge to the
+	// primary's exact state regardless.
+	cases := []struct {
+		name      string
+		segBytes  int
+		mangle    func(faults *int) func(wal.Segment) []wal.Segment
+		wantHeals bool
+	}{
+		{
+			// Every early segment delivered twice: ingest must be
+			// idempotent. Duplicates are absorbed without a heal.
+			name: "duplicated",
+			mangle: func(faults *int) func(wal.Segment) []wal.Segment {
+				return func(seg wal.Segment) []wal.Segment {
+					if *faults >= 6 {
+						return []wal.Segment{seg}
+					}
+					*faults++
+					return []wal.Segment{seg, seg}
+				}
+			},
+		},
+		{
+			// Early segments held back one delivery and re-sent after
+			// their successor: the successor hits a gap, the shipper
+			// resumes from the watermark.
+			name: "delayed-reordered",
+			mangle: func(faults *int) func(wal.Segment) []wal.Segment {
+				var held []wal.Segment
+				return func(seg wal.Segment) []wal.Segment {
+					if *faults >= 6 {
+						if len(held) > 0 {
+							out := append(held, seg)
+							held = nil
+							return out
+						}
+						return []wal.Segment{seg}
+					}
+					*faults++
+					if len(held) == 0 {
+						held = []wal.Segment{seg}
+						return nil
+					}
+					out := []wal.Segment{seg, held[0]}
+					held = nil
+					return out
+				}
+			},
+			wantHeals: true,
+		},
+		{
+			// Early segments torn mid-transfer: only the first half
+			// arrives. The applier buffers the cut frame and the shipper
+			// resumes from the ingest watermark.
+			name: "torn",
+			mangle: func(faults *int) func(wal.Segment) []wal.Segment {
+				return func(seg wal.Segment) []wal.Segment {
+					if *faults >= 6 || len(seg.Data) < 2 {
+						return []wal.Segment{seg}
+					}
+					*faults++
+					return []wal.Segment{{From: seg.From, Data: seg.Data[:len(seg.Data)/2]}}
+				}
+			},
+			wantHeals: true,
+		},
+		{
+			// Early segments arrive with torn-tail garbage appended — the
+			// same byte shape a crashed primary's torn frame has. The
+			// applier rejects the garbage, keeps the valid prefix, and
+			// the shipper re-ships from the watermark. The segment size
+			// is large so segments end at the stable boundary (a frame
+			// boundary): trailing garbage lands between frames, where the
+			// frame walk can see it — garbage spliced into the middle of
+			// a frame body is indistinguishable from data by design (the
+			// codec has no per-frame checksum), just as a torn file tail
+			// is only detectable at a frame boundary.
+			name:     "garbage-appended",
+			segBytes: 1 << 20,
+			mangle: func(faults *int) func(wal.Segment) []wal.Segment {
+				return func(seg wal.Segment) []wal.Segment {
+					if *faults >= 4 {
+						return []wal.Segment{seg}
+					}
+					*faults++
+					data := append(append([]byte(nil), seg.Data...), tornFrame(40)...)
+					return []wal.Segment{{From: seg.From, Data: data}}
+				}
+			},
+			wantHeals: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			primary := newPrimary(t, 2)
+			standby := newStandby(t, primary, nil)
+			segBytes := tc.segBytes
+			if segBytes == 0 {
+				segBytes = 512 // many small segments → many fault sites
+			}
+			var faults int
+			s := attach(t, primary, standby, Config{
+				SegmentBytes: segBytes,
+				Mangle:       tc.mangle(&faults),
+			})
+			s.Start()
+			commitTxns(t, primary, 120, 2)
+			if err := s.WaitCaughtUp(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if faults == 0 {
+				t.Fatal("fault injector never fired")
+			}
+			st := s.Stats()
+			if tc.wantHeals && st.HealEvents == 0 {
+				t.Fatalf("no heal events despite %d injected faults", faults)
+			}
+			want := digest(t, primary)
+			promoted, _ := promote(t, s, want)
+			checkPromotedServes(t, promoted)
+			if got, want := promoted.Log.StableRecords(), primary.Log.StableRecords(); got < want {
+				t.Fatalf("promoted log has %d stable records, primary %d", got, want)
+			}
+		})
+	}
+}
+
+func TestPromoteUndoesInFlightLosers(t *testing.T) {
+	primary := newPrimary(t, 2)
+	standby := newStandby(t, primary, nil)
+	s := attach(t, primary, standby, Config{SegmentBytes: 4 << 10})
+	s.Start()
+
+	commitTxns(t, primary, 60, 3)
+	// The committed-only state is what a failover must converge to.
+	want := digest(t, primary)
+
+	// An in-flight transaction whose updates reach the stable log (the
+	// EOSL force ships them) but never commits: the promoted standby
+	// must roll it back.
+	loser := primary.TC.Begin()
+	for _, key := range []uint64{5, 105, 1105} {
+		if err := primary.TC.Update(loser, primary.Cfg.TableID, key, []byte("loser")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.TC.SendEOSL()
+
+	if err := s.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	promoted, met := promote(t, s, want)
+	if met.LosersUndone != 1 {
+		t.Fatalf("LosersUndone = %d, want 1", met.LosersUndone)
+	}
+	if met.CLRsWritten == 0 {
+		t.Fatal("promotion rolled back a loser without CLRs")
+	}
+	for _, key := range []uint64{5, 105, 1105} {
+		got, found, err := promoted.Set.Read(promoted.Cfg.TableID, key)
+		if err != nil || !found {
+			t.Fatalf("key %d after promote: found=%v err=%v", key, found, err)
+		}
+		if bytes.Equal(got, []byte("loser")) {
+			t.Fatalf("key %d still carries the loser's update", key)
+		}
+	}
+	checkPromotedServes(t, promoted)
+}
+
+func TestReplayLogicalDifferentGeometry(t *testing.T) {
+	// The paper's §1.1 contract: the logical log names tables and keys,
+	// not pages, so a standby with quarter-size pages and a different
+	// shard count consumes the identical stream.
+	primary := newPrimary(t, 2)
+	standby := newStandby(t, primary, func(cfg *engine.Config) {
+		cfg.Shards = 1
+		cfg.Disk.PageSize = 1024
+		cfg.CachePages = 2048
+	})
+	s := attach(t, primary, standby, Config{SegmentBytes: 4 << 10, Mode: core.ReplayLogical})
+	s.Start()
+
+	commitTxns(t, primary, 80, 4)
+	// Inserts and deletes too: logical replay must handle all three ops.
+	txn := primary.TC.Begin()
+	for k := uint64(testRows); k < testRows+20; k++ {
+		if err := primary.TC.Insert(txn, primary.Cfg.TableID, k, []byte(fmt.Sprintf("ins-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 10; k++ {
+		if err := primary.TC.Delete(txn, primary.Cfg.TableID, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.TC.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := digest(t, primary)
+	promoted, _ := promote(t, s, want)
+	checkPromotedServes(t, promoted)
+	if promoted.Cfg.Disk.PageSize == primary.Cfg.Disk.PageSize {
+		t.Fatal("test lost its point: geometries match")
+	}
+}
+
+func TestReplayLagStaysBounded(t *testing.T) {
+	// Satellite: sustained zipfian traffic with backpressure at half the
+	// bound keeps every observed lag sample under the bound, and a
+	// post-EOSL promote yields the primary's exact state.
+	const lagBound = 64 << 10
+	primary := newPrimary(t, 2)
+	standby := newStandby(t, primary, nil)
+	s := attach(t, primary, standby, Config{
+		SegmentBytes: 4 << 10,
+		MaxLagBytes:  lagBound,
+	})
+	s.Start()
+
+	wcfg := workload.DefaultConfig()
+	wcfg.Rows = testRows
+	wcfg.Dist = workload.Zipf
+	wcfg.ReadFraction = 0
+	gen, err := workload.NewGenerator(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxLag int64
+	for i := 0; i < 300; i++ {
+		if s.Lag().Bytes > lagBound/2 {
+			if err := s.WaitLagBelow(lagBound/2, 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		txn := primary.TC.Begin()
+		for j := 0; j < 8; j++ {
+			key := gen.NextKey()
+			if err := primary.TC.Update(txn, primary.Cfg.TableID, key, gen.UpdateValue(key)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := primary.TC.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		if lag := s.Lag().Bytes; lag > maxLag {
+			maxLag = lag
+		}
+	}
+	if maxLag > lagBound {
+		t.Fatalf("observed lag %d bytes exceeded the %d bound", maxLag, lagBound)
+	}
+	if maxLag == 0 {
+		t.Fatal("lag never rose: the traffic did not stress the pump")
+	}
+
+	primary.TC.SendEOSL()
+	if err := s.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := digest(t, primary)
+	promoted, _ := promote(t, s, want)
+	checkPromotedServes(t, promoted)
+}

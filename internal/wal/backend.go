@@ -24,6 +24,10 @@ import (
 type Backend interface {
 	// WriteAt persists p at byte offset off.
 	WriteAt(p []byte, off int64) error
+	// ReadAt fills p from byte offset off (io.ReaderAt semantics). The
+	// log shipper reads the stable prefix through it, so a standby tails
+	// what is actually on the log device, not the in-memory tail.
+	ReadAt(p []byte, off int64) (int, error)
 	// Sync is the durability barrier (fsync).
 	Sync() error
 	// Stats returns a copy of the accumulated counters.
@@ -40,6 +44,8 @@ type BackendStats struct {
 	Writes       int64
 	BytesWritten int64
 	Syncs        int64
+	Reads        int64
+	BytesRead    int64
 }
 
 // FileBackend is the file implementation of Backend.
@@ -74,6 +80,19 @@ func (b *FileBackend) WriteAt(p []byte, off int64) error {
 		return fmt.Errorf("wal: log write at %d: %w", off, err)
 	}
 	return nil
+}
+
+// ReadAt fills p from off (the shipper's read path).
+func (b *FileBackend) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	b.stats.Reads++
+	b.stats.BytesRead += int64(len(p))
+	b.mu.Unlock()
+	n, err := b.f.ReadAt(p, off)
+	if err != nil {
+		return n, fmt.Errorf("wal: log read at %d: %w", off, err)
+	}
+	return n, nil
 }
 
 // Sync fsyncs the log file.

@@ -64,6 +64,12 @@ type Log struct {
 	// only pays its frame walk when set.
 	torn bool
 
+	// heldShip counts shipped bytes held past flushedLSN awaiting the
+	// rest of their frame (AppendStable's receive buffer; 0 on any log
+	// that is not a shipping target). A standby log must drop them
+	// (DropPartialTail) before its first local Append or Flush.
+	heldShip int
+
 	// backend, when non-nil, is the log's persistent device: Flush
 	// writes the unpersisted suffix and fsyncs before moving the stable
 	// boundary, so "stable" means on-disk, not just in-memory.

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShipGap reports a shipped segment whose first byte lies past the
+// receiving log's end: an earlier segment was lost or delayed. The
+// shipper recovers by resuming from the applier's watermark.
+var ErrShipGap = errors.New("wal: shipped segment starts past the log end")
+
+// Segment is one shipped chunk of a log's stable prefix: raw frame
+// bytes starting at a known LSN. Because an LSN is a byte offset,
+// shipping is pure byte transport — the receiving log validates frames
+// on ingest.
+type Segment struct {
+	// From is the LSN of the segment's first byte.
+	From LSN
+	// Data holds record-frame bytes starting at From. The last frame
+	// may be cut short by the segment boundary (or a torn transfer);
+	// the receiver holds incomplete bytes back.
+	Data []byte
+}
+
+// End returns the LSN one past the segment's last byte.
+func (s Segment) End() LSN { return s.From + LSN(len(s.Data)) }
+
+// ReadStable copies up to max bytes of the stable log starting at from
+// (max <= 0 means no bound). When a backend is attached the bytes come
+// from the log device — the shipper tails what is actually durable —
+// otherwise from the in-memory stable prefix. A nil slice means from is
+// at (or past) the stable boundary: the reader has caught up.
+func (l *Log) ReadStable(from LSN, max int) ([]byte, error) {
+	if from < FirstLSN() {
+		from = FirstLSN()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from >= l.flushedLSN {
+		return nil, nil
+	}
+	n := int(l.flushedLSN - from)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]byte, n)
+	if l.backend != nil {
+		// Under mu so CloseBackend (a crash) cannot close the file out
+		// from underneath the read; the stable prefix is fully persisted
+		// (Flush syncs before advancing flushedLSN), so the device read
+		// cannot see a partial frame the memory path would not.
+		if _, err := l.backend.ReadAt(out, int64(from)); err != nil {
+			return nil, fmt.Errorf("wal: reading stable log at %v: %w", from, err)
+		}
+		return out, nil
+	}
+	copy(out, l.buf[from:int(from)+n])
+	return out, nil
+}
+
+// maxShipFrameBody bounds the body size a held-back partial frame may
+// claim. Real frames are orders of magnitude smaller; a claim past the
+// bound is channel garbage (TearTail's synthetic frame claims 16 MiB),
+// rejected immediately instead of buffered forever waiting for bytes
+// that will never arrive.
+const maxShipFrameBody = 4 << 20
+
+// AppendStable ingests a shipped segment of another log's stable
+// prefix, returning the ingest watermark — the LSN the next segment
+// should start at. It is idempotent and self-healing, so the shipping
+// channel may duplicate, re-send, reorder-within-resend or tear
+// segments:
+//
+//   - bytes the log already ingested (from < watermark) are skipped,
+//     so a duplicated or overlapping segment is a no-op for the
+//     overlap;
+//   - a segment starting past the watermark returns ErrShipGap with
+//     the log untouched, so a delayed or lost segment cannot punch a
+//     hole — the shipper resumes from the returned watermark;
+//   - a trailing frame cut short by the segment boundary or a torn
+//     transfer (the codec's ErrTruncated, the same screen OpenLogFile
+//     applies to a torn file) is buffered but not counted stable:
+//     FlushedLSN stops at the last complete frame until the rest of
+//     the frame arrives;
+//   - a frame that fails to decode, or a partial frame claiming an
+//     absurd body length (torn-tail garbage), is rejected with an
+//     error after trimming back to the last complete frame; the
+//     shipper re-sends from the returned watermark.
+//
+// Complete ingested frames are immediately stable (they were stable on
+// the primary) and, with a backend attached, persisted and synced
+// before FlushedLSN advances; buffered partial bytes stay off the
+// device. Callers must serialize AppendStable with the log's other
+// writers; a standby log has exactly one applier and must not Append
+// or Flush locally until promotion drops any partial tail
+// (DropPartialTail).
+func (l *Log) AppendStable(from LSN, data []byte) (LSN, error) {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.frozen {
+		return l.flushedLSN, fmt.Errorf("wal: shipped segment into frozen log")
+	}
+	if from < FirstLSN() {
+		// The log header is written by NewLog on both sides and is not
+		// part of the record stream; clamp a from-zero ship to it.
+		if len(data) >= int(FirstLSN()-from) {
+			data = data[FirstLSN()-from:]
+		} else {
+			data = nil
+		}
+		from = FirstLSN()
+	}
+	ingest := LSN(len(l.buf))
+	if ingest != l.flushedLSN+LSN(l.heldShip) {
+		return l.flushedLSN, fmt.Errorf("wal: log has a volatile tail (%v past stable %v); cannot ingest shipped segments", ingest, l.flushedLSN)
+	}
+	if from > ingest {
+		return ingest, fmt.Errorf("%w: segment at %v, log ends at %v", ErrShipGap, from, ingest)
+	}
+	skip := int(ingest - from)
+	if skip >= len(data) {
+		return ingest, nil // wholly duplicate: idempotent no-op
+	}
+	l.buf = append(l.buf, data[skip:]...)
+
+	// Frame walk from the last complete frame (a previously buffered
+	// partial frame may now be complete): exactly OpenLogFile's restart
+	// screen, applied per segment instead of per file.
+	good := l.flushedLSN
+	var walkErr error
+	for int(good) < len(l.buf) {
+		rec, next, err := l.decodeAt(good)
+		if err == nil {
+			l.recCount++
+			l.stableRecs++
+			l.appendCount[rec.Type()]++
+			good = next
+			continue
+		}
+		if errors.Is(err, ErrTruncated) && l.saneFrameClaim(good) {
+			break // incomplete trailing frame: buffer it, await the rest
+		}
+		l.buf = l.buf[:good]
+		walkErr = fmt.Errorf("wal: corrupt shipped frame at %v: %w", good, err)
+		break
+	}
+	l.flushedLSN = good
+	l.heldShip = len(l.buf) - int(good)
+	if l.backend != nil && int64(good) > l.persisted {
+		if err := l.backend.WriteAt(l.buf[l.persisted:good], l.persisted); err != nil {
+			return good, fmt.Errorf("wal: persisting shipped segment: %w", err)
+		}
+		if err := l.backend.Sync(); err != nil {
+			return good, fmt.Errorf("wal: syncing shipped segment: %w", err)
+		}
+		l.persisted = int64(good)
+	}
+	return LSN(len(l.buf)), walkErr
+}
+
+// saneFrameClaim reports whether the partial frame at lsn could be the
+// prefix of a real frame: either too short to read its body-length
+// claim yet, or claiming a body within maxShipFrameBody.
+func (l *Log) saneFrameClaim(lsn LSN) bool {
+	rest := l.buf[lsn:]
+	if len(rest) < 4 {
+		return true
+	}
+	return int(binary.BigEndian.Uint32(rest)) <= maxShipFrameBody
+}
+
+// DropPartialTail discards buffered shipped bytes held past the last
+// complete frame — promotion's equivalent of recovery's torn-tail
+// trim. A promoted standby calls it before its first local append; the
+// partial frame's content is still on the dead primary's log, exactly
+// like any torn tail, and is lost with it.
+func (l *Log) DropPartialTail() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.heldShip > 0 {
+		l.buf = l.buf[:l.flushedLSN]
+		l.heldShip = 0
+	}
+}
+
+// ShipReader tails a log's stable prefix in segment-sized batches — the
+// primary-side half of log shipping. It is a cursor, not a lock: the
+// log keeps appending while the reader trails it, and reading remains
+// valid after the primary freezes (a crash), which is how a standby
+// drains the final stable bytes before promotion.
+type ShipReader struct {
+	log  *Log
+	next LSN
+}
+
+// NewShipReader returns a reader positioned at from (clamped to
+// FirstLSN; use the applier's watermark to resume an interrupted ship).
+func (l *Log) NewShipReader(from LSN) *ShipReader {
+	if from < FirstLSN() {
+		from = FirstLSN()
+	}
+	return &ShipReader{log: l, next: from}
+}
+
+// Next reads the next segment of at most maxBytes stable bytes
+// (maxBytes <= 0 means everything available). ok=false means the reader
+// has caught up with the stable boundary; more may become available
+// after the next log force.
+func (r *ShipReader) Next(maxBytes int) (Segment, bool, error) {
+	data, err := r.log.ReadStable(r.next, maxBytes)
+	if err != nil {
+		return Segment{}, false, err
+	}
+	if len(data) == 0 {
+		return Segment{}, false, nil
+	}
+	seg := Segment{From: r.next, Data: data}
+	r.next = seg.End()
+	return seg, true, nil
+}
+
+// Watermark returns the LSN the next segment will start at.
+func (r *ShipReader) Watermark() LSN { return r.next }
+
+// Resume repositions the reader — after the applier held back a torn
+// tail or reported a gap, the shipper resumes from the applier's
+// watermark so the channel self-heals.
+func (r *ShipReader) Resume(from LSN) {
+	if from < FirstLSN() {
+		from = FirstLSN()
+	}
+	r.next = from
+}

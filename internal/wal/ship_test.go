@@ -1,0 +1,311 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// fillLog appends n committed single-update transactions and flushes.
+func fillLog(t *testing.T, l *Log, n int, txnBase uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := TxnID(txnBase + uint64(i) + 1)
+		lsn := l.MustAppend(&UpdateRec{
+			TxnID: id, TableID: 1, KeyVal: uint64(i),
+			OldVal: []byte("old"), NewVal: []byte(fmt.Sprintf("new-%d", i)),
+			PageID: 7, ShardID: 0,
+		})
+		l.MustAppend(&CommitRec{TxnID: id, PrevLSN: lsn})
+	}
+	l.Flush()
+}
+
+// shipAll pumps every available segment from src into dst with the
+// given segment size, asserting convergence.
+func shipAll(t *testing.T, src, dst *Log, segBytes int) {
+	t.Helper()
+	r := src.NewShipReader(dst.FlushedLSN())
+	for {
+		seg, ok, err := r.Next(segBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		mark, err := dst.AppendStable(seg.From, seg.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mark < seg.End() {
+			r.Resume(mark)
+		}
+	}
+	if got, want := dst.FlushedLSN(), src.FlushedLSN(); got != want {
+		t.Fatalf("standby stable end %v, primary %v", got, want)
+	}
+}
+
+func stableBytes(t *testing.T, l *Log) []byte {
+	t.Helper()
+	b, err := l.ReadStable(FirstLSN(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestShipRoundTrip(t *testing.T) {
+	primary := NewLog()
+	fillLog(t, primary, 200, 0)
+	for _, segBytes := range []int{16, 64, 4096, 1 << 20} {
+		standby := NewLog()
+		shipAll(t, primary, standby, segBytes)
+		if !bytes.Equal(stableBytes(t, primary), stableBytes(t, standby)) {
+			t.Fatalf("segBytes=%d: shipped log bytes differ from primary", segBytes)
+		}
+		if got, want := standby.StableRecords(), primary.StableRecords(); got != want {
+			t.Fatalf("segBytes=%d: standby has %d stable records, primary %d", segBytes, got, want)
+		}
+	}
+}
+
+func TestShipResumesAcrossFlushes(t *testing.T) {
+	primary := NewLog()
+	standby := NewLog()
+	fillLog(t, primary, 20, 0)
+	shipAll(t, primary, standby, 128)
+	// More primary traffic after the standby caught up; shipping resumes
+	// from the standby's watermark.
+	fillLog(t, primary, 20, 100)
+	shipAll(t, primary, standby, 128)
+	if !bytes.Equal(stableBytes(t, primary), stableBytes(t, standby)) {
+		t.Fatal("resumed ship diverged from primary")
+	}
+}
+
+func TestAppendStableDuplicateIsNoop(t *testing.T) {
+	primary := NewLog()
+	fillLog(t, primary, 5, 0)
+	standby := NewLog()
+	seg, ok, err := primary.NewShipReader(FirstLSN()).Next(0)
+	if err != nil || !ok {
+		t.Fatalf("reading segment: ok=%v err=%v", ok, err)
+	}
+	mark1, err := standby.AppendStable(seg.From, seg.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := standby.StableRecords()
+	// The exact same segment again, and an overlapping re-send.
+	mark2, err := standby.AppendStable(seg.From, seg.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark2 != mark1 || standby.StableRecords() != recs {
+		t.Fatalf("duplicate segment changed the log: mark %v→%v, records %d→%d",
+			mark1, mark2, recs, standby.StableRecords())
+	}
+	half := len(seg.Data) / 2
+	mark3, err := standby.AppendStable(seg.From, seg.Data[:half])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark3 != mark1 {
+		t.Fatalf("overlapping re-send moved the watermark: %v → %v", mark1, mark3)
+	}
+}
+
+func TestAppendStableGap(t *testing.T) {
+	primary := NewLog()
+	fillLog(t, primary, 10, 0)
+	r := primary.NewShipReader(FirstLSN())
+	seg1, _, err := r.Next(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg2, ok, err := r.Next(256)
+	if err != nil || !ok {
+		t.Fatalf("second segment: ok=%v err=%v", ok, err)
+	}
+	standby := NewLog()
+	// Deliver out of order: the delayed first segment leaves a gap.
+	if _, err := standby.AppendStable(seg2.From, seg2.Data); !errors.Is(err, ErrShipGap) {
+		t.Fatalf("gap segment: got %v, want ErrShipGap", err)
+	}
+	if standby.FlushedLSN() != FirstLSN() {
+		t.Fatalf("gap segment moved the watermark to %v", standby.FlushedLSN())
+	}
+	// In-order delivery heals it.
+	if _, err := standby.AppendStable(seg1.From, seg1.Data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := standby.AppendStable(seg2.From, seg2.Data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tornFrameBytes is the same partial frame TearTail/TearFile inject: a
+// frame header promising a body far past any real frame, cut short.
+func tornFrameBytes(n int) []byte {
+	frame := make([]byte, frameHeaderSize+n)
+	binary.BigEndian.PutUint32(frame, uint32(1<<24))
+	frame[4] = byte(TypeUpdate)
+	for i := frameHeaderSize; i < len(frame); i++ {
+		frame[i] = 0xA5
+	}
+	return frame[:n]
+}
+
+func TestAppendStableTornTailHeldBack(t *testing.T) {
+	primary := NewLog()
+	fillLog(t, primary, 10, 0)
+	seg, _, err := primary.NewShipReader(FirstLSN()).Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A transfer torn mid-frame: the cut frame's bytes are buffered but
+	// not counted stable until the rest arrives.
+	cut := len(seg.Data) - 7
+	standby := NewLog()
+	mark, err := standby.AppendStable(seg.From, seg.Data[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark != seg.From+LSN(cut) {
+		t.Fatalf("ingest watermark %v, want %v", mark, seg.From+LSN(cut))
+	}
+	if standby.FlushedLSN() >= mark {
+		t.Fatalf("partial frame counted stable: FlushedLSN %v at ingest %v", standby.FlushedLSN(), mark)
+	}
+	// Ship the rest from the watermark; the buffered frame completes.
+	if _, err := standby.AppendStable(mark, seg.Data[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	if standby.FlushedLSN() != seg.End() {
+		t.Fatalf("standby at %v after heal, want %v", standby.FlushedLSN(), seg.End())
+	}
+
+	// DropPartialTail discards a buffered fragment (the promotion path).
+	standby2 := NewLog()
+	if _, err := standby2.AppendStable(seg.From, seg.Data[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	standby2.DropPartialTail()
+	if got := standby2.EndLSN(); got != standby2.FlushedLSN() {
+		t.Fatalf("partial tail survived the drop: end %v, stable %v", got, standby2.FlushedLSN())
+	}
+
+	// A TearTail-shaped garbage frame (16 MiB body claim) after the good
+	// bytes: rejected as corrupt rather than buffered forever, with the
+	// valid prefix kept.
+	standby3 := NewLog()
+	torn := append(append([]byte(nil), seg.Data...), tornFrameBytes(40)...)
+	mark3, err := standby3.AppendStable(seg.From, torn)
+	if err == nil {
+		t.Fatal("torn-tail garbage frame ingested without error")
+	}
+	if mark3 != seg.End() {
+		t.Fatalf("garbage frame moved the watermark to %v, want %v", mark3, seg.End())
+	}
+	if !bytes.Equal(stableBytes(t, standby3), seg.Data) {
+		t.Fatal("garbage frame bytes leaked into the standby log")
+	}
+}
+
+func TestAppendStableCorruptFrameRejected(t *testing.T) {
+	primary := NewLog()
+	fillLog(t, primary, 3, 0)
+	seg, _, err := primary.NewShipReader(FirstLSN()).Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete frame of an unknown record type after the good bytes.
+	bad := []byte{0, 0, 0, 2, 0xFF, 1, 2}
+	standby := NewLog()
+	mark, err := standby.AppendStable(seg.From, append(append([]byte(nil), seg.Data...), bad...))
+	if err == nil {
+		t.Fatal("corrupt complete frame ingested without error")
+	}
+	if mark != seg.End() {
+		t.Fatalf("valid prefix not kept: watermark %v, want %v", mark, seg.End())
+	}
+	// The log remains usable from the watermark.
+	fillLog(t, primary, 3, 50)
+	shipAll(t, primary, standby, 0)
+}
+
+func TestShipReaderOverFileBackend(t *testing.T) {
+	dir := t.TempDir()
+	primary := NewLog()
+	be, err := CreateFileBackend(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.SetBackend(be); err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, primary, 50, 0)
+	if primary.Backend().Stats().Reads != 0 {
+		t.Fatal("unexpected backend reads before shipping")
+	}
+
+	// The standby also persists through a backend; its file must be
+	// byte-identical to the primary's after the ship.
+	standby := NewLog()
+	sbe, err := CreateFileBackend(filepath.Join(dir, "standby.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.SetBackend(sbe); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, standby, 4096)
+	if primary.Backend().Stats().Reads == 0 {
+		t.Fatal("shipping did not read through the log device")
+	}
+	if err := standby.CloseBackend(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenLogFile(filepath.Join(dir, "standby.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stableBytes(t, reopened), stableBytes(t, primary)) {
+		t.Fatal("standby log file differs from the primary's stable prefix")
+	}
+	if err := reopened.CloseBackend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadStableSurvivesCrash(t *testing.T) {
+	// File mode: after a crash closes the backend, the stable prefix is
+	// still drainable from memory — the promotion path's final drain.
+	dir := t.TempDir()
+	primary := NewLog()
+	be, err := CreateFileBackend(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.SetBackend(be); err != nil {
+		t.Fatal(err)
+	}
+	fillLog(t, primary, 10, 0)
+	want := stableBytes(t, primary)
+	if err := primary.CloseBackend(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := primary.ReadStable(FirstLSN(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("stable bytes changed across the crash close")
+	}
+}
