@@ -50,7 +50,8 @@ $(BENCH_DIR):
 
 # Full write-path + recovery sweeps (simulated and file device), the
 # fsync-amortization curve on a real log device, the cross-shard
-# recovery sweep, then the Go bench cases once each.
+# recovery sweep, the recovery-SLO run (budget-mode checkpointing on
+# both devices), then the Go bench cases once each.
 bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/walbench -out $(BENCH_DIR)/BENCH_wal.json
 	$(GO) run ./cmd/walbench -device=file -dir $(FILEDEV_DIR)-wal -flushdelay 0 \
@@ -59,8 +60,10 @@ bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/recoverybench -device=file -dir $(FILEDEV_DIR) \
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
-	$(GO) run ./cmd/recoverybench -shards 1,2,4 \
+	$(GO) run ./cmd/recoverybench -shards 1,2,4,8 \
 		-out $(BENCH_DIR)/BENCH_recovery_shards.json
+	$(GO) run ./cmd/recoverybench -budget 75ms,250ms \
+		-dir $(FILEDEV_DIR)-slo -out $(BENCH_DIR)/BENCH_recovery_slo.json
 	$(GO) run ./cmd/walbench -workload mixed -out $(BENCH_DIR)/BENCH_workload.json
 	$(GO) run ./cmd/replicabench -out $(BENCH_DIR)/BENCH_replica.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
@@ -74,8 +77,10 @@ bench-smoke: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -quick -out $(BENCH_DIR)/BENCH_recovery.json
 	$(GO) run ./cmd/recoverybench -device=file -quick -dir $(FILEDEV_DIR) \
 		-out $(BENCH_DIR)/BENCH_recovery_file.json
-	$(GO) run ./cmd/recoverybench -quick -shards 1,2,4 \
+	$(GO) run ./cmd/recoverybench -quick -shards 1,2,4,8 \
 		-out $(BENCH_DIR)/BENCH_recovery_shards.json
+	$(GO) run ./cmd/recoverybench -quick -budget 75ms \
+		-dir $(FILEDEV_DIR)-slo -out $(BENCH_DIR)/BENCH_recovery_slo.json
 	$(GO) run ./cmd/walbench -workload mixed -quick -out $(BENCH_DIR)/BENCH_workload.json
 	$(GO) run ./cmd/replicabench -quick -out $(BENCH_DIR)/BENCH_replica.json
 
@@ -105,6 +110,8 @@ bench-gate: bench-smoke
 		-baseline ci/baselines/BENCH_recovery_file.json -current $(BENCH_DIR)/BENCH_recovery_file.json
 	$(GO) run ./cmd/benchdiff -kind recovery-shards -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_recovery_shards.json -current $(BENCH_DIR)/BENCH_recovery_shards.json
+	$(GO) run ./cmd/benchdiff -kind recovery-slo -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_recovery_slo.json -current $(BENCH_DIR)/BENCH_recovery_slo.json
 	$(GO) run ./cmd/benchdiff -kind workload -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_workload.json -current $(BENCH_DIR)/BENCH_workload.json
 	$(GO) run ./cmd/benchdiff -kind replica \
@@ -117,6 +124,7 @@ bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_recovery.json ci/baselines/BENCH_recovery.json
 	cp $(BENCH_DIR)/BENCH_recovery_file.json ci/baselines/BENCH_recovery_file.json
 	cp $(BENCH_DIR)/BENCH_recovery_shards.json ci/baselines/BENCH_recovery_shards.json
+	cp $(BENCH_DIR)/BENCH_recovery_slo.json ci/baselines/BENCH_recovery_slo.json
 	cp $(BENCH_DIR)/BENCH_workload.json ci/baselines/BENCH_workload.json
 	cp $(BENCH_DIR)/BENCH_replica.json ci/baselines/BENCH_replica.json
 

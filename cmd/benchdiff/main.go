@@ -60,6 +60,21 @@
 //	                     equality, not a tolerance), and promotion must
 //	                     have measurably happened (positive wall time).
 //	                     Throughput is reported but not gated.
+//	-kind recovery-slo   gates the recovery-SLO report (recoverybench
+//	                     -budget): on both the sim and file devices the
+//	                     budget-mode Checkpointer must have fired on the
+//	                     replay estimate (budget triggers ≥ 1), measured
+//	                     replay of the resulting crash must land within
+//	                     the budget plus tolerance and -slo-slack-ms
+//	                     (fixed reopen costs a checkpoint cannot
+//	                     shrink), and the parallel recovery must be
+//	                     byte-identical to a serial re-recovery of the
+//	                     same crash (equal positive CLR counts, equal
+//	                     log end). The decode sweep must show the
+//	                     segmented front-end emitting identical record
+//	                     counts at every width, up to ≥ 8 workers over
+//	                     more than one segment. Wall-clock speedup
+//	                     shapes are NOT gated — the invariants are.
 //	-kind recovery-file  gates recoverybench -device=file: every sweep
 //	                     entry must have completed (its wall time is a
 //	                     real measurement, so it must be positive),
@@ -166,6 +181,26 @@ type recoveryReport struct {
 	} `json:"determinism"`
 }
 
+type sloReport struct {
+	SLO []struct {
+		Device           string  `json:"device"`
+		BudgetMS         float64 `json:"budget_ms"`
+		TrafficBytes     int64   `json:"traffic_bytes"`
+		CheckpointsTaken int64   `json:"checkpoints_taken"`
+		BudgetTriggers   int64   `json:"budget_triggers"`
+		ReplayMS         float64 `json:"replay_ms"`
+		LosersUndone     int     `json:"losers_undone"`
+		CLRsParallel     int64   `json:"clrs_parallel"`
+		CLRsSerial       int64   `json:"clrs_serial"`
+		LogEndEqual      bool    `json:"log_end_equal"`
+	} `json:"slo"`
+	Decode []struct {
+		Workers        int   `json:"workers"`
+		DecodeRecords  int64 `json:"decode_records"`
+		DecodeSegments int   `json:"decode_segments"`
+	} `json:"decode"`
+}
+
 func main() {
 	var (
 		kind           = flag.String("kind", "", "report kind: wal or recovery")
@@ -175,6 +210,7 @@ func main() {
 		minSpeedup     = flag.Float64("min-speedup", 1.2, "required parallel-redo speedup at the max worker count (recovery kind)")
 		minUndoSpeedup = flag.Float64("min-undo-speedup", 1.2, "required parallel-undo speedup at the max undo worker count (recovery kind)")
 		minShardScale  = flag.Float64("min-shard-scale", 3.0, "required modeled speedup at the max shard count (wal-shards kind)")
+		sloSlackMS     = flag.Float64("slo-slack-ms", 50, "fixed replay-time allowance on top of the budget (recovery-slo kind): reopen costs a checkpoint cannot shrink")
 	)
 	flag.Parse()
 	if *baseline == "" || *current == "" {
@@ -194,12 +230,14 @@ func main() {
 		failures = diffRecoveryFile(*baseline, *current, *tolerance)
 	case "recovery-shards":
 		failures = diffRecoveryShards(*baseline, *current, *tolerance)
+	case "recovery-slo":
+		failures = diffRecoverySLO(*baseline, *current, *tolerance, *sloSlackMS)
 	case "workload":
 		failures = diffWorkload(*baseline, *current, *tolerance)
 	case "replica":
 		failures = diffReplica(*baseline, *current)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards, workload or replica)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards, recovery-slo, workload or replica)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -531,6 +569,30 @@ func diffRecoveryShards(basePath, curPath string, tol float64) []string {
 		fails = append(fails, "shard sweep never ran more than 1 shard; cross-shard recovery went unexercised")
 	}
 
+	// No-plateau check at wide counts: once the sweep reaches 8 shards,
+	// the widest count must still improve on the runner-up — the
+	// segmented parallel decode front-end exists so the demultiplexer
+	// stops being the ceiling there. Narrower sweeps (old baselines)
+	// skip this; absolute speedup values are still not gated.
+	if widest >= 8 {
+		wi, ri := -1, -1
+		for i, s := range cur.Shards {
+			switch {
+			case wi < 0 || s.Shards > cur.Shards[wi].Shards:
+				ri, wi = wi, i
+			case ri < 0 || s.Shards > cur.Shards[ri].Shards:
+				ri = i
+			}
+		}
+		if ri >= 0 && cur.Shards[ri].Shards > 1 &&
+			cur.Shards[wi].Speedup <= cur.Shards[ri].Speedup {
+			fails = append(fails, fmt.Sprintf(
+				"cross-shard recovery plateaued: %d shards %.2fx ≤ %d shards %.2fx",
+				cur.Shards[wi].Shards, cur.Shards[wi].Speedup,
+				cur.Shards[ri].Shards, cur.Shards[ri].Speedup))
+		}
+	}
+
 	// Cross-shard determinism: two recoveries of the identical crash at
 	// the widest count must replay and apply the same record counts.
 	switch d := cur.Determinism; {
@@ -562,6 +624,91 @@ func diffRecoveryShards(basePath, curPath string, tol float64) []string {
 				"shards=%d redo window: %d records vs baseline %d (drift %.0f%% > %.0f%%)",
 				s.Shards, s.RedoRecords, baseN, drift*100, tol*100))
 		}
+	}
+	return fails
+}
+
+// diffRecoverySLO gates the recovery-SLO report: the budget-mode
+// Checkpointer must demonstrably work on both devices, measured replay
+// must land near the budget, and the parallel recovery must be
+// byte-identical to the serial one (see the package comment).
+func diffRecoverySLO(basePath, curPath string, tol, slackMS float64) []string {
+	var base, cur sloReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+
+	if len(cur.SLO) == 0 {
+		return []string{"current run has no SLO entries"}
+	}
+	devices := map[string]bool{}
+	for _, s := range cur.SLO {
+		devices[s.Device] = true
+		name := fmt.Sprintf("%s budget=%.0fms", s.Device, s.BudgetMS)
+		if s.TrafficBytes <= 0 {
+			fails = append(fails, name+": live engine drove no traffic")
+		}
+		if s.BudgetTriggers < 1 {
+			fails = append(fails, name+": the replay estimate never triggered a checkpoint")
+		}
+		if s.CheckpointsTaken < s.BudgetTriggers {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %d checkpoints taken < %d budget triggers", name, s.CheckpointsTaken, s.BudgetTriggers))
+		}
+		if ceiling := s.BudgetMS*(1+tol) + slackMS; s.ReplayMS > ceiling {
+			fails = append(fails, fmt.Sprintf(
+				"%s: replay took %.2fms > %.2fms (budget + %.0f%% + %.0fms slack): the SLO knob did not hold",
+				name, s.ReplayMS, ceiling, tol*100, slackMS))
+		}
+		if s.LosersUndone <= 0 || s.CLRsParallel <= 0 {
+			fails = append(fails, fmt.Sprintf(
+				"%s: recovery undid %d losers with %d CLRs; the crash had losers in flight",
+				name, s.LosersUndone, s.CLRsParallel))
+		}
+		if s.CLRsParallel != s.CLRsSerial {
+			fails = append(fails, fmt.Sprintf(
+				"%s: parallel recovery wrote %d CLRs, serial wrote %d — must be identical",
+				name, s.CLRsParallel, s.CLRsSerial))
+		}
+		if !s.LogEndEqual {
+			fails = append(fails, name+": parallel and serial recoveries left different log ends")
+		}
+	}
+	for _, dev := range []string{"sim", "file"} {
+		if !devices[dev] {
+			fails = append(fails, fmt.Sprintf("no SLO entry for the %s device", dev))
+		}
+	}
+
+	// The decode-width sweep: the segmented front-end must have run wide
+	// and emitted the identical record stream at every width.
+	if len(cur.Decode) == 0 {
+		fails = append(fails, "current run has no decode-width sweep")
+		return fails
+	}
+	records := cur.Decode[0].DecodeRecords
+	widest := cur.Decode[0]
+	for _, d := range cur.Decode {
+		if d.DecodeRecords != records {
+			fails = append(fails, fmt.Sprintf(
+				"decode record count varies with width: %d at %d workers vs %d at %d",
+				d.DecodeRecords, d.Workers, records, cur.Decode[0].Workers))
+		}
+		if d.Workers > widest.Workers {
+			widest = d
+		}
+	}
+	if records <= 0 {
+		fails = append(fails, "decode sweep decoded no records")
+	}
+	if widest.Workers < 8 {
+		fails = append(fails, fmt.Sprintf(
+			"decode sweep stopped at %d workers; want ≥ 8", widest.Workers))
+	}
+	if widest.DecodeSegments <= 1 {
+		fails = append(fails, fmt.Sprintf(
+			"decode sweep at %d workers carved %d segment(s); parallel decode went unexercised",
+			widest.Workers, widest.DecodeSegments))
 	}
 	return fails
 }

@@ -19,6 +19,17 @@
 //     isolates the concurrency of the shards recovering in parallel;
 //     at the widest count the same crash is recovered twice and the
 //     record counts compared (the cross-shard determinism gate).
+//  5. Recovery-SLO mode (-budget, replaces the other sweeps) — for
+//     each budget and each device (sim and file): a probe crash
+//     measures the device's replay rate, a live sharded engine then
+//     runs committed session traffic under a budget-mode Checkpointer
+//     seeded with that rate, is crashed with losers in flight, and is
+//     recovered with production options. The report records whether
+//     the replay-rate-driven checkpoints actually held replay to the
+//     budget, plus a serial re-recovery of the same crash (CLR count
+//     and log end must match exactly) and a decode-worker sweep over
+//     the sim probe crash (the segmented front-end must emit identical
+//     record counts at every width).
 //
 // The sweeps run against an NVMe-class device queue (-channels, default
 // 16): the modeled SATA-era depth of 4 caps any replay parallelism at
@@ -31,16 +42,17 @@
 // so the sweeps report end-to-end wall-clock recovery numbers
 // (-realscale is ignored; there is nothing to scale, the IO is real).
 //
-// It emits BENCH_recovery.json (sim), BENCH_recovery_file.json (file)
-// or BENCH_recovery_shards.json (-shards) for the CI bench-regression
-// gate and artifact upload.
+// It emits BENCH_recovery.json (sim), BENCH_recovery_file.json (file),
+// BENCH_recovery_shards.json (-shards) or BENCH_recovery_slo.json
+// (-budget) for the CI bench-regression gate and artifact upload.
 //
 // Usage:
 //
 //	go run ./cmd/recoverybench                      # full settings
 //	go run ./cmd/recoverybench -quick               # CI smoke settings
 //	go run ./cmd/recoverybench -device=file -dir /dev/shm/rbench
-//	go run ./cmd/recoverybench -shards 1,2,4        # cross-shard recovery sweep
+//	go run ./cmd/recoverybench -shards 1,2,4,8      # cross-shard recovery sweep
+//	go run ./cmd/recoverybench -budget 75ms         # recovery-SLO mode (sim + file)
 //	go run ./cmd/recoverybench -workers 1,2,4,8,16 -out /tmp/BENCH_recovery.json
 package main
 
@@ -54,6 +66,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"logrec/internal/core"
 	"logrec/internal/engine"
@@ -107,6 +121,39 @@ type ckptResult struct {
 	RecordRatio     float64 `json:"record_ratio"` // ckpt/cold, lower is better
 }
 
+// sloResult is one budget × device run of the recovery-SLO mode: did
+// replay-rate-driven checkpointing hold a crash's replay under the
+// budget, and did the parallel recovery reproduce the serial one
+// byte for byte.
+type sloResult struct {
+	Device              string  `json:"device"`
+	BudgetMS            float64 `json:"budget_ms"`
+	SeedRateBytesPerSec float64 `json:"seed_rate_bytes_per_sec"`
+	TrafficBytes        int64   `json:"traffic_bytes"`
+	CheckpointsTaken    int64   `json:"checkpoints_taken"`
+	BudgetTriggers      int64   `json:"budget_triggers"`
+	FinalWindowBytes    int64   `json:"final_window_bytes"`
+	ReplayMS            float64 `json:"replay_ms"`
+	TotalMS             float64 `json:"total_ms"`
+	LosersUndone        int     `json:"losers_undone"`
+	CLRsParallel        int64   `json:"clrs_parallel"`
+	CLRsSerial          int64   `json:"clrs_serial"`
+	LogEndEqual         bool    `json:"log_end_equal"`
+}
+
+// decodeResult is one width of the decode-worker sweep over the sim
+// probe crash: the segmented front-end's telemetry plus the invariant
+// that widening decode never changes what recovery replays.
+type decodeResult struct {
+	Workers        int     `json:"workers"`
+	WallTotalMS    float64 `json:"wall_total_ms"`
+	DecodeRecords  int64   `json:"decode_records"`
+	DecodeSegments int     `json:"decode_segments"`
+	DecodeResyncs  int64   `json:"decode_resyncs"`
+	DecodeStallMS  float64 `json:"decode_stall_ms"`
+	CLRsWritten    int64   `json:"clrs_written"`
+}
+
 type report struct {
 	Benchmark   string            `json:"benchmark"`
 	Device      string            `json:"device"`
@@ -120,6 +167,8 @@ type report struct {
 	Checkpoint  ckptResult        `json:"checkpoint"`
 	Shards      []shardResult     `json:"shards,omitempty"`
 	Determinism *shardDeterminism `json:"determinism,omitempty"`
+	SLO         []sloResult       `json:"slo,omitempty"`
+	Decode      []decodeResult    `json:"decode,omitempty"`
 }
 
 func main() {
@@ -133,6 +182,7 @@ func main() {
 		loserOps    = flag.Int("loserops", 25, "updates per loser transaction in the undo sweep")
 		methodFlag  = flag.String("method", "Log1", "recovery method for the worker sweeps (Log0..SQL2)")
 		shardsFlag  = flag.String("shards", "", "comma-separated shard counts: run the cross-shard recovery sweep instead of the worker sweeps (one engine per count, same workload)")
+		budgetFlag  = flag.String("budget", "", "comma-separated recovery budgets (e.g. 75ms,250ms): run the recovery-SLO mode instead of the sweeps, on both the sim and file devices")
 		deviceFlag  = flag.String("device", "sim", "storage backend: sim (modelled latencies scaled to wall-clock) or file (real files; end-to-end wall clock)")
 		dirFlag     = flag.String("dir", "", "working directory for -device=file (default: a fresh temp dir, removed on exit)")
 		out         = flag.String("out", "BENCH_recovery.json", "output JSON path")
@@ -220,6 +270,41 @@ func main() {
 		// File IO is real; nothing is scaled.
 		rep.Benchmark = "recovery-file"
 		rep.RealIOScale = 0
+	}
+
+	if *budgetFlag != "" {
+		var budgets []time.Duration
+		for _, tok := range strings.Split(*budgetFlag, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(tok))
+			if err != nil || d <= 0 {
+				log.Fatalf("bad -budget entry %q", tok)
+			}
+			budgets = append(budgets, d)
+		}
+		// SLO mode always runs both devices; the file legs need a
+		// directory even when -device was left at the default, and an
+		// explicit -dir (e.g. tmpfs in CI) is honored either way.
+		dir := workDir
+		if dir == "" && *dirFlag != "" {
+			dir = *dirFlag
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "recoverybench-slo-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir = tmp
+			defer os.RemoveAll(tmp)
+		}
+		rep.Benchmark = "recovery-slo"
+		rep.Device = "sim+file"
+		rep.RealIOScale = *realScale
+		runSLO(&rep, budgets, *scale, *channels, *realScale, method, dir)
+		writeReport(&rep, *out)
+		return
 	}
 
 	if *shardsFlag != "" {
@@ -472,6 +557,258 @@ func runShardSweep(rep *report, counts []int, scale, channels, realScale int, fi
 	if d := rep.Determinism; d != nil {
 		fmt.Printf("determinism at %d shards over %d runs: redo=%v applied=%v clrs=%v\n",
 			d.Shards, d.Runs, d.RedoRecordsEqual, d.AppliedEqual, d.CLRsEqual)
+	}
+}
+
+// sloConfig builds the probe/live configuration for one SLO device
+// leg: a 4-shard engine, so the segmented decode front-end and the
+// concurrent per-shard replay are both on the recovery path being
+// budgeted.
+func sloConfig(scale, channels int, fileMode bool, dir, sub string) harness.Config {
+	cfg := harness.DefaultConfig().Scaled(scale)
+	cfg.Engine.Disk.Channels = channels
+	cfg.Engine.Shards = 4
+	cfg.CrashAfterCheckpoints = 0
+	cfg.UpdatesAfterLastCkpt = 4 * cfg.CheckpointEveryUpdates
+	cfg.OpenTxns = 2
+	cfg.OpenTxnUpdates = 6
+	if fileMode {
+		cfg.Engine.Device = engine.DeviceFile
+		cfg.Engine.Dir = filepath.Join(dir, sub)
+	}
+	return cfg
+}
+
+// sloOpts is the production-shaped recovery configuration the SLO mode
+// measures: parallel redo and undo, default decode width, real-IO
+// wall-clock on the sim device.
+func sloOpts(cfg harness.Config, fileMode bool, realScale int) core.Options {
+	opt := core.DefaultOptions(cfg.Engine)
+	opt.RedoWorkers = 4
+	opt.UndoWorkers = 2
+	if !fileMode {
+		opt.RealIOScale = realScale
+	}
+	return opt
+}
+
+// runSLO is the recovery-SLO mode: per device, measure the replay rate
+// with a probe recovery, then for each budget run a live engine under a
+// budget-mode Checkpointer, crash it, and check recovery actually came
+// in near the budget — plus the serial-equality and decode-width
+// invariants the parallel front-ends must preserve.
+func runSLO(rep *report, budgets []time.Duration, scale, channels, realScale int, method core.Method, dir string) {
+	for _, dev := range []string{"sim", "file"} {
+		fileMode := dev == "file"
+		probeCfg := sloConfig(scale, channels, fileMode, dir, "slo-probe")
+		fmt.Printf("recoverybench: [%s] building SLO probe crash (rows=%d, 4 shards)\n", dev, probeCfg.Workload.Rows)
+		probeRes, err := harness.BuildCrash(probeCfg)
+		if err != nil {
+			log.Fatalf("[%s] building SLO probe crash: %v", dev, err)
+		}
+		probeEng, probeMet, err := core.Recover(probeRes.Crash, method, sloOpts(probeCfg, fileMode, realScale))
+		if err != nil {
+			log.Fatalf("[%s] SLO probe recovery: %v", dev, err)
+		}
+		seed := probeEng.LastRecovery.ReplayBytesPerSec
+		fmt.Printf("  probe replay rate: %.2f MB/s (%d bytes replayed)\n", seed/1e6, probeMet.RedoWindowBytes)
+		for _, b := range budgets {
+			rep.SLO = append(rep.SLO, runOneSLO(dev, b, seed, scale, channels, realScale, fileMode, method, dir))
+		}
+		if !fileMode {
+			runDecodeSweep(rep, probeRes, probeCfg, realScale, method)
+		}
+	}
+}
+
+// runOneSLO runs one live engine under a budget-mode Checkpointer,
+// crashes it with losers in flight, and recovers it twice (production
+// parallel options, then effectively-serial decode/redo/undo) to report
+// both the budget outcome and the byte-identical-recovery invariants.
+func runOneSLO(dev string, budget time.Duration, seed float64, scale, channels, realScale int, fileMode bool, method core.Method, dir string) sloResult {
+	cfg := sloConfig(scale, channels, fileMode, dir, fmt.Sprintf("slo-%dms", budget.Milliseconds()))
+	ecfg := cfg.Engine
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		log.Fatalf("[%s] budget=%v: %v", dev, budget, err)
+	}
+	rows := cfg.Workload.Rows
+	pad := strings.Repeat("x", 64)
+	if err := eng.Load(rows, func(k uint64) []byte {
+		return []byte(fmt.Sprintf("slo-initial-%08d-%s", k, pad))
+	}); err != nil {
+		log.Fatalf("[%s] budget=%v load: %v", dev, budget, err)
+	}
+	mgr := eng.NewSessionManager(0)
+	// Poll well inside the budget so the estimate is evaluated many
+	// times per window; clamped so tiny budgets don't spin.
+	interval := budget / 25
+	if interval < 500*time.Microsecond {
+		interval = 500 * time.Microsecond
+	}
+	if interval > 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	ckpt := eng.StartCheckpointer(mgr, engine.CheckpointerConfig{
+		Interval:          interval,
+		MinRecords:        1,
+		RecoveryBudget:    budget,
+		ReplayBytesPerSec: seed,
+	})
+
+	// Traffic target: several budget-widths of log, so holding the SLO
+	// forces multiple budget-triggered checkpoints; capped to bound the
+	// bench's runtime when the device's replay rate is huge.
+	target := int64(seed * budget.Seconds() * 6)
+	if target < 1<<20 {
+		target = 1 << 20
+	}
+	if target > 24<<20 {
+		target = 24 << 20
+	}
+	start := eng.Log.EndLSN()
+	const clients = 4
+	// Each client owns a disjoint slice of [2000, rows): 2PL means
+	// overlapping hot keys would abort the bench, not measure it.
+	span := (rows - 2000) / clients
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := mgr.NewSession()
+			base := uint64(2000 + c*span)
+			val := []byte(fmt.Sprintf("slo-c%d-%s", c, strings.Repeat("y", 96)))
+			for i := 0; int64(eng.Log.EndLSN()-start) < target; i++ {
+				if err := sess.Begin(); err != nil {
+					errCh <- err
+					return
+				}
+				for u := 0; u < 3; u++ {
+					k := base + uint64((i*31+u*7)%span)
+					if err := sess.Update(ecfg.TableID, k, val); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if err := sess.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		log.Fatalf("[%s] budget=%v traffic: %v", dev, budget, err)
+	}
+	traffic := int64(eng.Log.EndLSN() - start)
+
+	// Two losers left in flight (key-disjoint from each other and from
+	// the committed traffic, which steered above key 2000), so the undo
+	// pass has CLRs to plan — the serial-equality check needs them.
+	for l := 0; l < 2; l++ {
+		txn := eng.TC.Begin()
+		for u := 0; u < 6; u++ {
+			k := uint64(l*997 + u*83)
+			if err := eng.TC.Update(txn, ecfg.TableID, k, []byte("slo-loser")); err != nil {
+				log.Fatalf("[%s] budget=%v loser update: %v", dev, budget, err)
+			}
+		}
+	}
+	eng.TC.SendEOSL()
+	ckpt.Stop()
+	st := ckpt.Stats()
+	if st.LastErr != nil {
+		log.Fatalf("[%s] budget=%v checkpointer: %v", dev, budget, st.LastErr)
+	}
+	cs := eng.Crash()
+
+	pMet, pEnd := sloRecover(cs, method, sloOpts(cfg, fileMode, realScale), dev, budget, "parallel")
+	sopt := core.DefaultOptions(ecfg)
+	sopt.DecodeWorkers = 1
+	sopt.DecodeSegmentBytes = 1 << 30
+	if !fileMode {
+		sopt.RealIOScale = realScale
+	}
+	sMet, sEnd := sloRecover(cs, method, sopt, dev, budget, "serial")
+
+	res := sloResult{
+		Device:              dev,
+		BudgetMS:            float64(budget.Microseconds()) / 1000,
+		SeedRateBytesPerSec: seed,
+		TrafficBytes:        traffic,
+		CheckpointsTaken:    st.Taken,
+		BudgetTriggers:      st.BudgetTriggers,
+		FinalWindowBytes:    pMet.RedoWindowBytes,
+		ReplayMS:            float64((pMet.WallTotalTime - pMet.WallUndoTime).Microseconds()) / 1000,
+		TotalMS:             float64(pMet.WallTotalTime.Microseconds()) / 1000,
+		LosersUndone:        pMet.LosersUndone,
+		CLRsParallel:        pMet.CLRsWritten,
+		CLRsSerial:          sMet.CLRsWritten,
+		LogEndEqual:         pEnd == sEnd,
+	}
+	fmt.Printf("  [%s] budget %v: %d ckpts (%d budget-triggered), %s traffic, window %d bytes → replay %.2fms, CLRs %d/%d, log end equal %v\n",
+		dev, budget, res.CheckpointsTaken, res.BudgetTriggers, fmtBytes(traffic),
+		res.FinalWindowBytes, res.ReplayMS, res.CLRsParallel, res.CLRsSerial, res.LogEndEqual)
+	return res
+}
+
+// sloRecover recovers one crash fork and returns the metrics plus the
+// recovered log end (the serial-equality witness).
+func sloRecover(cs *engine.CrashState, method core.Method, opt core.Options, dev string, budget time.Duration, label string) (*core.Metrics, int64) {
+	eng, met, err := core.Recover(cs, method, opt)
+	if err != nil {
+		log.Fatalf("[%s] budget=%v %s recovery: %v", dev, budget, label, err)
+	}
+	return met, int64(eng.Log.EndLSN())
+}
+
+// runDecodeSweep recovers the sim probe crash at increasing decode
+// widths: the segmented front-end must emit identical record counts
+// (and identical CLRs) at every width — parallel decode changes how
+// fast the log is read, never what recovery replays.
+func runDecodeSweep(rep *report, res *harness.CrashResult, cfg harness.Config, realScale int, method core.Method) {
+	fmt.Printf("  decode-worker sweep over the sim probe crash\n")
+	fmt.Printf("  %8s %14s %12s %10s %10s %12s\n", "workers", "wall total ms", "decode recs", "segments", "resyncs", "stall ms")
+	for _, w := range []int{1, 2, 4, 8} {
+		opt := core.DefaultOptions(cfg.Engine)
+		opt.RedoWorkers = 2
+		opt.UndoWorkers = 2
+		opt.RealIOScale = realScale
+		opt.DecodeWorkers = w
+		// Small segments: the probe window is under the 256 KiB
+		// default, which would leave every width decoding one segment.
+		opt.DecodeSegmentBytes = 16 << 10
+		met, err := harness.RunRecovery(res, method, opt)
+		if err != nil {
+			log.Fatalf("decode workers=%d: %v", w, err)
+		}
+		d := decodeResult{
+			Workers:        w,
+			WallTotalMS:    float64(met.WallTotalTime.Microseconds()) / 1000,
+			DecodeRecords:  met.DecodeRecords,
+			DecodeSegments: met.DecodeSegments,
+			DecodeResyncs:  met.DecodeResyncs,
+			DecodeStallMS:  float64(met.DecodeStall.Microseconds()) / 1000,
+			CLRsWritten:    met.CLRsWritten,
+		}
+		rep.Decode = append(rep.Decode, d)
+		fmt.Printf("  %8d %14.2f %12d %10d %10d %12.2f\n",
+			d.Workers, d.WallTotalMS, d.DecodeRecords, d.DecodeSegments, d.DecodeResyncs, d.DecodeStallMS)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

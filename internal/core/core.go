@@ -135,6 +135,19 @@ type Options struct {
 	// decoded, screened records the scan stage may run ahead of
 	// dispatch (default 512). Serial single-shard passes ignore it.
 	ScanAheadRecords int
+	// DecodeWorkers is the multi-shard demultiplexer's parallel decode
+	// width: the stable log is carved into offset-aligned segments,
+	// decoded concurrently by this many wal workers, and re-stitched
+	// into exact LSN order before fan-out (see wal.SegScanner). 0 picks
+	// min(GOMAXPROCS, 8). The stitched stream — and therefore recovered
+	// state, CLR sequence and log end — is byte-identical to the serial
+	// scan at every width. Single-shard recovery keeps the inline serial
+	// scanner.
+	DecodeWorkers int
+	// DecodeSegmentBytes overrides the decode segment size (0 = 256
+	// KiB). Tests use small segments to force frame-boundary discovery;
+	// production logs want the default.
+	DecodeSegmentBytes int
 	// RealIOScale > 0 runs recovery against wall-clock IO: the forked
 	// disk sleeps its modelled latencies divided by this factor instead
 	// of advancing the virtual clock, so parallel redo workers overlap
@@ -220,6 +233,28 @@ type Metrics struct {
 	SMOPageFetches   int64
 	LogPagesRead     int64
 
+	// RedoWindowBytes is the stable-log span replayed: log end minus
+	// the redo scan start. With the Wall* timings it yields the replay
+	// rate (bytes of log per second) that seeds replay-rate-driven
+	// checkpointing (engine.Checkpointer).
+	RedoWindowBytes int64
+
+	// Decode-stage telemetry for the multi-shard demultiplexer's
+	// segmented parallel front-end (zero on single-shard runs, which
+	// scan inline). DecodeRecords and DecodeWallTime accumulate across
+	// the prep and redo phases; DecodeStall is the stitcher's wait on
+	// segment workers (decode starvation, as opposed to back-pressure
+	// from slow shards); DecodeResyncs counts segments whose
+	// speculative decode was discarded by the continuity check.
+	// LogPagesRead stays attributed exactly once — the stitcher charges
+	// it; segment workers and per-shard sources never do.
+	DecodeWorkers  int
+	DecodeSegments int
+	DecodeResyncs  int64
+	DecodeRecords  int64
+	DecodeStall    time.Duration
+	DecodeWallTime time.Duration
+
 	Stalls        int64
 	StallTime     sim.Duration
 	PrefetchIOs   int64
@@ -235,9 +270,10 @@ type Metrics struct {
 
 	// SMOBarriers counts SMO records replayed under a shard-scoped
 	// barrier during parallel redo; UndoBarriers counts structural undo
-	// steps replayed under a global barrier. BarrierWorkersPaused sums
-	// the workers parked across all barriers — with shard scoping it
-	// stays below barriers × workers, the global-pause worst case.
+	// steps replayed under a page latch on the affected leaf.
+	// BarrierWorkersPaused sums the workers parked across all barriers
+	// and latches — page-latched structural undo parks exactly one
+	// worker per step, versus the workers × steps a global drain would.
 	SMOBarriers          int64
 	UndoBarriers         int64
 	BarrierWorkersPaused int64
@@ -335,6 +371,7 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	if err := r.findScanStart(); err != nil {
 		return nil, nil, err
 	}
+	met.RedoWindowBytes = int64(log.FlushedLSN() - r.scanStart)
 
 	// Phase 1: prep — DC recovery (logical) or analysis (SQL), per
 	// shard. Route changes replay from this full-window pass.
@@ -371,6 +408,10 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 	met.RedoTime = clock.Now().Sub(t1)
 	met.RedoTotal = met.PrepTime + met.RedoTime
 	met.WallRedoTime = time.Since(w1)
+	// Replay wall time — prep plus redo, the phases that rescan the
+	// window a checkpoint would have trimmed — fixes the replay rate
+	// that seeds budget-mode checkpointing on the recovered engine.
+	replayWall := time.Since(w0)
 
 	// Phase 3: undo of losers (logical in every method, §2.1) — serial,
 	// or page-partitioned parallel (undo_parallel.go). One merged
@@ -418,6 +459,18 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		DC:  dcs[0], DCs: dcs, Set: set,
 		TC: newTC, Cfg: cs.Cfg,
 	}
+	lr := &engine.RecoveryStats{
+		Method:        m.String(),
+		WallTotal:     met.WallTotalTime,
+		ReplayBytes:   met.RedoWindowBytes,
+		DecodeRecords: met.DecodeRecords,
+		DecodeStall:   met.DecodeStall,
+		DecodeWorkers: met.DecodeWorkers,
+	}
+	if s := replayWall.Seconds(); s > 0 {
+		lr.ReplayBytesPerSec = float64(met.RedoWindowBytes) / s
+	}
+	eng.LastRecovery = lr
 	return eng, met, nil
 }
 
@@ -520,28 +573,45 @@ type demuxItem struct {
 	lsn wal.LSN
 }
 
-// chanSource consumes a demultiplexer channel. Log-page accounting is
-// done once by the demultiplexer, not per shard.
+// chanSource consumes a demultiplexer channel of record batches.
+// Log-page accounting is done once by the demultiplexer's stitcher,
+// not per shard.
 type chanSource struct {
-	ch <-chan demuxItem
+	ch    <-chan []demuxItem
+	batch []demuxItem
+	i     int
 }
 
 func (s *chanSource) next() (wal.Record, wal.LSN, bool, error) {
-	it, ok := <-s.ch
-	if !ok {
-		return nil, wal.NilLSN, false, nil
+	for s.i >= len(s.batch) {
+		b, ok := <-s.ch
+		if !ok {
+			return nil, wal.NilLSN, false, nil
+		}
+		s.batch, s.i = b, 0
 	}
+	it := s.batch[s.i]
+	s.i++
 	return it.rec, it.lsn, true, nil
 }
 
 func (s *chanSource) pagesRead() int64 { return 0 }
 
+// demuxBatch is the fan-out granularity: routed records travel to the
+// per-shard channels in slices of this size, so channel handoff costs
+// are paid per batch, not per record.
+const demuxBatch = 64
+
 // runPhase executes one recovery phase on every shard. A single-shard
 // engine runs the phase inline over the log scanner — execution is
-// byte-for-byte the serial path. With N shards the coordinator scans
-// and decodes the log exactly once, routing each shard-stamped record
-// to its shard's bounded channel, and the shards consume concurrently:
-// the demultiplexed per-shard pipelines of the scale-out design.
+// byte-for-byte the serial path. With N shards the stable log is
+// decoded by the segmented parallel front-end (wal.SegScanner); the
+// stitcher goroutine performs the global bookkeeping (noteGlobal — so
+// txn-table semantics are unchanged from the serial demultiplexer) and
+// fans records out to the per-shard bounded channels in batched sends.
+// The shards consume concurrently: the demultiplexed per-shard
+// pipelines of the scale-out design, no longer bottlenecked on one
+// goroutine's decode.
 func (r *run) runPhase(phase func(sr *shardRun, src recordSource) error) error {
 	if len(r.shards) == 1 {
 		// Inline over the log scanner: execution is the serial path,
@@ -551,12 +621,16 @@ func (r *run) runPhase(phase func(sr *shardRun, src recordSource) error) error {
 		return phase(sr, src)
 	}
 
-	chans := make([]chan demuxItem, len(r.shards))
+	batchCap := r.opt.ScanAheadRecords / demuxBatch
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	chans := make([]chan []demuxItem, len(r.shards))
 	results := make(chan error, len(r.shards))
 	for i, sr := range r.shards {
-		ch := make(chan demuxItem, r.opt.ScanAheadRecords)
+		ch := make(chan []demuxItem, batchCap)
 		chans[i] = ch
-		go func(sr *shardRun, ch chan demuxItem) {
+		go func(sr *shardRun, ch chan []demuxItem) {
 			err := phase(sr, &chanSource{ch: ch})
 			// A shard that stops early (error) must keep draining so the
 			// demultiplexer never blocks on its channel.
@@ -566,7 +640,20 @@ func (r *run) runPhase(phase func(sr *shardRun, src recordSource) error) error {
 		}(sr, ch)
 	}
 
-	sc := r.log.NewScanner(r.scanStart, r.clock, r.opt.ScanCost)
+	w0 := time.Now()
+	sc := r.log.NewSegScanner(r.scanStart, r.clock, r.opt.ScanCost, wal.SegConfig{
+		Workers:      r.opt.DecodeWorkers,
+		SegmentBytes: r.opt.DecodeSegmentBytes,
+	})
+	defer sc.Close()
+	pending := make([][]demuxItem, len(r.shards))
+	flush := func(sh int) {
+		if len(pending[sh]) == 0 {
+			return
+		}
+		chans[sh] <- pending[sh]
+		pending[sh] = nil
+	}
 	var scanErr error
 	for {
 		rec, lsn, ok, err := sc.Next()
@@ -586,12 +673,28 @@ func (r *run) runPhase(phase func(sr *shardRun, src recordSource) error) error {
 			scanErr = fmt.Errorf("core: record at %v names shard %d, engine has %d", lsn, sh, len(chans))
 			break
 		}
-		chans[sh] <- demuxItem{rec: rec, lsn: lsn}
+		if pending[sh] == nil {
+			pending[sh] = make([]demuxItem, 0, demuxBatch)
+		}
+		pending[sh] = append(pending[sh], demuxItem{rec: rec, lsn: lsn})
+		if len(pending[sh]) >= demuxBatch {
+			flush(int(sh))
+		}
 	}
+	for i := range chans {
+		// Partial batches routed before a scan error still flush: the
+		// serial path would have delivered them before surfacing it.
+		flush(i)
+		close(chans[i])
+	}
+	st := sc.Stats()
 	r.met.LogPagesRead += sc.PagesRead()
-	for _, ch := range chans {
-		close(ch)
-	}
+	r.met.DecodeWorkers = st.Workers
+	r.met.DecodeSegments += st.Segments
+	r.met.DecodeResyncs += int64(st.Resyncs)
+	r.met.DecodeRecords += st.Records
+	r.met.DecodeStall += st.Stall
+	r.met.DecodeWallTime += time.Since(w0)
 	var first error
 	for range chans {
 		if err := <-results; err != nil && first == nil {

@@ -60,7 +60,8 @@ import (
 // Parallel undo (undo_parallel.go) reuses the same worker pool across
 // every data shard at once: CLRs are planned and appended serially, and
 // their page applications are sharded by (data shard, page), with
-// structure-changing undo operations running under a global barrier.
+// structure-changing undo operations latching only the affected leaf's
+// worker (the page-latch protocol described there).
 
 // redoTask is one unit routed to a worker: a page operation on one data
 // shard, or a barrier token. FIFO channel order is the fence: a task

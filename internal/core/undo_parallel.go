@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"logrec/internal/storage"
 	"logrec/internal/wal"
 )
 
@@ -20,21 +21,37 @@ import (
 //     (highest LSN first), appending each CLR itself — the log sequence
 //     and every per-transaction backchain are byte-identical to a
 //     serial run;
+//
 //   - for each CLR it resolves the key's current page through the
 //     owning shard's index (internal pages only; that tree's structure
 //     is frozen between barriers) and routes the page application to
 //     the worker owning that (shard, page), exactly like a redo task —
 //     workers fetch their leaf pages concurrently, which is where
 //     undo's IO parallelism comes from;
+//
 //   - an undo operation that can change a tree's structure (restoring
 //     a deleted row, or restoring a value larger than the one it
 //     replaces, either of which can split a full leaf) runs under a
-//     global barrier: every worker drains, the operation goes through
-//     the full logical path of serial undo, and the workers resume.
-//     The FIFO task channels double as the ordering fence: everything
-//     routed before the barrier is applied before the structure moves,
-//     and everything planned after it is resolved against the new
+//     page latch scoped to the affected page set — the one leaf the
+//     key lives on. Only the worker owning that (shard, leaf) drains
+//     and pauses; every other worker keeps streaming compensations, so
+//     delete-heavy loser workloads stay pipelined. The FIFO task
+//     channels double as the ordering fence: everything routed to the
+//     latched leaf before the latch is applied before keys move, and
+//     everything planned after it is resolved against the new
 //     structure.
+//
+//     Why latching one leaf suffices for an operation that can split:
+//     workers only ever apply to leaf pages by routed PID and never
+//     traverse the tree, while the dispatcher — which runs the
+//     structural operation itself — is the only goroutine that reads
+//     or writes internal pages. A split of leaf L therefore races only
+//     with tasks already queued for L (drained by the latch), moves
+//     keys only from L to a freshly allocated sibling (which can have
+//     no queued tasks), and rewires parents nobody else touches. A
+//     later compensation for a key that moved re-resolves through the
+//     post-split index on the dispatcher and routes to the sibling's
+//     worker with every prior task for that key already applied.
 func (r *run) parallelUndo(workers int) error {
 	losers := r.buildLosers()
 	r.met.LosersUndone = len(losers)
@@ -84,14 +101,14 @@ func (r *run) parallelUndoSweep(pool *shardedPool, losers map[wal.TxnID]*undoSta
 
 // undoOneParallel compensates one record: non-structural inverses are
 // planned and routed to the owning (shard, page) worker; structural
-// ones run serially under a global barrier.
+// ones run serially under a latch on the affected leaf.
 func (r *run) undoOneParallel(pool *shardedPool, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
 	switch t := rec.(type) {
 	case *wal.UpdateRec:
 		if len(t.OldVal) > len(t.NewVal) {
 			// Restoring a larger value can overflow the leaf and force
 			// a split.
-			return r.undoStructural(pool, txn, st, rec)
+			return r.undoStructural(pool, txn, st, rec, t.ShardID, t.KeyVal)
 		}
 		return t.PrevLSN, r.routeUndoCLR(pool, txn, st, t.ShardID, wal.CLRUndoUpdate, t.TableID, t.KeyVal, t.OldVal, t.PrevLSN)
 	case *wal.InsertRec:
@@ -100,7 +117,7 @@ func (r *run) undoOneParallel(pool *shardedPool, txn wal.TxnID, st *undoState, r
 		return t.PrevLSN, r.routeUndoCLR(pool, txn, st, t.ShardID, wal.CLRUndoInsert, t.TableID, t.KeyVal, nil, t.PrevLSN)
 	case *wal.DeleteRec:
 		// The inverse re-inserts the row, which can split a full leaf.
-		return r.undoStructural(pool, txn, st, rec)
+		return r.undoStructural(pool, txn, st, rec, t.ShardID, t.KeyVal)
 	case *wal.CLRRec:
 		// Redo-only: skip over already-compensated work.
 		return t.UndoNextLSN, nil
@@ -141,12 +158,26 @@ func (r *run) routeUndoCLR(pool *shardedPool, txn wal.TxnID, st *undoState, sh w
 }
 
 // undoStructural runs one undo step that may modify a tree's
-// structure. Every worker drains and pauses (a split can touch any
-// page of that shard: the leaf, its new sibling, parents up to the
-// root), the record is compensated through the full logical path —
-// exactly the serial undo step, CLR included — and the workers resume.
-func (r *run) undoStructural(pool *shardedPool, txn wal.TxnID, st *undoState, rec wal.Record) (wal.LSN, error) {
-	release, paused := pool.pause(nil, nil)
+// structure, under a page latch scoped to the affected page set: the
+// key's current leaf, resolved through the owning shard's index (safe
+// off-latch — only the dispatcher ever changes structure, and workers
+// never touch internal pages). The owning worker drains and pauses,
+// the record is compensated through the full logical path — exactly
+// the serial undo step, CLR included — and the worker resumes; all
+// other workers keep streaming. A split inside the compensation
+// touches only the latched leaf, a fresh sibling and internal pages,
+// none of which any running worker can hold (see the file comment for
+// the full argument).
+func (r *run) undoStructural(pool *shardedPool, txn wal.TxnID, st *undoState, rec wal.Record, sh wal.ShardID, key uint64) (wal.LSN, error) {
+	sr, err := r.resolveShard(sh, key)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	pid, err := sr.d.Tree().FindLeaf(key)
+	if err != nil {
+		return wal.NilLSN, fmt.Errorf("index search for key %d: %w", key, err)
+	}
+	release, paused := pool.pause(sr, []storage.PageID{pid})
 	defer release()
 	r.met.UndoBarriers++
 	r.met.BarrierWorkersPaused += int64(paused)

@@ -211,6 +211,57 @@ func TestParallelUndoMatchesSerialOracle(t *testing.T) {
 	}
 }
 
+// TestParallelUndoPageLatchStress hammers the structural-undo page
+// latch (run under -race in CI): delete- and shrink-heavy losers force
+// many structural compensations — re-inserts that split, growing
+// restores — while the remaining workers keep streaming non-structural
+// CLR applications concurrently. The latch must park exactly one
+// worker per structural step (never the whole pool, which is what the
+// old global drain barrier did) and still reproduce the serial
+// outcome byte for byte.
+func TestParallelUndoPageLatchStress(t *testing.T) {
+	cfg := testConfig(300)
+	spec := loserSpec{updates: 4, inserts: 2, deletes: 10, shrinks: 6}
+	const nLosers = 6
+	cs, om := buildCrashWithLosers(t, cfg, 3000, 80, 6, nLosers, spec, 41)
+
+	opt := DefaultOptions(cfg)
+	sEng, sMet, err := Recover(cs, Log1, opt)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	verifyRecovered(t, Log1, sEng, om)
+	serialEnd := sEng.Log.EndLSN()
+
+	structural := int64(nLosers * (spec.deletes + spec.shrinks))
+	for _, uw := range []int{2, 4, 8} {
+		popt := opt
+		popt.RedoWorkers = 2
+		popt.UndoWorkers = uw
+		eng, met, err := Recover(cs, Log1, popt)
+		if err != nil {
+			t.Fatalf("undo workers=%d: %v", uw, err)
+		}
+		verifyRecovered(t, Log1, eng, om)
+		if met.CLRsWritten != sMet.CLRsWritten {
+			t.Errorf("workers=%d: CLRsWritten = %d, serial %d", uw, met.CLRsWritten, sMet.CLRsWritten)
+		}
+		if end := eng.Log.EndLSN(); end != serialEnd {
+			t.Errorf("workers=%d: log end %v, serial %v", uw, end, serialEnd)
+		}
+		if met.UndoBarriers != structural {
+			t.Errorf("workers=%d: UndoBarriers = %d, want %d (every delete and shrink undo is structural)",
+				uw, met.UndoBarriers, structural)
+		}
+		// The page-latch contract: one affected leaf, one parked worker
+		// per structural step — a global drain would park uw each time.
+		if met.BarrierWorkersPaused != met.UndoBarriers {
+			t.Errorf("workers=%d: %d workers parked across %d structural steps; the page latch must park exactly one each",
+				uw, met.BarrierWorkersPaused, met.UndoBarriers)
+		}
+	}
+}
+
 // TestParallelUndoRealIO exercises parallel undo against wall-clock IO:
 // the shard workers overlap their leaf fetches, and the recovered state
 // must still match the oracle.

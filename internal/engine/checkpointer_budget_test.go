@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"logrec/internal/wal"
+)
+
+// TestBudgetCheckpointerTriggersOnWindowGrowth runs the daemon in
+// budget mode with a deliberately slow seeded replay rate, so the
+// estimated replay time of the growing redo window blows the budget
+// over and over: the daemon must checkpoint on the replay estimate
+// (BudgetTriggers), land real checkpoint records in the WAL, and report
+// the conservative rate it used.
+func TestBudgetCheckpointerTriggersOnWindowGrowth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachePages = 512
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 2000
+	if err := eng.Load(rows, func(k uint64) []byte {
+		return []byte(fmt.Sprintf("initial-%08d", k))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := eng.NewSessionManager(0)
+	// 64 KiB/s replay against a multi-MiB append stream: a 2ms budget
+	// tolerates a ~128-byte window, so nearly every polled tick is over
+	// budget once traffic starts.
+	const seedRate = 64 << 10
+	ckpt := eng.StartCheckpointer(mgr, CheckpointerConfig{
+		Interval:          time.Millisecond,
+		MinRecords:        1,
+		RecoveryBudget:    2 * time.Millisecond,
+		ReplayBytesPerSec: seedRate,
+	})
+
+	const clients, txns, ops = 4, 120, 3
+	perClient := rows / clients
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := mgr.NewSession()
+			base := uint64(c * perClient)
+			for i := 0; i < txns; i++ {
+				if err := sess.Begin(); err != nil {
+					errs <- err
+					return
+				}
+				for u := 0; u < ops; u++ {
+					k := base + uint64((i*ops+u)%perClient)
+					if err := sess.Update(cfg.TableID, k, []byte(fmt.Sprintf("c%02d-t%05d-u%d", c, i, u))); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := sess.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ckpt.Stop()
+
+	st := ckpt.Stats()
+	if st.LastErr != nil {
+		t.Fatalf("checkpointer error: %v", st.LastErr)
+	}
+	if st.BudgetTriggers == 0 {
+		t.Fatal("budget mode never triggered on a window far past its replay budget")
+	}
+	if st.Taken < st.BudgetTriggers {
+		t.Errorf("Taken %d < BudgetTriggers %d", st.Taken, st.BudgetTriggers)
+	}
+	if st.ReplayRate <= 0 || st.ReplayRate > seedRate {
+		t.Errorf("ReplayRate = %v, want in (0, %d]: the effective rate is the slower of seed and live append EWMA", st.ReplayRate, seedRate)
+	}
+	if st.LastWindowBytes < 0 {
+		t.Errorf("LastWindowBytes = %d, want >= 0", st.LastWindowBytes)
+	}
+	// The triggers produced real checkpoints: Load takes the initial
+	// one; budget mode must have appended more protocol records.
+	if n := eng.Log.AppendCount(wal.TypeRSSP); int64(n) < st.BudgetTriggers {
+		t.Errorf("RSSP records = %d, want >= %d budget-triggered checkpoints", n, st.BudgetTriggers)
+	}
+	if eng.TC.LastEndCkptLSN() == wal.NilLSN {
+		t.Error("master record never advanced")
+	}
+}
+
+// TestBudgetCheckpointerIdleEngineQuiesces pins the idle guard: with a
+// budget configured but no new log, estimated replay of the already
+// checkpointed window never forces another checkpoint — budget mode
+// must not grind an idle engine.
+func TestBudgetCheckpointerIdleEngineQuiesces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachePages = 256
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(500, func(k uint64) []byte { return []byte("v") }); err != nil {
+		t.Fatal(err)
+	}
+	mgr := eng.NewSessionManager(0)
+	ckpt := eng.StartCheckpointer(mgr, CheckpointerConfig{
+		Interval:          time.Millisecond,
+		MinRecords:        1,
+		RecoveryBudget:    time.Nanosecond, // absurdly tight: any growth would trigger
+		ReplayBytesPerSec: 1,               // absurdly slow: any window estimates huge
+	})
+	time.Sleep(25 * time.Millisecond)
+	ckpt.Stop()
+	st := ckpt.Stats()
+	if st.Taken != 0 {
+		t.Errorf("idle engine took %d checkpoints; the no-new-records guard must hold", st.Taken)
+	}
+	if st.Skipped == 0 {
+		t.Error("daemon never ticked")
+	}
+}
+
+// TestBudgetCheckpointerInheritsEngineSeed checks the StartCheckpointer
+// defaulting chain: a zero-valued CheckpointerConfig picks up the
+// engine Config's RecoveryBudget and the LastRecovery replay rate, so a
+// recovered engine gets SLO-driven checkpointing without any per-daemon
+// configuration.
+func TestBudgetCheckpointerInheritsEngineSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachePages = 256
+	cfg.RecoveryBudget = 2 * time.Millisecond
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 800
+	if err := eng.Load(rows, func(k uint64) []byte {
+		return []byte(fmt.Sprintf("initial-%08d", k))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Stand in for core.Recover: a measured replay rate from the run
+	// that produced this engine.
+	eng.LastRecovery = &RecoveryStats{Method: "Log1", ReplayBytesPerSec: 64 << 10}
+
+	mgr := eng.NewSessionManager(0)
+	ckpt := eng.StartCheckpointer(mgr, CheckpointerConfig{Interval: time.Millisecond, MinRecords: 1})
+	sess := mgr.NewSession()
+	for i := 0; i < 300; i++ {
+		if err := sess.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 3; u++ {
+			k := uint64((i*3 + u) % rows)
+			if err := sess.Update(cfg.TableID, k, []byte(fmt.Sprintf("t%05d-u%d", i, u))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sess.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt.Stop()
+	st := ckpt.Stats()
+	if st.LastErr != nil {
+		t.Fatalf("checkpointer error: %v", st.LastErr)
+	}
+	if st.BudgetTriggers == 0 {
+		t.Fatal("daemon ignored the engine-level RecoveryBudget/LastRecovery seed")
+	}
+	// Stats() surfaces the recovery summary the seed came from.
+	if got := eng.Stats().Recovery; got == nil || got.Method != "Log1" {
+		t.Errorf("Stats().Recovery = %+v, want the engine's LastRecovery", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"logrec/internal/dc"
 	"logrec/internal/shard"
@@ -91,6 +92,15 @@ type Config struct {
 	// AutoSplitCfg tunes the auto-splitter; zero fields take the
 	// tc.AutoSplitConfig defaults.
 	AutoSplitCfg tc.AutoSplitConfig
+	// RecoveryBudget is the recovery SLO: the target upper bound on
+	// replay time after a crash. It does not change recovery itself —
+	// it switches the background Checkpointer into budget mode, where
+	// the daemon estimates how long replaying the current redo window
+	// would take (window bytes ÷ measured replay rate, seeded from the
+	// last recovery and refined from the live append rate) and
+	// checkpoints whenever the estimate would exceed the budget. Zero
+	// leaves checkpointing purely interval-driven.
+	RecoveryBudget time.Duration
 	// Standby builds the engine as a warm standby (replica mode): Load
 	// bulk-loads rows but leaves logging off and takes no checkpoint,
 	// so the engine's log stays header-only and can ingest the
@@ -132,6 +142,9 @@ func (c *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("engine: unknown device kind %q", c.Device)
+	}
+	if c.RecoveryBudget < 0 {
+		return fmt.Errorf("engine: RecoveryBudget must be >= 0, got %v", c.RecoveryBudget)
 	}
 	if c.KeySpan != 0 && c.KeySpan < uint64(c.Shards) {
 		return fmt.Errorf("engine: KeySpan %d cannot be partitioned across %d shards (want KeySpan >= Shards, or 0 for the full domain)", c.KeySpan, c.Shards)
@@ -180,6 +193,13 @@ type Engine struct {
 	Set   *shard.Set
 	TC    *tc.TC
 	Cfg   Config
+
+	// LastRecovery summarises the recovery run that produced this
+	// engine (set by core.Recover; nil for a freshly created one). Its
+	// measured replay rate seeds the Checkpointer's budget mode, so a
+	// recovered engine sizes its redo windows from how fast replay
+	// actually ran on this hardware.
+	LastRecovery *RecoveryStats
 
 	// mgr is the live session manager (set by NewSessionManager) and
 	// balancer its auto-splitter (nil unless Cfg.AutoSplit); Stats

@@ -1,10 +1,38 @@
 package engine
 
 import (
+	"time"
+
 	"logrec/internal/buffer"
 	"logrec/internal/tc"
 	"logrec/internal/wal"
 )
+
+// RecoveryStats summarises the recovery run that produced an engine.
+// core.Recover fills it (the engine package cannot import core, so the
+// struct lives here); the Checkpointer's budget mode consumes
+// ReplayBytesPerSec as its seed rate.
+type RecoveryStats struct {
+	// Method names the recovery method that ran (e.g. "Log1").
+	Method string
+	// WallTotal is the wall-clock duration of the whole run.
+	WallTotal time.Duration
+	// ReplayBytes is the stable-log span replayed: log end minus the
+	// redo scan start.
+	ReplayBytes int64
+	// ReplayBytesPerSec is the measured replay rate — ReplayBytes over
+	// the wall-clock prep+redo time. Zero when the run was too fast to
+	// time (pure-sim recoveries replay in virtual time).
+	ReplayBytesPerSec float64
+	// DecodeRecords, DecodeStall and DecodeWorkers mirror the decode
+	// front-end telemetry from core.Metrics (zero on single-shard runs,
+	// which scan inline).
+	DecodeRecords int64
+	// DecodeStall is the stitcher's cumulative wait on segment workers.
+	DecodeStall time.Duration
+	// DecodeWorkers is the decode parallelism the run used.
+	DecodeWorkers int
+}
 
 // Stats is the engine-wide counter snapshot: one call collects the
 // TC's transaction counters, the commit path's group-commit batching,
@@ -28,6 +56,10 @@ type Stats struct {
 	Shards []ShardStats
 	// AutoSplit is the balancer's activity; zero when no balancer runs.
 	AutoSplit tc.AutoSplitStats
+	// Recovery is the summary of the recovery run that produced this
+	// engine; nil for an engine that was created fresh rather than
+	// recovered.
+	Recovery *RecoveryStats
 }
 
 // ShardStats is one shard's slice of the engine snapshot.
@@ -57,6 +89,7 @@ func (e *Engine) Stats() Stats {
 		LogRecords:       e.Log.Records(),
 		LogStableRecords: e.Log.StableRecords(),
 		Routes:           e.Set.Routes(),
+		Recovery:         e.LastRecovery,
 	}
 	var planes []tc.PlaneStats
 	if e.mgr != nil {

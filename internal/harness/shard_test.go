@@ -165,6 +165,77 @@ func TestShardedFileCrashRecover(t *testing.T) {
 	}
 }
 
+// TestShardedDecodeWidthOracle pins the segmented decode front-end to
+// the serial contract: the same 4-shard crash recovered at every
+// decode-worker width and segment size — including segments small
+// enough to force boundary discovery and straddling frames — must
+// yield byte-identical recovered rows, the same CLR count, and the
+// same log end as the effectively-serial decode (one worker, one
+// segment).
+func TestShardedDecodeWidthOracle(t *testing.T) {
+	cfg := shardedConfig(4)
+	cfg.OpenTxns = 3
+	cfg.OpenTxnUpdates = 5
+	res, err := BuildCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type recovered struct {
+		rows   map[uint64]string
+		clrs   int64
+		logEnd int64
+	}
+	recoverAt := func(decodeWorkers, segBytes int) recovered {
+		t.Helper()
+		opt := core.DefaultOptions(cfg.Engine)
+		opt.RedoWorkers = 2
+		opt.UndoWorkers = 2
+		opt.DecodeWorkers = decodeWorkers
+		opt.DecodeSegmentBytes = segBytes
+		eng, met, err := core.Recover(res.Crash, core.Log1, opt)
+		if err != nil {
+			t.Fatalf("decode=%d seg=%d: %v", decodeWorkers, segBytes, err)
+		}
+		if err := Verify(eng, res.Oracle); err != nil {
+			t.Fatalf("decode=%d seg=%d: wrong state: %v", decodeWorkers, segBytes, err)
+		}
+		rows := make(map[uint64]string)
+		if err := eng.Set.ScanAll(func(k uint64, v []byte) error {
+			rows[k] = string(v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return recovered{rows: rows, clrs: met.CLRsWritten, logEnd: int64(eng.Log.EndLSN())}
+	}
+
+	// One worker over one giant segment decodes serially in log order.
+	base := recoverAt(1, 1<<30)
+	if base.clrs == 0 {
+		t.Fatal("baseline wrote no CLRs; the crash needs losers to make the oracle meaningful")
+	}
+	for _, w := range []int{1, 2, 8} {
+		for _, seg := range []int{257, 4 << 10, 0} {
+			got := recoverAt(w, seg)
+			if got.clrs != base.clrs {
+				t.Fatalf("decode=%d seg=%d: CLRs %d, serial %d", w, seg, got.clrs, base.clrs)
+			}
+			if got.logEnd != base.logEnd {
+				t.Fatalf("decode=%d seg=%d: log end %d, serial %d", w, seg, got.logEnd, base.logEnd)
+			}
+			if len(got.rows) != len(base.rows) {
+				t.Fatalf("decode=%d seg=%d: %d rows, serial %d", w, seg, len(got.rows), len(base.rows))
+			}
+			for k, v := range base.rows {
+				if got.rows[k] != v {
+					t.Fatalf("decode=%d seg=%d: key %d diverged", w, seg, k)
+				}
+			}
+		}
+	}
+}
+
 // TestSimTornTailRecovery injects byte-level tears into the simulated
 // crash snapshot (mid-frame-header and mid-body, the same shapes the
 // file tests tear) and checks recovery trims the torn tail via the

@@ -362,28 +362,49 @@ func (l *Log) readAt(lsn LSN) (Record, LSN, error) {
 // decodeAt parses the frame at lsn, returning the record and the LSN
 // one past its frame. Callers must hold l.mu.
 func (l *Log) decodeAt(lsn LSN) (Record, LSN, error) {
-	off := int(lsn)
-	if off < logHeaderSize || off >= len(l.buf) {
-		return nil, NilLSN, fmt.Errorf("%w: %v (log end %d)", ErrOutOfRange, lsn, len(l.buf))
-	}
-	if off+frameHeaderSize > len(l.buf) {
-		// A frame header cut short is a torn tail, not a bad LSN.
-		return nil, NilLSN, fmt.Errorf("%w: frame header at %v crosses log end %d", ErrTruncated, lsn, len(l.buf))
-	}
-	bodyLen := int(binary.BigEndian.Uint32(l.buf[off:]))
-	t := Type(l.buf[off+4])
-	bodyStart := off + frameHeaderSize
-	if bodyStart+bodyLen > len(l.buf) {
-		return nil, NilLSN, fmt.Errorf("%w: record at %v runs past log end", ErrTruncated, lsn)
-	}
-	rec, err := newRecord(t)
+	rec, end, err := decodeFrame(l.buf, int(lsn))
 	if err != nil {
 		return nil, NilLSN, err
 	}
-	if err := rec.decodeBody(l.buf[bodyStart : bodyStart+bodyLen]); err != nil {
-		return nil, NilLSN, fmt.Errorf("decoding %v at %v: %w", t, lsn, err)
+	return rec, LSN(end), nil
+}
+
+// decodeFrame parses the frame at byte offset off in buf, where buf is
+// a whole-log byte view (fixed header included, offsets are LSNs). It
+// returns the record and the offset one past its frame. This is the
+// lock-free core shared by the locked decodeAt and the segment-scan
+// workers, which run over an immutable snapshot of the stable prefix.
+func decodeFrame(buf []byte, off int) (Record, int, error) {
+	if off < logHeaderSize || off >= len(buf) {
+		return nil, 0, fmt.Errorf("%w: %v (log end %d)", ErrOutOfRange, LSN(off), len(buf))
 	}
-	return rec, LSN(bodyStart + bodyLen), nil
+	if off+frameHeaderSize > len(buf) {
+		// A frame header cut short is a torn tail, not a bad LSN.
+		return nil, 0, fmt.Errorf("%w: frame header at %v crosses log end %d", ErrTruncated, LSN(off), len(buf))
+	}
+	bodyLen := int(binary.BigEndian.Uint32(buf[off:]))
+	t := Type(buf[off+4])
+	bodyStart := off + frameHeaderSize
+	if bodyStart+bodyLen > len(buf) {
+		return nil, 0, fmt.Errorf("%w: record at %v runs past log end", ErrTruncated, LSN(off))
+	}
+	rec, err := newRecord(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := rec.decodeBody(buf[bodyStart : bodyStart+bodyLen]); err != nil {
+		return nil, 0, fmt.Errorf("decoding %v at %v: %w", t, LSN(off), err)
+	}
+	return rec, bodyStart + bodyLen, nil
+}
+
+// stableView returns the stable prefix as an immutable byte view. The
+// log buffer is append-only and the stable prefix never mutates, so the
+// view stays valid while appends continue past it.
+func (l *Log) stableView() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf[:l.flushedLSN:l.flushedLSN]
 }
 
 // Scanner iterates the stable log in order, charging sequential log-page
