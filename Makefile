@@ -65,6 +65,9 @@ bench: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -budget 75ms,250ms \
 		-dir $(FILEDEV_DIR)-slo -out $(BENCH_DIR)/BENCH_recovery_slo.json
 	$(GO) run ./cmd/walbench -workload mixed -out $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/walbench -workload b -poolpolicy 2q \
+		-out $(BENCH_DIR)/BENCH_workload_b.json
+	$(GO) run ./cmd/poolbench -out $(BENCH_DIR)/BENCH_pool.json
 	$(GO) run ./cmd/replicabench -out $(BENCH_DIR)/BENCH_replica.json
 	$(GO) test -run '^$$' -bench WALGroupCommit -benchtime 300x .
 
@@ -82,6 +85,9 @@ bench-smoke: | $(BENCH_DIR)
 	$(GO) run ./cmd/recoverybench -quick -budget 75ms \
 		-dir $(FILEDEV_DIR)-slo -out $(BENCH_DIR)/BENCH_recovery_slo.json
 	$(GO) run ./cmd/walbench -workload mixed -quick -out $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/walbench -workload b -quick -poolpolicy 2q \
+		-out $(BENCH_DIR)/BENCH_workload_b.json
+	$(GO) run ./cmd/poolbench -quick -out $(BENCH_DIR)/BENCH_pool.json
 	$(GO) run ./cmd/replicabench -quick -out $(BENCH_DIR)/BENCH_replica.json
 
 # Tiny zipfian mixed run through the typed executor on the simulated
@@ -114,6 +120,10 @@ bench-gate: bench-smoke
 		-baseline ci/baselines/BENCH_recovery_slo.json -current $(BENCH_DIR)/BENCH_recovery_slo.json
 	$(GO) run ./cmd/benchdiff -kind workload -tolerance $(TOLERANCE) \
 		-baseline ci/baselines/BENCH_workload.json -current $(BENCH_DIR)/BENCH_workload.json
+	$(GO) run ./cmd/benchdiff -kind workload -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_workload_b.json -current $(BENCH_DIR)/BENCH_workload_b.json
+	$(GO) run ./cmd/benchdiff -kind pool -tolerance $(TOLERANCE) \
+		-baseline ci/baselines/BENCH_pool.json -current $(BENCH_DIR)/BENCH_pool.json
 	$(GO) run ./cmd/benchdiff -kind replica \
 		-baseline ci/baselines/BENCH_replica.json -current $(BENCH_DIR)/BENCH_replica.json
 
@@ -126,6 +136,8 @@ bench-baseline: bench-smoke
 	cp $(BENCH_DIR)/BENCH_recovery_shards.json ci/baselines/BENCH_recovery_shards.json
 	cp $(BENCH_DIR)/BENCH_recovery_slo.json ci/baselines/BENCH_recovery_slo.json
 	cp $(BENCH_DIR)/BENCH_workload.json ci/baselines/BENCH_workload.json
+	cp $(BENCH_DIR)/BENCH_workload_b.json ci/baselines/BENCH_workload_b.json
+	cp $(BENCH_DIR)/BENCH_pool.json ci/baselines/BENCH_pool.json
 	cp $(BENCH_DIR)/BENCH_replica.json ci/baselines/BENCH_replica.json
 
 staticcheck:

@@ -75,6 +75,23 @@
 //	                     counts at every width, up to ≥ 8 workers over
 //	                     more than one segment. Wall-clock speedup
 //	                     shapes are NOT gated — the invariants are.
+//	-kind pool           gates the poolbench sweep (latch shards ×
+//	                     eviction policy × pool/keyspace ratio): every
+//	                     baseline cell must be present; every run must
+//	                     have real cache pressure (evictions) and at
+//	                     least one full scan pass (the workload the
+//	                     policies disagree on); in every matched
+//	                     (shards, capacity) pair the 2q client hit
+//	                     ratio must strictly beat clock's — that is a
+//	                     property of the replacement order, not the
+//	                     host; each cell's client hit ratio must hold
+//	                     within the tolerance of the baseline; and,
+//	                     when the current run had ≥ 4 GOMAXPROCS, the
+//	                     8-latch-shard pool must out-run the single
+//	                     latch at the same policy and capacity (skipped
+//	                     on smaller hosts for the same reason wal-shards
+//	                     does not gate wall-clock scaling on CI smoke
+//	                     cores).
 //	-kind recovery-file  gates recoverybench -device=file: every sweep
 //	                     entry must have completed (its wall time is a
 //	                     real measurement, so it must be positive),
@@ -201,6 +218,19 @@ type sloReport struct {
 	} `json:"decode"`
 }
 
+type poolReport struct {
+	GoMaxProcs int `json:"go_max_procs"`
+	Runs       []struct {
+		LatchShards    int     `json:"latch_shards"`
+		Policy         string  `json:"policy"`
+		Capacity       int     `json:"capacity"`
+		OpsPerSec      float64 `json:"ops_per_sec"`
+		ClientHitRatio float64 `json:"client_hit_ratio"`
+		Evictions      int64   `json:"evictions"`
+		ScanPasses     float64 `json:"scan_passes"`
+	} `json:"runs"`
+}
+
 func main() {
 	var (
 		kind           = flag.String("kind", "", "report kind: wal or recovery")
@@ -234,10 +264,12 @@ func main() {
 		failures = diffRecoverySLO(*baseline, *current, *tolerance, *sloSlackMS)
 	case "workload":
 		failures = diffWorkload(*baseline, *current, *tolerance)
+	case "pool":
+		failures = diffPool(*baseline, *current, *tolerance)
 	case "replica":
 		failures = diffReplica(*baseline, *current)
 	default:
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards, recovery-slo, workload or replica)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q (want wal, wal-shards, recovery, recovery-file, recovery-shards, recovery-slo, workload, pool or replica)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -443,6 +475,98 @@ func diffWorkload(basePath, curPath string, tol float64) []string {
 			fails = append(fails, fmt.Sprintf(
 				"%.0f ops/sec < %.0f (baseline %.0f - %.0f%%)",
 				r.OpsPerSec, floor, base.Result.OpsPerSec, tol*100))
+		}
+	}
+	return fails
+}
+
+func diffPool(basePath, curPath string, tol float64) []string {
+	var base, cur poolReport
+	load(basePath, &base)
+	load(curPath, &cur)
+	var fails []string
+
+	type cell struct {
+		shards   int
+		policy   string
+		capacity int
+	}
+	curByCell := map[cell]int{}
+	for i, r := range cur.Runs {
+		curByCell[cell{r.LatchShards, r.Policy, r.Capacity}] = i
+	}
+
+	// Every baseline cell must be present, with its client hit ratio
+	// within the tolerance.
+	for _, b := range base.Runs {
+		i, ok := curByCell[cell{b.LatchShards, b.Policy, b.Capacity}]
+		if !ok {
+			fails = append(fails, fmt.Sprintf(
+				"baseline cell shards=%d policy=%s capacity=%d missing from current run",
+				b.LatchShards, b.Policy, b.Capacity))
+			continue
+		}
+		r := cur.Runs[i]
+		if floor := b.ClientHitRatio * (1 - tol); r.ClientHitRatio < floor {
+			fails = append(fails, fmt.Sprintf(
+				"shards=%d policy=%s capacity=%d: client hit ratio %.3f < %.3f (baseline %.3f - %.0f%%)",
+				b.LatchShards, b.Policy, b.Capacity, r.ClientHitRatio, floor, b.ClientHitRatio, tol*100))
+		}
+	}
+
+	// Per-run floors: the comparison below is vacuous without real
+	// cache pressure and real scan traffic.
+	for _, r := range cur.Runs {
+		if r.Evictions == 0 {
+			fails = append(fails, fmt.Sprintf(
+				"shards=%d policy=%s capacity=%d: zero evictions — no cache pressure",
+				r.LatchShards, r.Policy, r.Capacity))
+		}
+		if r.ScanPasses < 1 {
+			fails = append(fails, fmt.Sprintf(
+				"shards=%d policy=%s capacity=%d: %.2f scan passes < 1 — no scan pressure",
+				r.LatchShards, r.Policy, r.Capacity, r.ScanPasses))
+		}
+	}
+
+	// Scan resistance: at every (shards, capacity) where both policies
+	// ran, 2q must strictly beat clock on the client hit ratio. This is
+	// a property of the replacement order, so no tolerance.
+	for c, i := range curByCell {
+		if c.policy != "clock" {
+			continue
+		}
+		j, ok := curByCell[cell{c.shards, "2q", c.capacity}]
+		if !ok {
+			continue
+		}
+		clockHit, twoQHit := cur.Runs[i].ClientHitRatio, cur.Runs[j].ClientHitRatio
+		if twoQHit <= clockHit {
+			fails = append(fails, fmt.Sprintf(
+				"shards=%d capacity=%d: 2q client hit ratio %.3f ≤ clock %.3f under concurrent scan",
+				c.shards, c.capacity, twoQHit, clockHit))
+		}
+	}
+
+	// Latch scaling: with real parallelism, 8 latch shards must move
+	// more ops/sec than a single latch at the same policy + capacity.
+	// Below 4 procs the sweep cannot exhibit parallelism, so skip (the
+	// wal-shards gate documents the same CI-smoke reasoning).
+	if cur.GoMaxProcs >= 4 {
+		for c, i := range curByCell {
+			if c.shards != 1 {
+				continue
+			}
+			j, ok := curByCell[cell{8, c.policy, c.capacity}]
+			if !ok {
+				continue
+			}
+			one, eight := cur.Runs[i].OpsPerSec, cur.Runs[j].OpsPerSec
+			if eight <= one {
+				fails = append(fails, fmt.Sprintf(
+					"policy=%s capacity=%d: 8 latch shards %.0f ops/sec ≤ 1 shard %.0f at %d procs",
+					c.policy, c.capacity, eight, one, cur.GoMaxProcs))
+			}
 		}
 	}
 	return fails

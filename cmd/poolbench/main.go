@@ -1,0 +1,282 @@
+// Command poolbench is the buffer-pool microbenchmark: it drives the
+// sharded pool directly (no engine above it) and sweeps the three
+// axes the tentpole added — latch shards, eviction policy and the
+// pool/keyspace ratio — under the access pattern the policies are
+// designed to disagree on: zipfian point readers with a concurrent
+// sequential scanner.
+//
+// Each run seeds a simulated disk with the keyspace, puts the disk in
+// wall-clock mode with a scale large enough that every modelled IO
+// wait rounds to zero (so the latch-released miss and flush paths run
+// but the measurement is pure CPU + synchronisation), then hammers the
+// pool with N client goroutines doing zipf-distributed Get/MarkDirty
+// while one scanner goroutine sweeps the whole keyspace end to end in
+// a loop. Reported per run: ops/sec (clients only), hit ratio,
+// evictions, cumulative latch wait and scan coverage.
+//
+// The interesting comparisons, which `benchdiff -kind pool` gates:
+//
+//   - same shards + ratio, 2q vs clock: the scan-resistant policy must
+//     hold a strictly better hit ratio (machine-independent — it is a
+//     property of the replacement order, not the host).
+//   - same policy + ratio, 8 latch shards vs 1: the sharded pool must
+//     move more ops/sec under concurrent clients. Only meaningful with
+//     real parallelism, so the gate skips it below 4 GOMAXPROCS (the
+//     same reasoning the wal-shards gate documents for CI smoke cores).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logrec/internal/buffer"
+	"logrec/internal/page"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// runResult is one cell of the sweep.
+type runResult struct {
+	LatchShards int     `json:"latch_shards"`
+	Policy      string  `json:"policy"`
+	Capacity    int     `json:"capacity"`
+	Keyspace    int     `json:"keyspace"`
+	Ratio       float64 `json:"pool_keyspace_ratio"`
+	Ops         int64   `json:"ops"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+	// ClientHitRatio counts only the client goroutines' lookups —
+	// the scanner's always-cold sweep is excluded, so the number is
+	// comparable across runs regardless of how the scheduler
+	// interleaved the scanner. This is the metric the policy gate uses.
+	ClientHitRatio float64 `json:"client_hit_ratio"`
+	Evictions      int64   `json:"evictions"`
+	Flushes        int64   `json:"flushes"`
+	LatchWaitMS    float64 `json:"latch_wait_ms"`
+	ScanPages      int64   `json:"scan_pages"`
+	ScanPasses     float64 `json:"scan_passes"`
+}
+
+type report struct {
+	Benchmark  string      `json:"benchmark"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Clients    int         `json:"clients"`
+	ZipfS      float64     `json:"zipf_s"`
+	WriteFrac  float64     `json:"write_frac"`
+	Runs       []runResult `json:"runs"`
+}
+
+func main() {
+	var (
+		clients = flag.Int("clients", 8, "concurrent client goroutines per run")
+		keys    = flag.Int("keys", 8192, "keyspace in pages")
+		ops     = flag.Int("ops", 60_000, "timed operations per client per run")
+		zipfS   = flag.Float64("zipf", 1.2, "zipfian skew of the client key distribution")
+		quick   = flag.Bool("quick", false, "CI smoke settings (fewer ops)")
+		out     = flag.String("out", "BENCH_pool.json", "output JSON path")
+	)
+	flag.Parse()
+	if *quick {
+		*ops = 15_000
+	}
+
+	const writeFrac = 0.05
+	rep := report{
+		Benchmark:  "pool",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Clients:    *clients,
+		ZipfS:      *zipfS,
+		WriteFrac:  writeFrac,
+	}
+	fmt.Printf("poolbench: %d clients × %d ops, %d-page keyspace, zipf %.2f, %.0f%% writes, GOMAXPROCS %d\n",
+		*clients, *ops, *keys, *zipfS, writeFrac*100, rep.GoMaxProcs)
+	fmt.Printf("%7s %7s %9s %7s %12s %10s %10s %12s %10s\n",
+		"shards", "policy", "capacity", "ratio", "ops/sec", "hit ratio", "evictions", "latch ms", "scan pass")
+
+	for _, capacity := range []int{*keys / 16, *keys / 4} {
+		for _, shards := range []int{1, 8} {
+			for _, policy := range []string{buffer.PolicyClock, buffer.Policy2Q} {
+				r := runOne(shards, policy, capacity, *keys, *clients, *ops, *zipfS, writeFrac)
+				rep.Runs = append(rep.Runs, r)
+				fmt.Printf("%7d %7s %9d %7.3f %12.0f %10.3f %10d %12.1f %10.1f\n",
+					r.LatchShards, r.Policy, r.Capacity, r.Ratio,
+					r.OpsPerSec, r.ClientHitRatio, r.Evictions, r.LatchWaitMS, r.ScanPasses)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func runOne(shards int, policy string, capacity, keys, clients, ops int, zipfS, writeFrac float64) runResult {
+	clock := &sim.Clock{}
+	cfg := storage.Config{
+		PageSize:        256,
+		SeekTime:        4 * sim.Millisecond,
+		TransferPerPage: 100 * sim.Microsecond,
+		WriteSeekTime:   2 * sim.Millisecond,
+		MaxBlock:        8,
+		Channels:        4,
+	}
+	disk, err := storage.New(clock, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for pid := storage.PageID(2); pid < storage.PageID(2+keys); pid++ {
+		data := make([]byte, cfg.PageSize)
+		page.Format(data, page.TypeLeaf)
+		if _, err := disk.Write(pid, data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Wall-clock mode, but with every modelled wait scaled to zero:
+	// the pool takes its latch-released real-IO paths while the
+	// measurement stays pure synchronisation cost.
+	disk.SetRealIOScale(1 << 30)
+
+	pool, err := buffer.NewWithConfig(disk, capacity, buffer.Config{LatchShards: shards, Policy: policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool.SetLatchTiming(true)
+	// The bench measures cache behaviour, not the WAL: keep the
+	// durable-LSN horizon ahead of every MarkDirty so no flush forces.
+	pool.SetELSN(wal.LSN(1) << 40)
+	pool.SetLogForce(func() wal.LSN { return wal.LSN(1) << 40 })
+
+	var nextLSN atomic.Uint64
+	write := int(writeFrac * 100)
+
+	// Warm the pool with a zipf prefix per client, then reset counters
+	// so the timed section starts from a steady state.
+	warm := rand.New(rand.NewSource(7))
+	wz := rand.NewZipf(warm, zipfS, 1, uint64(keys-1))
+	for i := 0; i < capacity*2; i++ {
+		f, err := pool.Get(storage.PageID(2 + wz.Uint64()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool.Unpin(f)
+	}
+	pool.ResetStats()
+
+	var (
+		wg         sync.WaitGroup
+		done       = make(chan struct{})
+		scanPages  atomic.Int64
+		clientOps  atomic.Int64
+		clientHits atomic.Int64
+		clientGets atomic.Int64
+	)
+	// Scanner: sequential sweeps over the whole keyspace — the access
+	// pattern 2Q exists to survive. Scanner and clients pace each
+	// other (one scanned page per scanPace client ops, in both
+	// directions) so every run sees the same scan pressure no matter
+	// how the scheduler interleaves the goroutines.
+	const scanPace = 4
+	go func() {
+		pid := storage.PageID(2)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if scanPages.Load() >= clientOps.Load()/scanPace {
+				runtime.Gosched()
+				continue
+			}
+			f, err := pool.Get(pid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pool.Unpin(f)
+			scanPages.Add(1)
+			pid++
+			if pid >= storage.PageID(2+keys) {
+				pid = 2
+			}
+		}
+	}()
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			z := rand.NewZipf(rng, zipfS, 1, uint64(keys-1))
+			var hits, gets int64
+			for i := 0; i < ops; i++ {
+				for clientOps.Load()/scanPace > scanPages.Load() {
+					runtime.Gosched()
+				}
+				pid := storage.PageID(2 + z.Uint64())
+				gets++
+				f := pool.GetIfCached(pid)
+				if f != nil {
+					hits++
+				} else {
+					var err error
+					f, err = pool.Get(pid)
+					if err != nil {
+						log.Fatal(err)
+					}
+				}
+				if rng.Intn(100) < write {
+					pool.MarkDirty(f, wal.LSN(nextLSN.Add(1)))
+				}
+				pool.Unpin(f)
+				clientOps.Add(1)
+			}
+			clientHits.Add(hits)
+			clientGets.Add(gets)
+		}(int64(c + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(done)
+
+	st := pool.Stats()
+	res := runResult{
+		LatchShards: pool.LatchShards(),
+		Policy:      pool.Policy(),
+		Capacity:    capacity,
+		Keyspace:    keys,
+		Ratio:       float64(capacity) / float64(keys),
+		Ops:         int64(clients) * int64(ops),
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Flushes:     st.Flushes,
+		LatchWaitMS: float64(st.LatchWaitNS) / float64(time.Millisecond),
+		ScanPages:   scanPages.Load(),
+		ScanPasses:  float64(scanPages.Load()) / float64(keys),
+	}
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.HitRatio = st.HitRatio()
+	if g := clientGets.Load(); g > 0 {
+		res.ClientHitRatio = float64(clientHits.Load()) / float64(g)
+	}
+	return res
+}

@@ -93,6 +93,8 @@ func main() {
 		shardsFlag  = flag.String("shards", "", "run the shard-plane sweep instead: comma-separated shard counts (e.g. 1,2,4,8)")
 		zipfS       = flag.Float64("zipf", 1.01, "zipfian skew of the shard-sweep workload")
 		wkld        = flag.String("workload", "", "run the YCSB-style typed-executor workload instead: preset a|b|c|d|e|f|mixed")
+		poolPolicy  = flag.String("poolpolicy", "", "buffer pool eviction policy for the -workload run: clock (default) or 2q")
+		poolShards  = flag.Int("poolshards", 8, "buffer pool latch shards per DC for the -workload run (clamped to capacity/8)")
 		wshards     = flag.Int("wshards", 4, "shard count for the -workload run")
 		scanMax     = flag.Int("scanmax", 100, "max range-scan length for the -workload run")
 		uniform     = flag.Bool("uniform", false, "use uniform keys in the -workload run instead of zipfian")
@@ -120,6 +122,8 @@ func main() {
 			zipfS:      1.1,
 			maxScanLen: *scanMax,
 			flushDelay: 0,
+			policy:     *poolPolicy,
+			poolShards: *poolShards,
 			out:        "BENCH_workload.json",
 		}
 		if set["clients"] {

@@ -65,6 +65,16 @@ type workloadResult struct {
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	CommitsPerSec float64 `json:"commits_per_sec"`
 
+	// Buffer pool behaviour during the timed run, aggregated across the
+	// shards' pools (snapshotted before the crash leg).
+	PoolPolicy      string  `json:"pool_policy"`
+	PoolLatchShards int     `json:"pool_latch_shards"`
+	PoolHits        int64   `json:"pool_hits"`
+	PoolMisses      int64   `json:"pool_misses"`
+	PoolEvictions   int64   `json:"pool_evictions"`
+	PoolHitRatio    float64 `json:"pool_hit_ratio"`
+	PoolDirtyFrac   float64 `json:"pool_dirty_fraction"`
+
 	// Pushdown probe: the same filtered scan with the predicate pushed
 	// into the B-tree iterator versus applied after the full decode.
 	ProbeRows         int64   `json:"probe_rows"`
@@ -109,6 +119,8 @@ type workloadParams struct {
 	zipfS      float64
 	maxScanLen int
 	flushDelay time.Duration
+	policy     string
+	poolShards int
 	out        string
 }
 
@@ -131,6 +143,8 @@ func runWorkload(p workloadParams) {
 	cfg.CachePages = p.cache
 	cfg.Shards = p.shards
 	cfg.KeySpan = uint64(p.keys)
+	cfg.PoolPolicy = p.policy
+	cfg.PoolLatchShards = p.poolShards
 	eng, err := engine.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -243,6 +257,24 @@ func runWorkload(p workloadParams) {
 			res.PushdownDecoded, res.PostFilterDecoded)
 	}
 
+	// Pool counters, aggregated across shards, before the crash leg
+	// resets everything.
+	var dirtyFracSum float64
+	for _, ss := range eng.Stats().Shards {
+		res.PoolPolicy = ss.PoolPolicy
+		res.PoolLatchShards = ss.PoolLatchShards
+		res.PoolHits += ss.Pool.Hits
+		res.PoolMisses += ss.Pool.Misses
+		res.PoolEvictions += ss.Pool.Evictions
+		dirtyFracSum += ss.DirtyFraction
+	}
+	if total := res.PoolHits + res.PoolMisses; total > 0 {
+		res.PoolHitRatio = float64(res.PoolHits) / float64(total)
+	}
+	if p.shards > 0 {
+		res.PoolDirtyFrac = dirtyFracSum / float64(p.shards)
+	}
+
 	// Typed round-trip oracle across crash + Log2 recovery.
 	beforeDigest, beforeRows := typedDigest(mgr, cfg.TableID)
 	eng.TC.SendEOSL()
@@ -280,6 +312,9 @@ func runWorkload(p workloadParams) {
 		"reads", "updates", "inserts", "scans", "rmws", "scan rows", "ops/sec", "conflicts")
 	fmt.Printf("%10d %10d %10d %10d %10d %12d %12.0f %12d\n",
 		res.Reads, res.Updates, res.Inserts, res.Scans, res.RMWs, res.ScanRows, res.OpsPerSec, res.Conflicts)
+	fmt.Printf("pool: policy %s, %d latch shards; hit ratio %.3f (%d hits / %d misses), %d evictions, dirty %.1f%%\n",
+		res.PoolPolicy, res.PoolLatchShards, res.PoolHitRatio,
+		res.PoolHits, res.PoolMisses, res.PoolEvictions, res.PoolDirtyFrac*100)
 	fmt.Printf("pushdown probe: %d rows; decoded %d (pushdown, %.1fms) vs %d (post-filter, %.1fms)\n",
 		res.ProbeRows, res.PushdownDecoded, res.PushdownMS, res.PostFilterDecoded, res.PostFilterMS)
 	fmt.Printf("recovery: %d rows in %.1fms, typed digest match\n", res.RowsRecovered, res.RecoveryMS)

@@ -1,0 +1,263 @@
+// Eviction policies. Each sub-pool owns one evictPolicy instance that
+// tracks residency order and picks victims; the sub-pool keeps the
+// frame map, dirty accounting and the WAL protocol, so a policy is
+// purely an ordering: which frame to evict next, which cold frames the
+// lazywriter should write behind.
+//
+// Two policies exist. "clock" is the second-chance sweep the paper's
+// experiments assume (an LRU approximation; see Pool). "2q" is the
+// scan-resistant two-segment scheme (2Q/SLRU-shaped): pages enter a
+// probationary segment on first touch and are promoted to a protected
+// segment only when re-referenced, so a sequential table scan — which
+// touches every page exactly once — churns through probation without
+// displacing the re-referenced hot set.
+
+package buffer
+
+import "container/list"
+
+// Policy names accepted by Config.Policy (and, upstream, by
+// dc.Config.PoolPolicy / engine.Config.PoolPolicy).
+const (
+	// PolicyClock is the default second-chance clock sweep.
+	PolicyClock = "clock"
+	// Policy2Q is the scan-resistant probation/protected policy.
+	Policy2Q = "2q"
+)
+
+// KnownPolicy reports whether name selects an implemented eviction
+// policy ("" selects the default and is known).
+func KnownPolicy(name string) bool {
+	switch name {
+	case "", PolicyClock, Policy2Q:
+		return true
+	}
+	return false
+}
+
+// evictPolicy is a sub-pool's replacement order. All methods are called
+// with the sub-pool latch held. A frame is "evictable" when it is
+// unpinned, fully loaded and not mid-flush; policies must skip frames
+// that are not.
+type evictPolicy interface {
+	name() string
+	// admit registers a frame that just entered the pool.
+	admit(f *Frame)
+	// touch records a cache hit on a resident frame.
+	touch(f *Frame)
+	// remove unregisters a frame that is leaving the pool.
+	remove(f *Frame)
+	// victim returns the next evictable frame, or nil if a bounded
+	// sweep found none (everything pinned or in flight). The caller
+	// flushes and removes it; victim must not unlink anything itself.
+	victim() *Frame
+	// sweepCold walks cold frames in eviction order, calling flush on
+	// up to want dirty evictable frames (the lazywriter's write-behind).
+	// flush may release and reacquire the sub-pool latch; sweepCold
+	// must tolerate the order mutating underneath it.
+	sweepCold(want int, flush func(*Frame) error)
+}
+
+func newPolicy(name string, capacity int) evictPolicy {
+	if name == Policy2Q {
+		return &twoQPolicy{probation: list.New(), protected: list.New(), capacity: capacity}
+	}
+	return &clockPolicy{ring: list.New()}
+}
+
+// evictable reports whether f may be evicted or cold-flushed right now.
+func evictable(f *Frame) bool {
+	return f.pins == 0 && f.loading == nil && f.flushing == nil
+}
+
+// clockPolicy is the second-chance clock: one circular list in
+// insertion order, a sweep hand that clears reference bits and evicts
+// the first unpinned unreferenced frame, and a separate lazywriter hand
+// so background cleaning round-robins independently of eviction.
+type clockPolicy struct {
+	ring     *list.List
+	hand     *list.Element
+	lazyHand *list.Element
+}
+
+func (c *clockPolicy) name() string { return PolicyClock }
+
+func (c *clockPolicy) admit(f *Frame) {
+	f.ref = true
+	f.elem = c.ring.PushBack(f)
+}
+
+func (c *clockPolicy) touch(f *Frame) { f.ref = true }
+
+func (c *clockPolicy) remove(f *Frame) {
+	if c.hand == f.elem {
+		c.hand = f.elem.Next()
+	}
+	if c.lazyHand == f.elem {
+		c.lazyHand = f.elem.Next()
+	}
+	c.ring.Remove(f.elem)
+	f.elem = nil
+}
+
+// victim runs the sweep: two full revolutions suffice — the first
+// clears reference bits, the second finds a victim unless everything is
+// pinned.
+func (c *clockPolicy) victim() *Frame {
+	limit := 2*c.ring.Len() + 1
+	for i := 0; i < limit; i++ {
+		e := c.hand
+		if e == nil {
+			e = c.ring.Front()
+		}
+		if e == nil {
+			return nil
+		}
+		c.hand = e.Next()
+		f := e.Value.(*Frame)
+		if !evictable(f) {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// sweepCold scans at most one revolution from the lazywriter hand,
+// flushing up to want cold dirty frames. A sweep that finds nothing
+// flushable gives up for this call; the checkpoint will retry.
+func (c *clockPolicy) sweepCold(want int, flush func(*Frame) error) {
+	scanned := 0
+	for want > 0 && scanned < c.ring.Len() {
+		e := c.lazyHand
+		if e == nil {
+			e = c.ring.Front()
+		}
+		if e == nil {
+			return
+		}
+		c.lazyHand = e.Next()
+		scanned++
+		f := e.Value.(*Frame)
+		if !f.Dirty || !evictable(f) {
+			continue
+		}
+		if err := flush(f); err != nil {
+			return
+		}
+		want--
+	}
+}
+
+// Frame segments for twoQPolicy.
+const (
+	segProbation int8 = iota
+	segProtected
+)
+
+// twoQPolicy is the scan-resistant two-segment policy. New pages land
+// at the MRU end of probation; a hit on a probationary page promotes it
+// to protected (capped at ¾ of the sub-pool, demoting the protected LRU
+// back to probation on overflow). Victims come from the probation LRU
+// end first, so a one-touch scan evicts only other one-touch pages;
+// protected falls back to a second-chance pass only when probation is
+// entirely pinned.
+type twoQPolicy struct {
+	probation *list.List
+	protected *list.List
+	capacity  int
+}
+
+func (q *twoQPolicy) name() string { return Policy2Q }
+
+func (q *twoQPolicy) admit(f *Frame) {
+	f.ref = true
+	f.seg = segProbation
+	f.elem = q.probation.PushFront(f)
+}
+
+func (q *twoQPolicy) touch(f *Frame) {
+	f.ref = true
+	if f.seg == segProtected {
+		q.protected.MoveToFront(f.elem)
+		return
+	}
+	// Promote: the page proved it is re-referenced, not scan traffic.
+	q.probation.Remove(f.elem)
+	f.elem = q.protected.PushFront(f)
+	f.seg = segProtected
+	protCap := q.protCap()
+	for q.protected.Len() > protCap {
+		e := q.protected.Back()
+		d := e.Value.(*Frame)
+		q.protected.Remove(e)
+		d.elem = q.probation.PushFront(d)
+		d.seg = segProbation
+	}
+}
+
+// protCap bounds the protected segment to ¾ of the sub-pool capacity so
+// probation always keeps room to absorb scans. The bound is against
+// capacity, not current residency: during warm-up a residency-relative
+// cap would make early promotions demote one another.
+func (q *twoQPolicy) protCap() int {
+	n := q.capacity * 3 / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (q *twoQPolicy) remove(f *Frame) {
+	if f.seg == segProtected {
+		q.protected.Remove(f.elem)
+	} else {
+		q.probation.Remove(f.elem)
+	}
+	f.elem = nil
+}
+
+func (q *twoQPolicy) victim() *Frame {
+	for e := q.probation.Back(); e != nil; e = e.Prev() {
+		if f := e.Value.(*Frame); evictable(f) {
+			return f
+		}
+	}
+	// Probation exhausted (all pinned or empty): second-chance over
+	// protected, LRU end first.
+	for pass := 0; pass < 2; pass++ {
+		for e := q.protected.Back(); e != nil; e = e.Prev() {
+			f := e.Value.(*Frame)
+			if !evictable(f) {
+				continue
+			}
+			if f.ref && pass == 0 {
+				f.ref = false
+				continue
+			}
+			return f
+		}
+	}
+	return nil
+}
+
+func (q *twoQPolicy) sweepCold(want int, flush func(*Frame) error) {
+	for _, l := range [2]*list.List{q.probation, q.protected} {
+		e := l.Back()
+		for e != nil && want > 0 {
+			f := e.Value.(*Frame)
+			prev := e.Prev()
+			if f.Dirty && evictable(f) {
+				if err := flush(f); err != nil {
+					return
+				}
+				want--
+			}
+			e = prev
+		}
+	}
+}

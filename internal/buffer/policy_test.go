@@ -1,0 +1,262 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+func newPolicyPool(t *testing.T, capacity int, cfg Config) (*storage.Disk, *Pool) {
+	t.Helper()
+	clock, disk, _ := newPoolEnv(t, capacity)
+	_ = clock
+	pool, err := NewWithConfig(disk, capacity, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk, pool
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, disk, _ := newPoolEnv(t, 64)
+	if _, err := NewWithConfig(disk, 64, Config{Policy: "lru-k"}); err == nil || !strings.Contains(err.Error(), "unknown eviction policy") {
+		t.Fatalf("unknown policy accepted: %v", err)
+	}
+	if _, err := NewWithConfig(disk, 64, Config{LatchShards: -1}); err == nil {
+		t.Fatal("negative LatchShards accepted")
+	}
+	for _, name := range []string{"", PolicyClock, Policy2Q} {
+		if !KnownPolicy(name) {
+			t.Fatalf("KnownPolicy(%q) = false", name)
+		}
+		p, err := NewWithConfig(disk, 64, Config{Policy: name})
+		if err != nil {
+			t.Fatalf("policy %q: %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = PolicyClock
+		}
+		if p.Policy() != want {
+			t.Fatalf("Policy() = %q, want %q", p.Policy(), want)
+		}
+	}
+	if KnownPolicy("gdsf") {
+		t.Fatal("KnownPolicy accepted an unimplemented name")
+	}
+}
+
+func TestLatchShardClamping(t *testing.T) {
+	_, disk, _ := newPoolEnv(t, 64)
+	cases := []struct {
+		capacity, req, want int
+	}{
+		{64, 0, 1},  // default stays single-latch
+		{64, 1, 1},  //
+		{64, 4, 4},  // 16 frames per sub-pool
+		{64, 8, 8},  // exactly minSubCapacity each
+		{64, 16, 8}, // clamped: 64/8
+		{8, 4, 1},   // tiny pool degenerates to one latch
+		{100, 3, 3}, // uneven split
+	}
+	for _, c := range cases {
+		p, err := NewWithConfig(disk, c.capacity, Config{LatchShards: c.req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LatchShards() != c.want {
+			t.Fatalf("capacity %d, requested %d shards: got %d, want %d",
+				c.capacity, c.req, p.LatchShards(), c.want)
+		}
+		// Sub-pool capacities must sum to the pool capacity.
+		sum := 0
+		for _, sp := range p.subs {
+			sum += sp.capacity
+		}
+		if sum != c.capacity {
+			t.Fatalf("sub capacities sum to %d, want %d", sum, c.capacity)
+		}
+	}
+}
+
+// TestShardedPoolBasicOps exercises Get/MarkDirty/FlushAll/Drop across
+// sub-pools and checks the aggregate counters stay consistent with a
+// per-sub walk.
+func TestShardedPoolBasicOps(t *testing.T) {
+	disk, pool := newPolicyPool(t, 64, Config{LatchShards: 4})
+	seed(t, disk, 40)
+	pool.SetELSN(1 << 40)
+	for pid := storage.PageID(2); pid < 42; pid++ {
+		f, err := pool.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pid%2 == 0 {
+			pool.MarkDirty(f, 100)
+		}
+		pool.Unpin(f)
+	}
+	if pool.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", pool.Len())
+	}
+	if got := pool.DirtyCount(); got != 20 {
+		t.Fatalf("DirtyCount = %d, want 20", got)
+	}
+	if got := len(pool.DirtyPIDs()); got != 20 {
+		t.Fatalf("DirtyPIDs = %d entries, want 20", got)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.DirtyCount() != 0 {
+		t.Fatalf("DirtyCount after FlushAll = %d", pool.DirtyCount())
+	}
+	st := pool.Stats()
+	if st.Misses != 40 || st.Flushes != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	pool.Drop(2)
+	if pool.Contains(2) || pool.Len() != 39 {
+		t.Fatal("Drop did not remove the page")
+	}
+}
+
+// TestCheckpointFlipSharded verifies the penultimate-checkpoint bit
+// keeps its per-page semantics across sub-pools: only pages dirtied
+// before the flip are flushed.
+func TestCheckpointFlipSharded(t *testing.T) {
+	disk, pool := newPolicyPool(t, 64, Config{LatchShards: 4})
+	seed(t, disk, 16)
+	pool.SetELSN(1 << 40)
+	dirtyRange := func(lo, hi storage.PageID, lsn uint64) {
+		for pid := lo; pid < hi; pid++ {
+			f, err := pool.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool.MarkDirty(f, wal.LSN(lsn))
+			pool.Unpin(f)
+		}
+	}
+	dirtyRange(2, 10, 10)
+	pool.BeginCheckpointFlip()
+	dirtyRange(10, 18, 20)
+	if err := pool.FlushForCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Flushes; got != 8 {
+		t.Fatalf("checkpoint flushed %d pages, want 8 (pre-flip only)", got)
+	}
+	if got := pool.DirtyCount(); got != 8 {
+		t.Fatalf("DirtyCount = %d, want the 8 post-flip pages", got)
+	}
+}
+
+// TestScanResistance2Q proves the satellite claim: after a full
+// sequential scan, the re-referenced hot working set is still cached
+// under 2Q, while the clock policy has evicted it.
+func TestScanResistance2Q(t *testing.T) {
+	const capacity = 64
+	const scanPages = 400
+	hot := []storage.PageID{2, 3, 4, 5, 6, 7, 8, 9}
+
+	survivors := func(policy string) int {
+		disk, pool := newPolicyPool(t, capacity, Config{Policy: policy})
+		seed(t, disk, scanPages+16)
+		// Establish the hot set: several rounds of re-reference, so 2Q
+		// promotes every hot page to the protected segment.
+		for round := 0; round < 3; round++ {
+			for _, pid := range hot {
+				f, err := pool.Get(pid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool.Unpin(f)
+			}
+		}
+		// One full sequential scan over a region much larger than the
+		// pool; every page is touched exactly once.
+		for pid := storage.PageID(18); pid < 18+scanPages; pid++ {
+			f, err := pool.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool.Unpin(f)
+		}
+		n := 0
+		for _, pid := range hot {
+			if pool.Contains(pid) {
+				n++
+			}
+		}
+		return n
+	}
+
+	if n := survivors(Policy2Q); n != len(hot) {
+		t.Fatalf("2q: scan evicted hot pages: %d/%d survived", n, len(hot))
+	}
+	if n := survivors(PolicyClock); n == len(hot) {
+		t.Fatal("clock unexpectedly scan-resistant: the comparison is vacuous")
+	}
+}
+
+// TestTwoQVictimPrefersProbation checks eviction order: once-touched
+// pages go before re-referenced (protected) pages.
+func TestTwoQVictimPrefersProbation(t *testing.T) {
+	disk, pool := newPolicyPool(t, 8, Config{Policy: Policy2Q})
+	seed(t, disk, 16)
+	protected := []storage.PageID{2, 3}
+	for _, pid := range protected {
+		for i := 0; i < 2; i++ {
+			f, err := pool.Get(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool.Unpin(f)
+		}
+	}
+	// Fill the rest with once-touched pages, then overflow: every
+	// eviction must come out of probation.
+	for pid := storage.PageID(4); pid < 14; pid++ {
+		f, err := pool.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(f)
+	}
+	for _, pid := range protected {
+		if !pool.Contains(pid) {
+			t.Fatalf("protected page %d evicted before once-touched pages", pid)
+		}
+	}
+	if got := pool.Stats().Evictions; got != 4 {
+		t.Fatalf("evictions = %d, want 4", got)
+	}
+}
+
+// TestTwoQAllPinnedFails mirrors TestAllPinnedFails for the 2Q policy:
+// with every frame pinned (probation and protected), Get must fail
+// rather than spin.
+func TestTwoQAllPinnedFails(t *testing.T) {
+	disk, pool := newPolicyPool(t, 3, Config{Policy: Policy2Q})
+	seed(t, disk, 5)
+	var frames []*Frame
+	for pid := storage.PageID(2); pid < 5; pid++ {
+		f, err := pool.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := pool.Get(5); err == nil {
+		t.Fatal("Get succeeded with every frame pinned")
+	}
+	for _, f := range frames {
+		pool.Unpin(f)
+	}
+	if _, err := pool.Get(5); err != nil {
+		t.Fatalf("Get after unpin: %v", err)
+	}
+}

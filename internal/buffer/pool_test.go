@@ -274,16 +274,16 @@ func TestPrefetchBoundedByFreeFrames(t *testing.T) {
 	seed(t, disk, 10)
 	f, _ := pool.Get(2) // one frame used
 	pool.Unpin(f)
-	n := pool.Prefetch([]storage.PageID{3, 4, 5, 6, 7})
-	if n != 2 {
+	n, issued := pool.Prefetch([]storage.PageID{3, 4, 5, 6, 7})
+	if n != 2 || issued != 2 {
 		t.Fatalf("consumed %d pids with 2 free frames, want 2", n)
 	}
 	if got := disk.Stats().PrefetchPages; got != 2 {
 		t.Fatalf("issued %d pages, want 2", got)
 	}
 	// Cached pages are consumed without issuing.
-	n = pool.Prefetch([]storage.PageID{2})
-	if n != 1 {
+	n, issued = pool.Prefetch([]storage.PageID{2})
+	if n != 1 || issued != 0 {
 		t.Fatalf("cached pid consumed %d, want 1", n)
 	}
 	if got := disk.Stats().PrefetchPages; got != 2 {

@@ -1,0 +1,247 @@
+package buffer
+
+// Concurrency stress for the sharded pool, designed to run under
+// -race. Mutator, reader, prefetch and checkpoint goroutines hammer a
+// wall-clock-mode pool (so miss reads and flush writes release the
+// sub-pool latch) while a wrapper device enforces the WAL protocol as
+// an oracle: no page may ever reach the disk carrying an LSN beyond
+// the published stable LSN.
+//
+// Locking mirrors the engine's discipline. Pages are mutated only
+// while pinned and only under a per-page test mutex (the engine's
+// record latches); mutators hold a read lock on a checkpoint gate that
+// the checkpoint thread takes exclusively across the flip and flush
+// (the engine's session planes, which TC.Checkpoint quiesces).
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"logrec/internal/page"
+	"logrec/internal/sim"
+	"logrec/internal/storage"
+	"logrec/internal/wal"
+)
+
+// storeMax CAS-raises a to at least v (stable LSN only ever grows).
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// oracleDevice wraps the simulated disk and checks every page write
+// against the stable LSN at the moment of the write. Sound because
+// stable only grows: a violation observed here is a real protocol
+// break, never a stale read.
+type oracleDevice struct {
+	*storage.Disk
+	stable     *atomic.Uint64
+	violations atomic.Int64
+	firstErr   atomic.Pointer[string]
+}
+
+func (o *oracleDevice) Write(pid storage.PageID, data []byte) (sim.Time, error) {
+	lsn := uint64(page.Wrap(data).LSN())
+	if stable := o.stable.Load(); lsn > stable {
+		o.violations.Add(1)
+		msg := fmt.Sprintf("page %d flushed with LSN %d > stable %d", pid, lsn, stable)
+		o.firstErr.CompareAndSwap(nil, &msg)
+	}
+	return o.Disk.Write(pid, data)
+}
+
+func TestPoolStressRace(t *testing.T) {
+	for _, policy := range []string{PolicyClock, Policy2Q} {
+		t.Run(policy, func(t *testing.T) { runPoolStress(t, policy) })
+	}
+}
+
+func runPoolStress(t *testing.T, policy string) {
+	const (
+		capacity = 128
+		keyspace = 512
+		shards   = 4
+		mutators = 4
+		readers  = 2
+		mutOps   = 1500
+		readOps  = 2500
+	)
+	clock := &sim.Clock{}
+	cfg := storage.Config{
+		PageSize:        256,
+		SeekTime:        4 * sim.Millisecond,
+		TransferPerPage: 100 * sim.Microsecond,
+		WriteSeekTime:   2 * sim.Millisecond,
+		MaxBlock:        8,
+		Channels:        4,
+	}
+	raw, err := storage.New(clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := storage.PageID(2); pid < 2+keyspace; pid++ {
+		data := make([]byte, cfg.PageSize)
+		page.Format(data, page.TypeLeaf)
+		if _, err := raw.Write(pid, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wall-clock mode with a huge scale: the latch-released read and
+	// flush paths run (RealTime() is true) but every modelled wait
+	// rounds down to a zero-length sleep, so the race detector gets
+	// maximal interleaving instead of a disk-latency-paced crawl.
+	raw.SetRealIOScale(1 << 30)
+
+	var stable atomic.Uint64
+	var nextLSN atomic.Uint64
+	nextLSN.Store(100)
+	disk := &oracleDevice{Disk: raw, stable: &stable}
+
+	pool, err := NewWithConfig(disk, capacity, Config{LatchShards: shards, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.SetLatchTiming(true)
+	pool.SetCleanerTarget(0.4)
+	pool.SetCleanerRate(4)
+	pool.SetLogForce(func() wal.LSN {
+		v := nextLSN.Load()
+		storeMax(&stable, v)
+		pool.SetELSN(wal.LSN(v))
+		return wal.LSN(v)
+	})
+
+	var (
+		ckptGate sync.RWMutex
+		perPid   [keyspace + 2]sync.RWMutex
+		bounded  sync.WaitGroup // op-count-bounded mutators and readers
+		loopers  sync.WaitGroup // run until the bounded work is done
+		done     = make(chan struct{})
+	)
+
+	for g := 0; g < mutators; g++ {
+		bounded.Add(1)
+		go func(seed int64) {
+			defer bounded.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < mutOps; i++ {
+				pid := storage.PageID(2 + rng.Intn(keyspace))
+				ckptGate.RLock()
+				f, err := pool.Get(pid)
+				if err != nil {
+					ckptGate.RUnlock()
+					t.Errorf("Get(%d): %v", pid, err)
+					return
+				}
+				perPid[pid].Lock()
+				lsn := nextLSN.Add(1)
+				f.Page.SetLSN(lsn)
+				pool.MarkDirty(f, wal.LSN(lsn))
+				perPid[pid].Unlock()
+				pool.Unpin(f)
+				ckptGate.RUnlock()
+			}
+		}(int64(g) + 1)
+	}
+
+	for g := 0; g < readers; g++ {
+		bounded.Add(1)
+		go func(seed int64) {
+			defer bounded.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < readOps; i++ {
+				pid := storage.PageID(2 + rng.Intn(keyspace))
+				f := pool.GetIfCached(pid)
+				if f == nil {
+					var err error
+					f, err = pool.Get(pid)
+					if err != nil {
+						t.Errorf("Get(%d): %v", pid, err)
+						return
+					}
+				}
+				perPid[pid].RLock()
+				_ = f.Page.LSN()
+				perPid[pid].RUnlock()
+				pool.Unpin(f)
+			}
+		}(int64(100 + g))
+	}
+
+	// Prefetcher: random batches, exercising the free-frame clamp
+	// against concurrent residency churn.
+	loopers.Add(1)
+	go func() {
+		defer loopers.Done()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			batch := make([]storage.PageID, 8)
+			for j := range batch {
+				batch[j] = storage.PageID(2 + rng.Intn(keyspace))
+			}
+			consumed, issued := pool.Prefetch(batch)
+			if consumed < 0 || issued < 0 || issued > consumed {
+				t.Errorf("Prefetch returned consumed=%d issued=%d", consumed, issued)
+				return
+			}
+		}
+	}()
+
+	// Checkpointer: the engine quiesces every session plane across the
+	// flip and the flush; the gate's write lock plays that role here.
+	loopers.Add(1)
+	go func() {
+		defer loopers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ckptGate.Lock()
+			pool.BeginCheckpointFlip()
+			if err := pool.FlushForCheckpoint(); err != nil {
+				t.Errorf("FlushForCheckpoint: %v", err)
+			}
+			ckptGate.Unlock()
+		}
+	}()
+
+	bounded.Wait()
+	close(done)
+	loopers.Wait()
+
+	// Drain: everything still dirty must flush cleanly under the WAL
+	// protocol, and the aggregate accounting must reconcile.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.DirtyCount(); got != 0 {
+		t.Fatalf("DirtyCount after FlushAll = %d", got)
+	}
+	if pool.Len() > capacity {
+		t.Fatalf("Len %d exceeds capacity %d", pool.Len(), capacity)
+	}
+	if n := disk.violations.Load(); n != 0 {
+		t.Fatalf("WAL protocol violated %d times; first: %s", n, *disk.firstErr.Load())
+	}
+	st := pool.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("stress ran no pool operations")
+	}
+	if st.Flushes == 0 {
+		t.Fatal("stress never flushed a page")
+	}
+}

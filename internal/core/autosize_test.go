@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAutoSizeWorkersRule pins the sizing rule: workers =
+// ceil(windowBytes ÷ bytesPerSec ÷ budget), clamped to [1, maxWorkers],
+// with 1 for any degenerate input.
+func TestAutoSizeWorkersRule(t *testing.T) {
+	cases := []struct {
+		name   string
+		window int64
+		rate   float64
+		budget time.Duration
+		maxW   int
+		want   int
+	}{
+		{"fits-serial", 1 << 20, 4 << 20, time.Second, 8, 1},
+		{"exact-budget", 4 << 20, 1 << 20, 4 * time.Second, 8, 1},
+		{"needs-four", 4 << 20, 1 << 20, time.Second, 8, 4},
+		{"rounds-up", 5 << 20, 1 << 20, 2 * time.Second, 8, 3},
+		{"clamped-at-max", 1 << 30, 1 << 10, time.Millisecond, 8, 8},
+		{"zero-window", 0, 1 << 20, time.Second, 8, 1},
+		{"zero-rate", 1 << 20, 0, time.Second, 8, 1},
+		{"zero-budget", 1 << 20, 1 << 20, 0, 8, 1},
+		{"max-below-one", 1 << 20, 1, time.Second, 0, 1},
+	}
+	for _, c := range cases {
+		if got := AutoSizeWorkers(c.window, c.rate, c.budget, c.maxW); got != c.want {
+			t.Errorf("%s: AutoSizeWorkers(%d, %v, %v, %d) = %d, want %d",
+				c.name, c.window, c.rate, c.budget, c.maxW, got, c.want)
+		}
+	}
+}
+
+// TestRecoverAutoSizesWorkers drives the rule end to end: a crash state
+// carrying a recovery budget and a measured replay rate widens an unset
+// RedoWorkers; an explicit setting or a missing budget leaves the
+// deterministic serial default untouched. Recovered state must match
+// the oracle in every mode.
+func TestRecoverAutoSizesWorkers(t *testing.T) {
+	cfg := testConfig(300)
+	cfg.RecoveryBudget = time.Millisecond
+	cs, om := buildCrash(t, cfg, 800, 40, 8, 20, 7, false)
+
+	// Rate so low the estimate always exceeds the budget: sizing clamps
+	// at maxAutoWorkers regardless of the exact window size.
+	cs.ReplayRate = 1
+
+	eng, met, err := Recover(cs, Log1, DefaultOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := maxAutoWorkers(); met.RedoWorkers != want {
+		t.Fatalf("auto-sized RedoWorkers = %d, want %d", met.RedoWorkers, want)
+	}
+	verifyRecovered(t, Log1, eng, om)
+
+	// Explicit width wins over auto-sizing.
+	opt := DefaultOptions(cfg)
+	opt.RedoWorkers = 2
+	eng, met, err = Recover(cs, Log1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.RedoWorkers != 2 {
+		t.Fatalf("explicit RedoWorkers overridden: got %d, want 2", met.RedoWorkers)
+	}
+	verifyRecovered(t, Log1, eng, om)
+
+	// No measured rate → serial stays serial.
+	cs.ReplayRate = 0
+	eng, met, err = Recover(cs, Log1, DefaultOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.RedoWorkers != 1 {
+		t.Fatalf("RedoWorkers without a rate = %d, want 1 (serial)", met.RedoWorkers)
+	}
+	verifyRecovered(t, Log1, eng, om)
+}

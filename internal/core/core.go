@@ -32,6 +32,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"time"
 
 	"logrec/internal/dc"
@@ -185,6 +187,38 @@ func DefaultOptions(cfg engine.Config) Options {
 		IndexPreload:     true,
 		DCConfig:         cfg.DC,
 	}
+}
+
+// AutoSizeWorkers picks the parallelism that fits a redo window into a
+// recovery budget: the estimated serial replay time is windowBytes ÷
+// bytesPerSec (the rate the previous recovery measured), and the
+// worker count is that estimate divided by the budget, rounded up —
+// assuming replay parallelizes roughly linearly at these widths, the
+// shape the recovery-shards and recovery-slo benches gate. The result
+// is clamped to [1, maxWorkers]; any non-positive input yields 1 (no
+// basis to parallelize).
+func AutoSizeWorkers(windowBytes int64, bytesPerSec float64, budget time.Duration, maxWorkers int) int {
+	if windowBytes <= 0 || bytesPerSec <= 0 || budget <= 0 || maxWorkers < 1 {
+		return 1
+	}
+	estSec := float64(windowBytes) / bytesPerSec
+	n := int(math.Ceil(estSec / budget.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxWorkers {
+		n = maxWorkers
+	}
+	return n
+}
+
+// maxAutoWorkers bounds auto-sized parallelism the same way the decode
+// front-end bounds its default width.
+func maxAutoWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n < 8 {
+		return n
+	}
+	return 8
 }
 
 // Metrics reports what a recovery run did and how long (in virtual
@@ -372,6 +406,25 @@ func Recover(cs *engine.CrashState, m Method, opt Options) (*engine.Engine, *Met
 		return nil, nil, err
 	}
 	met.RedoWindowBytes = int64(log.FlushedLSN() - r.scanStart)
+
+	// Worker auto-sizing (the recovery-budget tail of budget-mode
+	// checkpointing): when the caller left the parallelism unset and the
+	// crashed engine carries both a recovery budget and a replay rate
+	// measured by its previous recovery, widen redo and decode just
+	// enough that the estimated serial replay of this window fits the
+	// budget. Engines without a budget keep the deterministic serial
+	// default untouched.
+	if opt.RedoWorkers == 0 && cs.Cfg.RecoveryBudget > 0 && cs.ReplayRate > 0 {
+		if n := AutoSizeWorkers(met.RedoWindowBytes, cs.ReplayRate, cs.Cfg.RecoveryBudget, maxAutoWorkers()); n > 1 {
+			workers = n
+			r.workers = n
+			r.opt.RedoWorkers = n
+			met.RedoWorkers = n
+			if opt.DecodeWorkers == 0 && nShards > 1 {
+				r.opt.DecodeWorkers = n
+			}
+		}
+	}
 
 	// Phase 1: prep — DC recovery (logical) or analysis (SQL), per
 	// shard. Route changes replay from this full-window pass.

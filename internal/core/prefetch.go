@@ -51,7 +51,10 @@ func (p *pacer) topUp() {
 		if p.pool.Disk().InflightCount() >= p.maxOut {
 			return
 		}
-		if p.pool.Prefetch([]storage.PageID{pid}) == 0 {
+		// consumed == 0 is genuine back-pressure (no free frame);
+		// consumed == 1 with issued == 0 means the page is already
+		// cached — progress without IO, keep walking the list.
+		if consumed, _ := p.pool.Prefetch([]storage.PageID{pid}); consumed == 0 {
 			return // pool out of free frames
 		}
 		p.issued[pid] = struct{}{}
@@ -146,7 +149,7 @@ func (la *lookahead) issue() {
 		if chunk > len(la.pending) {
 			chunk = len(la.pending)
 		}
-		consumed := la.pool.Prefetch(la.pending[:chunk])
+		consumed, _ := la.pool.Prefetch(la.pending[:chunk])
 		la.pending = la.pending[consumed:]
 		if consumed < chunk {
 			return

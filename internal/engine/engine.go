@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"logrec/internal/buffer"
 	"logrec/internal/dc"
 	"logrec/internal/shard"
 	"logrec/internal/sim"
@@ -101,6 +102,18 @@ type Config struct {
 	// checkpoints whenever the estimate would exceed the budget. Zero
 	// leaves checkpointing purely interval-driven.
 	RecoveryBudget time.Duration
+	// PoolPolicy selects every shard pool's eviction policy: "" or
+	// "clock" for the second-chance clock the paper's experiments
+	// assume, "2q" for the scan-resistant two-segment policy that keeps
+	// a re-referenced hot set resident under sequential-scan traffic.
+	// Validate copies it into the DC config.
+	PoolPolicy string
+	// PoolLatchShards splits each shard pool's latch into this many
+	// PID-hashed sub-pools so concurrent sessions contend only per
+	// sub-pool (0 and 1 both mean the single-latch pool; clamped so
+	// every sub-pool keeps at least 8 frames). Validate copies it into
+	// the DC config.
+	PoolLatchShards int
 	// Standby builds the engine as a warm standby (replica mode): Load
 	// bulk-loads rows but leaves logging off and takes no checkpoint,
 	// so the engine's log stays header-only and can ingest the
@@ -151,6 +164,20 @@ func (c *Config) Validate() error {
 	}
 	if c.CachePages < 8*c.Shards {
 		return fmt.Errorf("engine: CachePages must be at least 8 per shard, got %d for %d shards", c.CachePages, c.Shards)
+	}
+	if c.PoolLatchShards < 0 {
+		return fmt.Errorf("engine: PoolLatchShards must be >= 0, got %d", c.PoolLatchShards)
+	}
+	if !buffer.KnownPolicy(c.PoolPolicy) {
+		return fmt.Errorf("engine: unknown PoolPolicy %q (have %q, %q)", c.PoolPolicy, buffer.PolicyClock, buffer.Policy2Q)
+	}
+	// Thread the pool knobs into the DC config every component (and
+	// recovery's DefaultOptions) builds pools from.
+	if c.PoolPolicy != "" {
+		c.DC.PoolPolicy = c.PoolPolicy
+	}
+	if c.PoolLatchShards > 0 {
+		c.DC.PoolLatchShards = c.PoolLatchShards
 	}
 	return nil
 }
@@ -360,6 +387,13 @@ type CrashState struct {
 	// simulated device).
 	Dir string
 
+	// ReplayRate is the crashed engine's last measured recovery replay
+	// rate in bytes/sec (Engine.LastRecovery.ReplayBytesPerSec; 0 when
+	// the engine was never recovered or the run was too fast to time).
+	// core.Recover's worker auto-sizing consumes it together with
+	// Cfg.RecoveryBudget.
+	ReplayRate float64
+
 	// mu guards forks; concurrent Forks of one crash state are allowed
 	// (side-by-side recovery), matching the mutex-guarded sim path.
 	mu    sync.Mutex
@@ -380,6 +414,10 @@ func (e *Engine) Crash() *CrashState {
 		e.balancer.Stop()
 		e.balancer = nil
 	}
+	var replayRate float64
+	if e.LastRecovery != nil {
+		replayRate = e.LastRecovery.ReplayBytesPerSec
+	}
 	if e.Cfg.Device == DeviceFile {
 		for i, disk := range e.Disks {
 			if err := disk.(*storage.FileDisk).Close(); err != nil {
@@ -397,6 +435,7 @@ func (e *Engine) Crash() *CrashState {
 			LastEndCkpt: master,
 			Cfg:         e.Cfg,
 			Dir:         e.Cfg.Dir,
+			ReplayRate:  replayRate,
 		}
 	}
 	for _, disk := range e.Disks {
@@ -407,6 +446,7 @@ func (e *Engine) Crash() *CrashState {
 		Log:         e.Log.Snapshot(),
 		LastEndCkpt: e.TC.LastEndCkptLSN(),
 		Cfg:         e.Cfg,
+		ReplayRate:  replayRate,
 	}
 }
 

@@ -68,8 +68,17 @@ type ShardStats struct {
 	Shard wal.ShardID
 	// Pool is the shard's buffer-pool counters.
 	Pool buffer.Stats
+	// PoolPolicy names the pool's eviction policy ("clock" or "2q").
+	PoolPolicy string
+	// PoolLatchShards is the pool's latch-shard count after clamping.
+	PoolLatchShards int
+	// PoolHitRatio is Pool.Hits/(Hits+Misses), 0 with no traffic.
+	PoolHitRatio float64
 	// DirtyPages is the pool's current dirty-page count.
 	DirtyPages int
+	// DirtyFraction is DirtyPages over the pool capacity — the quantity
+	// the paper's Figure 2(b) plots as the dirty cache percentage.
+	DirtyFraction float64
 	// SessionOps is the number of session-plane acquisitions on the
 	// shard (zero until NewSessionManager).
 	SessionOps int64
@@ -100,10 +109,17 @@ func (e *Engine) Stats() Stats {
 		st.AutoSplit = e.balancer.Stats()
 	}
 	for i, d := range e.DCs {
+		pool := d.Pool()
 		ss := ShardStats{
-			Shard:      wal.ShardID(i),
-			Pool:       d.Pool().Stats(),
-			DirtyPages: d.Pool().DirtyCount(),
+			Shard:           wal.ShardID(i),
+			Pool:            pool.Stats(),
+			PoolPolicy:      pool.Policy(),
+			PoolLatchShards: pool.LatchShards(),
+			DirtyPages:      pool.DirtyCount(),
+		}
+		ss.PoolHitRatio = ss.Pool.HitRatio()
+		if c := pool.Capacity(); c > 0 {
+			ss.DirtyFraction = float64(ss.DirtyPages) / float64(c)
 		}
 		if planes != nil {
 			ss.SessionOps = planes[i].Ops
